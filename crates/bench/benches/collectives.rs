@@ -1,0 +1,58 @@
+//! Collective ablations: K-nomial vs ring allreduce and Bruck vs
+//! pairwise alltoall, under single-path and multi-path transport.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpx_omb::{osu_allreduce, osu_alltoall, AllreduceAlgo, AlltoallAlgo, CollectiveConfig};
+use mpx_topo::{presets, PathSelection};
+use mpx_ucx::{TuningMode, UcxConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn cfg(mode: TuningMode) -> UcxConfig {
+    UcxConfig {
+        mode,
+        selection: PathSelection::THREE_GPUS,
+        ..UcxConfig::default()
+    }
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let topo = Arc::new(presets::beluga());
+    let coll = CollectiveConfig {
+        ranks: 4,
+        iterations: 1,
+        warmup: 1,
+    };
+    let n = 16 << 20;
+    let mut g = c.benchmark_group("collectives");
+    g.sample_size(10);
+
+    for (label, algo) in [
+        ("rabenseifner", AllreduceAlgo::Rabenseifner),
+        ("ring", AllreduceAlgo::Ring),
+    ] {
+        for mode in [TuningMode::SinglePath, TuningMode::Dynamic] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("allreduce_{label}"), format!("{mode:?}")),
+                &(),
+                |b, _| b.iter(|| black_box(osu_allreduce(&topo, cfg(mode), n, algo, coll))),
+            );
+        }
+    }
+    for (label, algo) in [
+        ("bruck", AlltoallAlgo::Bruck),
+        ("pairwise", AlltoallAlgo::Pairwise),
+    ] {
+        for mode in [TuningMode::SinglePath, TuningMode::Dynamic] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("alltoall_{label}"), format!("{mode:?}")),
+                &(),
+                |b, _| b.iter(|| black_box(osu_alltoall(&topo, cfg(mode), n / 4, algo, coll))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Simulator throughput: how much host time one simulated transfer or a
+//! batch of contending flows costs. Keeps the experiment harness honest —
+//! the figure sweeps run thousands of these.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpx_sim::{Engine, FlowSpec, OnComplete};
+use mpx_topo::presets;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_flows(c: &mut Criterion) {
+    let topo = Arc::new(presets::beluga());
+    let gpus = topo.gpus();
+    let mut g = c.benchmark_group("engine");
+
+    for flows in [1usize, 8, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("contending_flows", flows),
+            &flows,
+            |b, &flows| {
+                b.iter(|| {
+                    let eng = Engine::new(topo.clone());
+                    let link = topo.link_between(gpus[0], gpus[1]).unwrap().id;
+                    for _ in 0..flows {
+                        eng.start_flow(
+                            FlowSpec::new(vec![link], 1 << 20),
+                            OnComplete::Nothing,
+                        );
+                    }
+                    eng.run_until_idle();
+                    black_box(eng.now())
+                })
+            },
+        );
+    }
+
+    g.bench_function("staged_pipeline_32_chunks", |b| {
+        let hm = topo.host_memories()[0];
+        let down = vec![
+            topo.link_between(gpus[0], hm).unwrap().id,
+            topo.link_between(hm, hm).unwrap().id,
+        ];
+        let up = vec![
+            topo.link_between(hm, hm).unwrap().id,
+            topo.link_between(hm, gpus[1]).unwrap().id,
+        ];
+        b.iter(|| {
+            let eng = Engine::new(topo.clone());
+            for c in 0..32 {
+                eng.start_flow(
+                    FlowSpec::new(down.clone(), 1 << 20).labeled(format!("d{c}")),
+                    OnComplete::Nothing,
+                );
+                eng.start_flow(
+                    FlowSpec::new(up.clone(), 1 << 20).labeled(format!("u{c}")),
+                    OnComplete::Nothing,
+                );
+            }
+            eng.run_until_idle();
+            black_box(eng.stats().events_processed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_flows);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Model micro-costs — substantiates the paper's claim that "the runtime
+//! overhead of the model-driven framework is negligible for large
+//! message sizes (less than 0.1% of the total execution time)":
+//! a 64 MB multi-path transfer takes ~500 µs of node time, so the plan
+//! computation must stay in the low microseconds.
+//!
+//! Also the ablation "closed form (Eq. 24) vs numeric bisection".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpx_model::{optimal_shares, optimal_shares_bisection, OmegaDelta, Planner};
+use mpx_topo::{presets, PathSelection};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let topo = Arc::new(presets::beluga());
+    let gpus = topo.gpus();
+    let mut g = c.benchmark_group("algorithm1");
+
+    g.bench_function("plan_uncached_4paths_64M", |b| {
+        let mut n = 64 << 20;
+        b.iter(|| {
+            // Vary n to defeat the cache: every call computes.
+            n += 4;
+            let planner = Planner::new(topo.clone());
+            black_box(
+                planner
+                    .plan(gpus[0], gpus[1], n, PathSelection::THREE_GPUS_WITH_HOST)
+                    .unwrap(),
+            )
+        })
+    });
+
+    g.bench_function("plan_cached_4paths_64M", |b| {
+        let planner = Planner::new(topo.clone());
+        let _ = planner
+            .plan(gpus[0], gpus[1], 64 << 20, PathSelection::THREE_GPUS_WITH_HOST)
+            .unwrap();
+        b.iter(|| {
+            black_box(
+                planner
+                    .plan(gpus[0], gpus[1], 64 << 20, PathSelection::THREE_GPUS_WITH_HOST)
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let paths: Vec<OmegaDelta> = vec![
+        OmegaDelta {
+            omega: 1.0 / 48e9,
+            delta: 3e-6,
+        },
+        OmegaDelta {
+            omega: 1.05 / 48e9,
+            delta: 9e-6,
+        },
+        OmegaDelta {
+            omega: 1.05 / 48e9,
+            delta: 9e-6,
+        },
+        OmegaDelta {
+            omega: 1.0 / 6e9,
+            delta: 20e-6,
+        },
+    ];
+    let mut g = c.benchmark_group("optimizer");
+    for n in [1e6, 64e6, 512e6] {
+        g.bench_with_input(BenchmarkId::new("closed_form", n as u64), &n, |b, &n| {
+            b.iter(|| black_box(optimal_shares(&paths, n)))
+        });
+        g.bench_with_input(BenchmarkId::new("bisection", n as u64), &n, |b, &n| {
+            b.iter(|| black_box(optimal_shares_bisection(&paths, n)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    use mpx_model::{
+        plan_concurrent, predict_allreduce_knomial, ConcurrentTransfer,
+    };
+    use mpx_topo::params::extract_all;
+    use mpx_topo::path::enumerate_paths;
+
+    let topo = Arc::new(presets::beluga());
+    let gpus = topo.gpus();
+    let planner = Planner::new(topo.clone());
+    let mut g = c.benchmark_group("extensions");
+
+    g.bench_function("collective_predict_allreduce_64M", |b| {
+        b.iter(|| {
+            black_box(
+                predict_allreduce_knomial(
+                    &planner,
+                    &gpus,
+                    64 << 20,
+                    PathSelection::THREE_GPUS,
+                    &|bytes| bytes as f64 / 130e9,
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    let pattern: Vec<ConcurrentTransfer> = [(0usize, 1usize), (1, 2), (2, 3), (3, 0)]
+        .iter()
+        .map(|&(s, d)| {
+            let paths =
+                enumerate_paths(&topo, gpus[s], gpus[d], PathSelection::THREE_GPUS).unwrap();
+            let params = extract_all(&topo, &paths).unwrap();
+            ConcurrentTransfer {
+                paths,
+                params,
+                n: 64 << 20,
+            }
+        })
+        .collect();
+    g.bench_function("joint_plan_ring4_64M", |b| {
+        b.iter(|| black_box(plan_concurrent(&planner, &topo, &pattern, 8)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithm1, bench_optimizer, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Pipeline-engine ablations in host time *and* virtual time:
+//! pipelined vs un-pipelined staged execution, and the per-selection
+//! cost of executing one planned transfer end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpx_gpu::GpuRuntime;
+use mpx_model::{PipelineMode, Planner, PlannerConfig};
+use mpx_sim::Engine;
+use mpx_topo::path::enumerate_paths;
+use mpx_topo::{presets, PathSelection};
+use mpx_ucx::execute_plan;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_transfer(c: &mut Criterion) {
+    let topo = Arc::new(presets::beluga());
+    let gpus = topo.gpus();
+    let n = 64 << 20;
+    let mut g = c.benchmark_group("pipeline");
+
+    for (label, sel) in [
+        ("direct", PathSelection::DIRECT_ONLY),
+        ("2_GPUs", PathSelection::TWO_GPUS),
+        ("3_GPUs", PathSelection::THREE_GPUS),
+        ("3_GPUs_w_host", PathSelection::THREE_GPUS_WITH_HOST),
+    ] {
+        let planner = Planner::new(topo.clone());
+        let plan = planner.plan(gpus[0], gpus[1], n, sel).unwrap();
+        let paths = enumerate_paths(&topo, gpus[0], gpus[1], sel).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("execute_64M", label),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let rt = GpuRuntime::new(Engine::new(topo.clone()));
+                    let src = rt.alloc(gpus[0], n);
+                    let dst = rt.alloc(gpus[1], n);
+                    execute_plan(&rt, &plan, &paths, &src, &dst, 0);
+                    rt.engine().run_until_idle();
+                    black_box(rt.engine().now())
+                })
+            },
+        );
+    }
+
+    // Ablation: virtual completion time, pipelined vs monolithic legs.
+    for (label, mode) in [
+        ("pipelined", PipelineMode::Pipelined),
+        ("unpipelined", PipelineMode::Unpipelined),
+    ] {
+        let cfg = PlannerConfig {
+            mode,
+            ..PlannerConfig::default()
+        };
+        let planner = Planner::with_config(topo.clone(), cfg);
+        let sel = PathSelection::THREE_GPUS;
+        let plan = planner.plan(gpus[0], gpus[1], n, sel).unwrap();
+        let paths = enumerate_paths(&topo, gpus[0], gpus[1], sel).unwrap();
+        g.bench_with_input(BenchmarkId::new("mode", label), &(), |b, _| {
+            b.iter(|| {
+                let rt = GpuRuntime::new(Engine::new(topo.clone()));
+                let src = rt.alloc(gpus[0], n);
+                let dst = rt.alloc(gpus[1], n);
+                execute_plan(&rt, &plan, &paths, &src, &dst, 0);
+                rt.engine().run_until_idle();
+                black_box(rt.engine().now())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_transfer);
+criterion_main!(benches);

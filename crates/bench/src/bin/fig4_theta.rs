@@ -1,0 +1,39 @@
+//! Figure 4: distribution of the θ (message-fraction) values across
+//! paths for OMB unidirectional bandwidth on Beluga, for the three path
+//! selections (a) 2 paths, (b) 3 paths, (c) 4 paths incl. host staging.
+
+use mpx_bench::{emit_json, paper_sizes, print_panel};
+use mpx_model::Planner;
+use mpx_omb::Series;
+use mpx_topo::{presets, PathSelection};
+use std::sync::Arc;
+
+fn main() {
+    let topo = Arc::new(presets::beluga());
+    let planner = Planner::new(topo.clone());
+    let gpus = topo.gpus();
+    let sizes = paper_sizes();
+
+    let mut all = Vec::new();
+    for (label, sel) in PathSelection::paper_grid() {
+        let paths_n = sel.max_gpu_staged + 1 + usize::from(sel.host_staged);
+        let names = ["Direct", "1st GPU-staged", "2nd GPU-staged", "Host-staged"];
+        let mut panel: Vec<Series> = (0..paths_n).map(|i| Series::new(names[i])).collect();
+        for &n in &sizes {
+            let plan = planner
+                .plan(gpus[0], gpus[1], n, sel)
+                .expect("plan beluga pair");
+            for (i, p) in plan.paths.iter().enumerate() {
+                panel[i].push(n, p.theta);
+            }
+        }
+        print_panel(
+            &format!("Fig 4 theta distribution, Beluga, {label}"),
+            &panel,
+            1.0,
+            "fraction",
+        );
+        all.push((label.to_string(), panel));
+    }
+    emit_json("fig4_theta", &all);
+}

@@ -1,0 +1,37 @@
+//! Figure 5: OMB unidirectional bandwidth on Beluga and Narval —
+//! 12 panels: {cluster} × {2_GPUs, 3_GPUs, 3_GPUs_w_host} × window {1, 16},
+//! each with the Direct-Path baseline, Static (exhaustive) tuning,
+//! Dynamic (model-driven) tuning, and the model's Prediction.
+
+use mpx_bench::{emit_json, full_run, paper_sizes, print_panel};
+use mpx_omb::{mean_relative_error, p2p_panel, P2pKind};
+use mpx_topo::{presets, PathSelection};
+use std::sync::Arc;
+
+fn main() {
+    let sizes = paper_sizes();
+    let grid = if full_run() { 8 } else { 6 };
+    let mut all = Vec::new();
+    for (cluster, topo) in [
+        ("beluga", Arc::new(presets::beluga())),
+        ("narval", Arc::new(presets::narval())),
+    ] {
+        for (sel_label, sel) in PathSelection::paper_grid() {
+            for window in [1usize, 16] {
+                let panel = p2p_panel(&topo, P2pKind::Bw, sel, window, &sizes, grid);
+                let title = format!("Fig 5 BW {cluster} {sel_label} win={window}");
+                print_panel(&title, &panel, 1e9, "GB/s");
+                // Prediction error vs the observed optimum (max of static
+                // and dynamic), n > 4 MB — the paper's error metric.
+                let mut observed = panel[1].clone();
+                for (p, d) in observed.points.iter_mut().zip(&panel[2].points) {
+                    p.value = p.value.max(d.value);
+                }
+                let err = mean_relative_error(&observed, &panel[3], 4 << 20);
+                println!("   mean prediction error (n > 4MB): {:.1}%", err * 100.0);
+                all.push((title, panel));
+            }
+        }
+    }
+    emit_json("fig5_bw", &all);
+}

@@ -1,0 +1,36 @@
+//! Figure 6: OMB bidirectional bandwidth on Beluga and Narval — the same
+//! 12-panel grid as Figure 5, measured with simultaneous opposing
+//! transfers. Host-staged panels show the contention degradation of
+//! Observation 5 (the model's 2× prediction ignores the shared DRAM/UPI
+//! resources, so its BIBW error is visibly larger).
+
+use mpx_bench::{emit_json, full_run, paper_sizes, print_panel};
+use mpx_omb::{mean_relative_error, p2p_panel, P2pKind};
+use mpx_topo::{presets, PathSelection};
+use std::sync::Arc;
+
+fn main() {
+    let sizes = paper_sizes();
+    let grid = if full_run() { 8 } else { 6 };
+    let mut all = Vec::new();
+    for (cluster, topo) in [
+        ("beluga", Arc::new(presets::beluga())),
+        ("narval", Arc::new(presets::narval())),
+    ] {
+        for (sel_label, sel) in PathSelection::paper_grid() {
+            for window in [1usize, 16] {
+                let panel = p2p_panel(&topo, P2pKind::Bibw, sel, window, &sizes, grid);
+                let title = format!("Fig 6 BIBW {cluster} {sel_label} win={window}");
+                print_panel(&title, &panel, 1e9, "GB/s");
+                let mut observed = panel[1].clone();
+                for (p, d) in observed.points.iter_mut().zip(&panel[2].points) {
+                    p.value = p.value.max(d.value);
+                }
+                let err = mean_relative_error(&observed, &panel[3], 4 << 20);
+                println!("   mean prediction error (n > 4MB): {:.1}%", err * 100.0);
+                all.push((title, panel));
+            }
+        }
+    }
+    emit_json("fig6_bibw", &all);
+}

@@ -1,0 +1,81 @@
+//! Figure 7: latency speedup of MPI_Alltoall and MPI_Allreduce over the
+//! default (single-path) MPI+UCC+UCX stack — 8 panels: {Beluga, Narval}
+//! × {Alltoall, Allreduce} × {2_GPUs, 3_GPUs}. Host staging is excluded,
+//! as in the paper (Section 5.3).
+
+use mpx_bench::{emit_json, paper_sizes, print_panel};
+use mpx_gpu::KernelCostModel;
+use mpx_model::{predict_allreduce_knomial, predict_alltoall_bruck, Planner};
+use mpx_omb::{collective_panel, CollectiveConfig, CollectiveKind, Series};
+use mpx_topo::{presets, PathSelection};
+use std::sync::Arc;
+
+/// The collective-model's predicted speedup (single-path vs `sel`).
+fn predicted_speedup(
+    planner: &Planner,
+    gpus: &[mpx_topo::DeviceId],
+    kind: CollectiveKind,
+    sel: PathSelection,
+    n: usize,
+) -> f64 {
+    let kernel = KernelCostModel::default_gpu();
+    let run = |s: PathSelection| match kind {
+        CollectiveKind::Allreduce => {
+            let n = (n - n % 16).max(16);
+            predict_allreduce_knomial(planner, gpus, n, s, &|b| kernel.cost(b))
+                .expect("predict")
+                .total
+        }
+        CollectiveKind::Alltoall => {
+            let block = (n / gpus.len()).max(4);
+            predict_alltoall_bruck(planner, gpus, block, s, &|b| kernel.cost_copy(b))
+                .expect("predict")
+                .total
+        }
+    };
+    run(PathSelection::DIRECT_ONLY) / run(sel)
+}
+
+fn main() {
+    let sizes = paper_sizes();
+    let coll = CollectiveConfig {
+        ranks: 4,
+        iterations: 2,
+        warmup: 1,
+    };
+    let mut all = Vec::new();
+    for (cluster, topo) in [
+        ("beluga", Arc::new(presets::beluga())),
+        ("narval", Arc::new(presets::narval())),
+    ] {
+        for (coll_label, kind) in [
+            ("alltoall", CollectiveKind::Alltoall),
+            ("allreduce", CollectiveKind::Allreduce),
+        ] {
+            for (sel_label, sel) in [
+                ("2_GPUs", PathSelection::TWO_GPUS),
+                ("3_GPUs", PathSelection::THREE_GPUS),
+            ] {
+                let mut panel = collective_panel(&topo, kind, sel, &sizes, coll);
+                // Extension: the collective model's predicted speedup.
+                let planner = Planner::new(topo.clone());
+                let gpus = topo.gpus();
+                let mut predicted = Series::new("Predicted");
+                for &n in &sizes {
+                    predicted.push(n, predicted_speedup(&planner, &gpus, kind, sel, n));
+                }
+                panel.push(predicted);
+                let title = format!("Fig 7 {coll_label} {cluster} {sel_label}");
+                print_panel(&title, &panel, 1.0, "speedup x");
+                let best = panel[1]
+                    .points
+                    .iter()
+                    .map(|p| p.value)
+                    .fold(0.0f64, f64::max);
+                println!("   best dynamic speedup: {best:.2}x");
+                all.push((title, panel));
+            }
+        }
+    }
+    emit_json("fig7_collectives", &all);
+}

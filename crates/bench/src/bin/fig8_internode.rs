@@ -1,0 +1,82 @@
+//! Extension figure (not in the paper — its Section-6 future work):
+//! inter-node bandwidth vs rail count and message size on two
+//! Beluga-class nodes, with the model's prediction alongside.
+
+use mpx_bench::{emit_json, paper_sizes, print_panel};
+use mpx_gpu::GpuRuntime;
+use mpx_model::Planner;
+use mpx_omb::Series;
+use mpx_sim::Engine;
+use mpx_topo::{presets, PathSelection};
+use mpx_ucx::{UcxConfig, UcxContext};
+use std::sync::Arc;
+
+fn measure(topo: &Arc<mpx_topo::Topology>, rails: usize, n: usize) -> f64 {
+    let sel = PathSelection {
+        max_gpu_staged: rails - 1,
+        host_staged: false,
+    };
+    let ctx = UcxContext::new(
+        GpuRuntime::new(Engine::new(topo.clone())),
+        UcxConfig {
+            selection: sel,
+            ..UcxConfig::default()
+        },
+    );
+    let gpus = topo.gpus();
+    let (src, dst) = (gpus[0], gpus[4]);
+    let s = ctx.runtime().alloc(src, n);
+    let d = ctx.runtime().alloc(dst, n);
+    ctx.put_async(&s, &d, n).unwrap();
+    ctx.runtime().engine().run_until_idle();
+    let t0 = ctx.runtime().engine().now();
+    ctx.put_async(&s, &d, n).unwrap();
+    ctx.runtime().engine().run_until_idle();
+    n as f64 / ctx.runtime().engine().now().secs_since(t0)
+}
+
+fn main() {
+    let sizes = paper_sizes();
+    let mut panel = Vec::new();
+    for rails in [1usize, 2, 4] {
+        let topo = Arc::new(presets::two_node_beluga(rails));
+        let mut measured = Series::new(format!("{rails}_rails"));
+        let mut predicted = Series::new(format!("{rails}_rails_pred"));
+        let planner = Planner::new(topo.clone());
+        let gpus = topo.gpus();
+        let sel = PathSelection {
+            max_gpu_staged: rails - 1,
+            host_staged: false,
+        };
+        for &n in &sizes {
+            measured.push(n, measure(&topo, rails, n));
+            predicted.push(
+                n,
+                planner
+                    .plan(gpus[0], gpus[4], n, sel)
+                    .unwrap()
+                    .predicted_bandwidth,
+            );
+        }
+        panel.push(measured);
+        panel.push(predicted);
+    }
+    print_panel(
+        "Fig 8 (extension): inter-node multi-rail BW, two Beluga nodes",
+        &panel,
+        1e9,
+        "GB/s",
+    );
+    // Rail scaling at the largest size.
+    let largest = *sizes.last().unwrap();
+    let one = panel[0].at(largest).unwrap();
+    let two = panel[2].at(largest).unwrap();
+    let four = panel[4].at(largest).unwrap();
+    println!(
+        "\nrail scaling at {}: 1x -> {:.2}x -> {:.2}x (ideal 1 -> 2 -> 4)",
+        mpx_topo::units::format_bytes(largest),
+        two / one,
+        four / one
+    );
+    emit_json("fig8_internode", &panel);
+}

@@ -1,0 +1,63 @@
+//! Extension figure: concurrent communication patterns under the three
+//! planning regimes — single-path, contention-blind multi-path (what a
+//! per-transfer Algorithm 1 deploys), and contention-aware joint
+//! planning (the paper's MaxRate future work). Three patterns per
+//! cluster: a disjoint pair set, the full ring, and a bidirectional
+//! neighbour exchange.
+
+use mpx_bench::{emit_json, paper_sizes, print_panel};
+use mpx_omb::{ring_pairs, run_pattern, PatternPlanning, Series};
+use mpx_topo::{presets, PathSelection};
+use std::sync::Arc;
+
+fn pattern_pairs(name: &str) -> Vec<(usize, usize)> {
+    match name {
+        "disjoint" => vec![(0, 1), (2, 3)],
+        "ring" => ring_pairs(4),
+        "exchange" => vec![(0, 1), (1, 0), (2, 3), (3, 2)],
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    let sizes = paper_sizes();
+    let sel = PathSelection::THREE_GPUS;
+    let mut all = Vec::new();
+    for (cluster, topo) in [
+        ("beluga", Arc::new(presets::beluga())),
+        ("narval", Arc::new(presets::narval())),
+    ] {
+        for pattern in ["disjoint", "ring", "exchange"] {
+            let pairs = pattern_pairs(pattern);
+            let mut panel = vec![
+                Series::new("SinglePath"),
+                Series::new("Blind"),
+                Series::new("Joint"),
+            ];
+            for &n in &sizes {
+                for (si, planning) in [
+                    PatternPlanning::SinglePath,
+                    PatternPlanning::Blind,
+                    PatternPlanning::Joint,
+                ]
+                .into_iter()
+                .enumerate()
+                {
+                    let r = run_pattern(&topo, &pairs, n, sel, planning);
+                    panel[si].push(n, r.aggregate_bandwidth);
+                }
+            }
+            let title = format!("Fig 9 {pattern} pattern on {cluster}");
+            print_panel(&title, &panel, 1e9, "aggregate GB/s");
+            let last = *sizes.last().unwrap();
+            println!(
+                "   at {}: joint/blind = {:.2}x, joint/single = {:.2}x",
+                mpx_topo::units::format_bytes(last),
+                panel[2].at(last).unwrap() / panel[1].at(last).unwrap(),
+                panel[2].at(last).unwrap() / panel[0].at(last).unwrap()
+            );
+            all.push((title, panel));
+        }
+    }
+    emit_json("fig9_contention", &all);
+}

@@ -1,0 +1,526 @@
+//! Collective-operation prediction (paper Section 6 future work: "extend
+//! our model to support more complex intra-node communication patterns,
+//! such as collective operations").
+//!
+//! A collective is a schedule of steps; each step is a set of concurrent
+//! P2P transfers plus local compute. The per-step communication time
+//! comes from the *contention-aware* joint planner
+//! ([`crate::contention::plan_concurrent`]) over that step's transfer
+//! set — the same machinery the transport uses, so prediction and
+//! execution share one model.
+//!
+//! Implemented schedules match the algorithms `mpx-mpi` runs (and UCC's
+//! large-message choices, per the paper's Section 5.3): recursive
+//! K-nomial (radix-2) scatter-reduce + allgather for Allreduce, Bruck
+//! for Alltoall.
+
+use crate::pipeline::time_pipelined;
+use crate::planner::{PipelineMode, Planner, TransferPlan};
+use mpx_topo::params::extract_all;
+use mpx_topo::path::{enumerate_paths_auto, PathSelection, TransferPath};
+use mpx_topo::units::Secs;
+use mpx_topo::{DeviceId, TopologyError};
+
+/// A predicted collective cost, decomposed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectivePrediction {
+    /// End-to-end latency.
+    pub total: Secs,
+    /// Communication part.
+    pub comm: Secs,
+    /// Local compute part (reductions / packing).
+    pub compute: Secs,
+    /// Number of communication steps.
+    pub steps: usize,
+}
+
+/// One step's directed transfers: `(src rank, dst rank, bytes)`.
+type Step = Vec<(usize, usize, usize)>;
+
+/// Predicted duration of one step, modelling what the transport will
+/// actually do: every transfer is planned *blindly* (per-transfer
+/// Algorithm 1, exactly as `UcxContext` does at runtime), then those
+/// shares are evaluated under the step's contention — each leg's
+/// bandwidth deflated to its fair share of every link it crosses, given
+/// how many concurrently active path-legs use that link. Active paths of
+/// an equal-time plan run for the whole transfer, so each counts fully.
+fn step_time(
+    planner: &Planner,
+    devices: &[DeviceId],
+    step: &Step,
+    sel: PathSelection,
+) -> Result<Secs, TopologyError> {
+    let topo = planner.topology().clone();
+    let mut members: Vec<(Vec<TransferPath>, TransferPlan)> = Vec::with_capacity(step.len());
+    for &(src, dst, bytes) in step {
+        if bytes == 0 {
+            continue;
+        }
+        let paths = enumerate_paths_auto(&topo, devices[src], devices[dst], sel)?;
+        let params = extract_all(&topo, &paths)?;
+        let plan = planner.compute_with_params(bytes, &paths, params);
+        members.push((paths, plan));
+    }
+    if members.is_empty() {
+        return Ok(0.0);
+    }
+
+    // Concurrent users per link.
+    let mut users = vec![0.0f64; topo.link_count()];
+    for (paths, plan) in &members {
+        for (path, pp) in paths.iter().zip(&plan.paths) {
+            if pp.theta <= 1e-6 {
+                continue;
+            }
+            for leg in &path.legs {
+                for lid in &leg.route {
+                    users[lid.index()] += 1.0;
+                }
+            }
+        }
+    }
+
+    // Evaluate each plan's shares with contention-deflated bandwidths.
+    let mut worst: Secs = 0.0;
+    for (paths, plan) in &members {
+        let nf = plan.n as f64;
+        for (path, pp) in paths.iter().zip(&plan.paths) {
+            if pp.theta <= 1e-6 {
+                continue;
+            }
+            let mut params = pp.params;
+            for (li, leg) in path.legs.iter().enumerate() {
+                let mut beta = f64::INFINITY;
+                for lid in &leg.route {
+                    let link = topo.link(*lid)?;
+                    beta = beta.min(link.bandwidth / users[lid.index()].max(1.0));
+                }
+                match li {
+                    0 => params.first.beta = beta,
+                    _ => {
+                        if let Some(s) = params.second.as_mut() {
+                            s.beta = beta;
+                        }
+                    }
+                }
+            }
+            let contended = path
+                .legs
+                .iter()
+                .flat_map(|l| &l.route)
+                .any(|lid| users[lid.index()] > 1.0);
+            let t = if !params.is_staged() || planner.config().mode != PipelineMode::Pipelined
+            {
+                params.time_unpipelined(pp.share_bytes as f64)
+            } else if contended {
+                // Under contention the competing pipelines fill each
+                // other's bubbles: the leg streams continuously at its
+                // fair share, so the affine law with the deflated
+                // bottleneck bandwidth is the right estimate — adding
+                // per-chunk exposure on top would double-count.
+                pp.theta * nf / params.bottleneck_bandwidth()
+                    + params.delta_unpipelined()
+            } else {
+                time_pipelined(&params, pp.theta, nf, pp.chunks)
+            };
+            worst = worst.max(t);
+        }
+    }
+    Ok(worst)
+}
+
+/// The radix-`k` scatter-reduce + allgather schedule for `p = k^m` ranks
+/// and an `n`-byte buffer: per-step transfer sets and reduced bytes. In
+/// every scatter round each rank ships `k−1` sub-blocks of the active
+/// region (keeping one) to its digit-group peers and reduces the `k−1`
+/// it receives; the allgather mirrors the exchanges.
+fn knomial_allreduce_schedule(p: usize, n: usize, k: usize) -> (Vec<Step>, Vec<usize>) {
+    assert!(k >= 2 && p >= 2);
+    let mut rounds = 0u32;
+    let mut v = 1usize;
+    while v < p {
+        v *= k;
+        rounds += 1;
+    }
+    assert_eq!(v, p, "world size {p} is not a power of radix {k}");
+
+    let mut steps = Vec::new();
+    let mut reduce_bytes = Vec::new();
+    // Scatter-reduce rounds: region shrinks by k each round.
+    let mut len = n;
+    let mut group = p;
+    for _ in 0..rounds {
+        let sub = len / k;
+        let stride = group / k;
+        let mut step: Step = Vec::with_capacity(p * (k - 1));
+        for r in 0..p {
+            let digit = (r / stride) % k;
+            let base = r - digit * stride;
+            for d in 0..k {
+                if d != digit {
+                    step.push((r, base + d * stride, sub));
+                }
+            }
+        }
+        steps.push(step);
+        // Each rank reduces k−1 received sub-blocks.
+        reduce_bytes.push(sub * (k - 1));
+        len = sub;
+        group = stride;
+    }
+    // Allgather rounds: mirror image, regions grow back.
+    let mut len = n / p;
+    let mut group = k;
+    for _ in 0..rounds {
+        let stride = group / k;
+        let mut step: Step = Vec::with_capacity(p * (k - 1));
+        for r in 0..p {
+            let digit = (r / stride) % k;
+            let base = r - digit * stride;
+            for d in 0..k {
+                if d != digit {
+                    step.push((r, base + d * stride, len));
+                }
+            }
+        }
+        steps.push(step);
+        reduce_bytes.push(0);
+        len *= k;
+        group *= k;
+    }
+    (steps, reduce_bytes)
+}
+
+/// Predicts the latency of a radix-2 K-nomial allreduce of `n` bytes over
+/// `devices` (one rank per device, power-of-two count). `reduce_cost`
+/// prices the element-wise combine of `bytes` of received data.
+pub fn predict_allreduce_knomial(
+    planner: &Planner,
+    devices: &[DeviceId],
+    n: usize,
+    sel: PathSelection,
+    reduce_cost: &dyn Fn(usize) -> Secs,
+) -> Result<CollectivePrediction, TopologyError> {
+    predict_allreduce_knomial_radix(planner, devices, n, sel, reduce_cost, 2)
+}
+
+/// [`predict_allreduce_knomial`] at an arbitrary radix `k`
+/// (`size == k^m`).
+pub fn predict_allreduce_knomial_radix(
+    planner: &Planner,
+    devices: &[DeviceId],
+    n: usize,
+    sel: PathSelection,
+    reduce_cost: &dyn Fn(usize) -> Secs,
+    k: usize,
+) -> Result<CollectivePrediction, TopologyError> {
+    let p = devices.len();
+    if p == 1 {
+        return Ok(CollectivePrediction {
+            total: 0.0,
+            comm: 0.0,
+            compute: 0.0,
+            steps: 0,
+        });
+    }
+    let (steps, reduce_bytes) = knomial_allreduce_schedule(p, n, k);
+    let mut comm = 0.0;
+    let mut compute = 0.0;
+    for (step, &rb) in steps.iter().zip(&reduce_bytes) {
+        comm += step_time(planner, devices, step, sel)?;
+        if rb > 0 {
+            compute += reduce_cost(rb);
+        }
+    }
+    Ok(CollectivePrediction {
+        total: comm + compute,
+        comm,
+        compute,
+        steps: steps.len(),
+    })
+}
+
+/// Predicts the latency of a Bruck alltoall with `block` bytes per
+/// destination over `devices`. `copy_cost` prices one local pack/unpack
+/// of `bytes`.
+pub fn predict_alltoall_bruck(
+    planner: &Planner,
+    devices: &[DeviceId],
+    block: usize,
+    sel: PathSelection,
+    copy_cost: &dyn Fn(usize) -> Secs,
+) -> Result<CollectivePrediction, TopologyError> {
+    let p = devices.len();
+    if p == 1 {
+        return Ok(CollectivePrediction {
+            total: copy_cost(block),
+            comm: 0.0,
+            compute: copy_cost(block),
+            steps: 0,
+        });
+    }
+    let mut comm = 0.0;
+    let mut compute = copy_cost(block); // own-block copy
+    let mut steps = 0;
+    let mut dist = 1usize;
+    while dist < p {
+        let blocks: usize = (0..p).filter(|i| i & dist != 0).count();
+        let bytes = blocks * block;
+        let step: Step = (0..p).map(|r| (r, (r + dist) % p, bytes)).collect();
+        comm += step_time(planner, devices, &step, sel)?;
+        // Pack before, unpack after — every block moved twice locally.
+        compute += 2.0 * copy_cost(bytes);
+        steps += 1;
+        dist <<= 1;
+    }
+    Ok(CollectivePrediction {
+        total: comm + compute,
+        comm,
+        compute,
+        steps,
+    })
+}
+
+/// Predicts a recursive-doubling allgather of `block` bytes per rank
+/// (power-of-two world): step `s` exchanges `2^s · block` with one
+/// partner.
+pub fn predict_allgather_rd(
+    planner: &Planner,
+    devices: &[DeviceId],
+    block: usize,
+    sel: PathSelection,
+) -> Result<CollectivePrediction, TopologyError> {
+    let p = devices.len();
+    if p == 1 {
+        return Ok(CollectivePrediction {
+            total: 0.0,
+            comm: 0.0,
+            compute: 0.0,
+            steps: 0,
+        });
+    }
+    assert!(p.is_power_of_two(), "recursive doubling needs 2^k ranks");
+    let mut comm = 0.0;
+    let mut steps = 0;
+    let mut mask = 1usize;
+    let mut bytes = block;
+    while mask < p {
+        let step: Step = (0..p).map(|r| (r, r ^ mask, bytes)).collect();
+        comm += step_time(planner, devices, &step, sel)?;
+        steps += 1;
+        mask <<= 1;
+        bytes *= 2;
+    }
+    Ok(CollectivePrediction {
+        total: comm,
+        comm,
+        compute: 0.0,
+        steps,
+    })
+}
+
+/// Predicts a binomial-tree broadcast of `n` bytes from rank 0: the
+/// critical path is the chain of ⌈log₂ p⌉ sequential sends (each round's
+/// transfers run concurrently, but a leaf at depth d waited d rounds).
+pub fn predict_bcast_binomial(
+    planner: &Planner,
+    devices: &[DeviceId],
+    n: usize,
+    sel: PathSelection,
+) -> Result<CollectivePrediction, TopologyError> {
+    let p = devices.len();
+    if p == 1 {
+        return Ok(CollectivePrediction {
+            total: 0.0,
+            comm: 0.0,
+            compute: 0.0,
+            steps: 0,
+        });
+    }
+    let mut comm = 0.0;
+    let mut steps = 0;
+    // Round r: senders are ranks with vrank < 2^r, each to vrank + 2^r.
+    let mut mask = 1usize;
+    while mask < p {
+        let step: Step = (0..p)
+            .filter(|&r| r < mask && r + mask < p)
+            .map(|r| (r, r + mask, n))
+            .collect();
+        comm += step_time(planner, devices, &step, sel)?;
+        steps += 1;
+        mask <<= 1;
+    }
+    Ok(CollectivePrediction {
+        total: comm,
+        comm,
+        compute: 0.0,
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpx_topo::presets;
+    use std::sync::Arc;
+
+    fn setup() -> (Planner, Vec<DeviceId>) {
+        let topo = Arc::new(presets::beluga());
+        let gpus = topo.gpus();
+        (Planner::new(topo), gpus)
+    }
+
+    #[test]
+    fn schedule_shapes_are_right() {
+        let (steps, reduce) = knomial_allreduce_schedule(4, 1 << 20, 2);
+        assert_eq!(steps.len(), 4, "2 scatter + 2 allgather");
+        // Scatter halves: n/2 then n/4.
+        assert_eq!(steps[0][0].2, 1 << 19);
+        assert_eq!(steps[1][0].2, 1 << 18);
+        // Allgather doubles back: n/4 then n/2.
+        assert_eq!(steps[2][0].2, 1 << 18);
+        assert_eq!(steps[3][0].2, 1 << 19);
+        assert_eq!(reduce, vec![1 << 19, 1 << 18, 0, 0]);
+        // Every step pairs each rank with exactly one partner.
+        for step in &steps {
+            assert_eq!(step.len(), 4);
+            for &(src, dst, _) in step {
+                assert!(step.iter().any(|&(s, d, _)| s == dst && d == src));
+            }
+        }
+
+        // Radix 4 on 4 ranks: one scatter round (3 partners, n/4 each)
+        // and one allgather round.
+        let (steps4, reduce4) = knomial_allreduce_schedule(4, 1 << 20, 4);
+        assert_eq!(steps4.len(), 2);
+        assert_eq!(steps4[0].len(), 12, "4 ranks x 3 partners");
+        assert_eq!(steps4[0][0].2, 1 << 18);
+        assert_eq!(reduce4, vec![3 << 18, 0]);
+    }
+
+    #[test]
+    fn allreduce_prediction_scales_with_n() {
+        let (planner, gpus) = setup();
+        let zero = |_: usize| 0.0;
+        let small = predict_allreduce_knomial(
+            &planner,
+            &gpus,
+            4 << 20,
+            PathSelection::THREE_GPUS,
+            &zero,
+        )
+        .unwrap();
+        let large = predict_allreduce_knomial(
+            &planner,
+            &gpus,
+            64 << 20,
+            PathSelection::THREE_GPUS,
+            &zero,
+        )
+        .unwrap();
+        assert!(large.total > 8.0 * small.total, "{large:?} vs {small:?}");
+        assert_eq!(small.steps, 4);
+    }
+
+    #[test]
+    fn compute_term_reflects_reduce_cost() {
+        let (planner, gpus) = setup();
+        let n = 16 << 20;
+        let free = predict_allreduce_knomial(
+            &planner,
+            &gpus,
+            n,
+            PathSelection::THREE_GPUS,
+            &|_| 0.0,
+        )
+        .unwrap();
+        let slow = predict_allreduce_knomial(
+            &planner,
+            &gpus,
+            n,
+            PathSelection::THREE_GPUS,
+            &|b| b as f64 / 250e9 + 3e-6,
+        )
+        .unwrap();
+        assert_eq!(free.compute, 0.0);
+        assert!(slow.compute > 0.0);
+        assert!((slow.comm - free.comm).abs() < 1e-12, "comm unaffected");
+    }
+
+    #[test]
+    fn multipath_prediction_beats_single_path() {
+        let (planner, gpus) = setup();
+        let n = 64 << 20;
+        let zero = |_: usize| 0.0;
+        let single = predict_allreduce_knomial(
+            &planner,
+            &gpus,
+            n,
+            PathSelection::DIRECT_ONLY,
+            &zero,
+        )
+        .unwrap();
+        let multi =
+            predict_allreduce_knomial(&planner, &gpus, n, PathSelection::THREE_GPUS, &zero)
+                .unwrap();
+        let speedup = single.total / multi.total;
+        assert!(
+            (1.1..2.5).contains(&speedup),
+            "predicted allreduce speedup {speedup}"
+        );
+    }
+
+    #[test]
+    fn bruck_prediction_counts_rounds_and_packs() {
+        let (planner, gpus) = setup();
+        let pred = predict_alltoall_bruck(
+            &planner,
+            &gpus,
+            4 << 20,
+            PathSelection::THREE_GPUS,
+            &|b| b as f64 / 1000e9,
+        )
+        .unwrap();
+        assert_eq!(pred.steps, 2, "log2(4) rounds");
+        assert!(pred.comm > 0.0 && pred.compute > 0.0);
+    }
+
+    #[test]
+    fn allgather_prediction_has_log_steps_and_scales() {
+        let (planner, gpus) = setup();
+        let small =
+            predict_allgather_rd(&planner, &gpus, 1 << 20, PathSelection::THREE_GPUS).unwrap();
+        let large =
+            predict_allgather_rd(&planner, &gpus, 16 << 20, PathSelection::THREE_GPUS).unwrap();
+        assert_eq!(small.steps, 2);
+        assert!(large.total > 8.0 * small.total);
+        assert_eq!(small.compute, 0.0);
+    }
+
+    #[test]
+    fn bcast_prediction_counts_rounds() {
+        let (planner, gpus) = setup();
+        let pred =
+            predict_bcast_binomial(&planner, &gpus, 8 << 20, PathSelection::THREE_GPUS).unwrap();
+        assert_eq!(pred.steps, 2, "log2(4) rounds");
+        // Multi-path should beat single-path here too.
+        let single =
+            predict_bcast_binomial(&planner, &gpus, 8 << 20, PathSelection::DIRECT_ONLY).unwrap();
+        assert!(pred.total < single.total);
+    }
+
+    #[test]
+    fn single_rank_collectives_are_trivial() {
+        let (planner, gpus) = setup();
+        let one = &gpus[..1];
+        let ar = predict_allreduce_knomial(
+            &planner,
+            one,
+            1 << 20,
+            PathSelection::THREE_GPUS,
+            &|_| 0.0,
+        )
+        .unwrap();
+        assert_eq!(ar.total, 0.0);
+    }
+}

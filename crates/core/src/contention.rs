@@ -1,0 +1,257 @@
+//! Contention-aware joint planning for *concurrent* transfers — the
+//! paper's stated future work ("utilizing other performance models as
+//! the basis ... such as MaxRate when considering contention on shared
+//! links in a loaded network", Section 6).
+//!
+//! The per-transfer model (Algorithm 1) assumes its paths are idle. When
+//! several transfers run at once — every collective step does this — a
+//! staged path of one transfer can cross a link that another transfer is
+//! using, and both the share optimization and the prediction degrade.
+//!
+//! [`plan_concurrent`] fixes the point: it iterates between
+//!
+//! 1. computing each transfer's optimal shares with the *current*
+//!    effective bandwidths, and
+//! 2. recomputing every link's expected load from those shares and
+//!    deflating each leg's bandwidth to its fair share
+//!    `β_l / max(1, users_l)`, where a path's "use" of a link is weighted
+//!    by the share it carries,
+//!
+//! which is a fixed-point analogue of the max-min fair allocation the
+//! fabric actually enforces.
+
+use crate::planner::{Planner, TransferPlan};
+use mpx_topo::params::PathParams;
+use mpx_topo::path::TransferPath;
+use mpx_topo::Topology;
+
+/// One member of a concurrently executing communication pattern.
+#[derive(Debug, Clone)]
+pub struct ConcurrentTransfer {
+    /// Candidate paths (direct first, as from `enumerate_paths`).
+    pub paths: Vec<TransferPath>,
+    /// Baseline (uncontended) per-path parameters — datasheet or probed.
+    pub params: Vec<PathParams>,
+    /// Message size in bytes.
+    pub n: usize,
+}
+
+/// Result of a joint planning round.
+#[derive(Debug, Clone)]
+pub struct ConcurrentPlan {
+    /// One plan per transfer, in input order.
+    pub plans: Vec<TransferPlan>,
+    /// Fixed-point iterations executed.
+    pub iterations: usize,
+    /// Maximum share movement in the final iteration (convergence
+    /// indicator; small is converged).
+    pub residual: f64,
+}
+
+/// Jointly plans `transfers` assuming they run concurrently. `max_iter`
+/// bounds the fixed-point loop (4–8 suffices in practice).
+pub fn plan_concurrent(
+    planner: &Planner,
+    topo: &Topology,
+    transfers: &[ConcurrentTransfer],
+    max_iter: usize,
+) -> ConcurrentPlan {
+    assert!(!transfers.is_empty(), "empty communication pattern");
+    let nlinks = topo.link_count();
+
+    // Start from contention-blind plans.
+    let mut plans: Vec<TransferPlan> = transfers
+        .iter()
+        .map(|t| planner.compute_with_params(t.n, &t.paths, t.params.clone()))
+        .collect();
+
+    let mut iterations = 0;
+    let mut residual = f64::INFINITY;
+    for _ in 0..max_iter {
+        iterations += 1;
+        // Expected load per link: sum of share-weighted uses. A path
+        // carrying share θ keeps each link of each of its legs busy for a
+        // θ fraction of the pattern's duration (all transfers are
+        // size-comparable by assumption).
+        let mut load = vec![0.0f64; nlinks];
+        for (t, plan) in transfers.iter().zip(&plans) {
+            for (path, pp) in t.paths.iter().zip(&plan.paths) {
+                if pp.theta <= 1e-6 {
+                    continue;
+                }
+                for leg in &path.legs {
+                    for lid in &leg.route {
+                        load[lid.index()] += pp.theta;
+                    }
+                }
+            }
+        }
+
+        // Deflate each leg's β to its fair share of every link it
+        // crosses, relative to the uncontended baseline.
+        let mut moved = 0.0f64;
+        let mut next = Vec::with_capacity(plans.len());
+        for (t, old_plan) in transfers.iter().zip(&plans) {
+            let adjusted: Vec<PathParams> = t
+                .paths
+                .iter()
+                .zip(&t.params)
+                .zip(&old_plan.paths)
+                .map(|((path, base), pp)| {
+                    let mut p = *base;
+                    for (li, leg) in path.legs.iter().enumerate() {
+                        // This path's own contribution to the load must
+                        // not penalize itself.
+                        let own = pp.theta.min(1.0);
+                        let mut factor: f64 = 1.0;
+                        for lid in &leg.route {
+                            let others = (load[lid.index()] - own).max(0.0);
+                            factor = factor.min(1.0 / (1.0 + others));
+                        }
+                        match li {
+                            0 => p.first.beta = base.first.beta * factor,
+                            _ => {
+                                if let (Some(s), Some(bs)) = (p.second.as_mut(), base.second) {
+                                    s.beta = bs.beta * factor;
+                                }
+                            }
+                        }
+                    }
+                    p
+                })
+                .collect();
+            let plan = planner.compute_with_params(t.n, &t.paths, adjusted);
+            for (a, b) in plan.paths.iter().zip(&old_plan.paths) {
+                moved = moved.max((a.theta - b.theta).abs());
+            }
+            next.push(plan);
+        }
+        plans = next;
+        residual = moved;
+        if residual < 1e-3 {
+            break;
+        }
+    }
+
+    ConcurrentPlan {
+        plans,
+        iterations,
+        residual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpx_topo::params::extract_all;
+    use mpx_topo::path::{enumerate_paths, PathSelection};
+    use mpx_topo::presets;
+    use std::sync::Arc;
+
+    fn transfer(
+        topo: &Topology,
+        src: usize,
+        dst: usize,
+        n: usize,
+        sel: PathSelection,
+    ) -> ConcurrentTransfer {
+        let gpus = topo.gpus();
+        let paths = enumerate_paths(topo, gpus[src], gpus[dst], sel).unwrap();
+        let params = extract_all(topo, &paths).unwrap();
+        ConcurrentTransfer { paths, params, n }
+    }
+
+    #[test]
+    fn single_transfer_reduces_to_algorithm1() {
+        let topo = presets::beluga();
+        let planner = Planner::new(Arc::new(topo.clone()));
+        let t = transfer(&topo, 0, 1, 64 << 20, PathSelection::THREE_GPUS);
+        let joint = plan_concurrent(&planner, &topo, std::slice::from_ref(&t), 8);
+        let solo = planner.compute_with_params(t.n, &t.paths, t.params.clone());
+        for (a, b) in joint.plans[0].paths.iter().zip(&solo.paths) {
+            assert!(
+                (a.theta - b.theta).abs() < 1e-6,
+                "lone transfer must match Algorithm 1"
+            );
+        }
+    }
+
+    #[test]
+    fn crossing_transfers_back_off_shared_staged_paths() {
+        // Pairs 0→1 and 2→3 both want to stage through each other's
+        // endpoints: 0→1 via 2 crosses link 2→1, while 2→3 occupies
+        // 2's outgoing links. Joint planning must shrink the contended
+        // staged shares relative to blind planning.
+        let topo = presets::beluga();
+        let planner = Planner::new(Arc::new(topo.clone()));
+        let n = 128 << 20;
+        let a = transfer(&topo, 0, 1, n, PathSelection::THREE_GPUS);
+        let b = transfer(&topo, 2, 3, n, PathSelection::THREE_GPUS);
+        let blind = planner.compute_with_params(a.n, &a.paths, a.params.clone());
+        let joint = plan_concurrent(&planner, &topo, &[a, b], 8);
+        let blind_staged: f64 = blind.paths[1..].iter().map(|p| p.theta).sum();
+        let joint_staged: f64 = joint.plans[0].paths[1..].iter().map(|p| p.theta).sum();
+        assert!(
+            joint_staged < blind_staged,
+            "contended staged shares should shrink: {joint_staged} vs {blind_staged}"
+        );
+        // And the direct share grows correspondingly.
+        assert!(joint.plans[0].paths[0].theta > blind.paths[0].theta);
+    }
+
+    #[test]
+    fn fixed_point_converges() {
+        let topo = presets::beluga();
+        let planner = Planner::new(Arc::new(topo.clone()));
+        let n = 64 << 20;
+        let pattern: Vec<_> = [(0, 1), (1, 2), (2, 3), (3, 0)]
+            .iter()
+            .map(|&(s, d)| transfer(&topo, s, d, n, PathSelection::THREE_GPUS))
+            .collect();
+        let joint = plan_concurrent(&planner, &topo, &pattern, 16);
+        assert!(
+            joint.residual < 0.05,
+            "ring pattern should converge, residual {}",
+            joint.residual
+        );
+        // Symmetric pattern ⇒ symmetric plans.
+        let t0: Vec<f64> = joint.plans[0].paths.iter().map(|p| p.theta).collect();
+        for plan in &joint.plans[1..] {
+            let t: Vec<f64> = plan.paths.iter().map(|p| p.theta).collect();
+            for (x, y) in t0.iter().zip(&t) {
+                assert!((x - y).abs() < 0.05, "{t0:?} vs {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn predictions_account_for_sharing() {
+        // Under a 4-transfer ring, the blind prediction per transfer is
+        // wildly optimistic; the joint prediction must be lower.
+        let topo = presets::beluga();
+        let planner = Planner::new(Arc::new(topo.clone()));
+        let n = 64 << 20;
+        let pattern: Vec<_> = [(0, 1), (1, 2), (2, 3), (3, 0)]
+            .iter()
+            .map(|&(s, d)| transfer(&topo, s, d, n, PathSelection::THREE_GPUS))
+            .collect();
+        let blind = planner.compute_with_params(
+            pattern[0].n,
+            &pattern[0].paths,
+            pattern[0].params.clone(),
+        );
+        let joint = plan_concurrent(&planner, &topo, &pattern, 8);
+        assert!(
+            joint.plans[0].predicted_bandwidth < blind.predicted_bandwidth,
+            "joint prediction must reflect sharing"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty communication pattern")]
+    fn empty_pattern_panics() {
+        let topo = presets::beluga();
+        let planner = Planner::new(Arc::new(topo.clone()));
+        plan_concurrent(&planner, &topo, &[], 4);
+    }
+}

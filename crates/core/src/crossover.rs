@@ -1,0 +1,139 @@
+//! Crossover analysis: at what message size does multi-path overtake the
+//! direct path?
+//!
+//! For small messages the detours' startup costs (`Δᵢ`) exceed any
+//! bandwidth gain and Algorithm 1 collapses to the direct path (visible
+//! in Fig. 4: staged shares vanish toward 2 MB). The crossover point is
+//! where a second path first earns a positive share: from Eq. (11), path
+//! `i` enters when the equalized time exceeds its fixed cost, i.e. at
+//!
+//! ```text
+//! n_i = (Δᵢ − Δ_d) · β_d        (Δ_d, β_d: the direct path's Δ, 1/Ω)
+//! ```
+//!
+//! because below that size the direct path alone finishes before path
+//! `i` could move its first byte.
+
+use crate::optimizer::{optimal_shares, OmegaDelta};
+
+/// The smallest message size (bytes) at which `path` would receive a
+/// positive share next to `direct` alone. `None` if it never pays off
+/// (`Ω` not better than nothing — with only two paths every finite-Ω
+/// path eventually enters).
+pub fn entry_size(direct: &OmegaDelta, path: &OmegaDelta) -> Option<f64> {
+    if path.delta <= direct.delta {
+        return Some(0.0); // enters immediately
+    }
+    // Path i first helps when T_direct(1.0) > Δᵢ: n/β_d + Δ_d > Δᵢ.
+    let n = (path.delta - direct.delta) / direct.omega;
+    n.is_finite().then_some(n)
+}
+
+/// The smallest size in `[lo, hi]` where the optimizer assigns every
+/// path of `paths` a share above `min_share`, by bisection over the
+/// monotone entry behaviour. Returns `None` if even `hi` doesn't.
+pub fn full_activation_size(
+    paths: &[OmegaDelta],
+    min_share: f64,
+    lo: f64,
+    hi: f64,
+) -> Option<f64> {
+    let all_active = |n: f64| -> bool {
+        optimal_shares(paths, n)
+            .shares
+            .iter()
+            .all(|&s| s >= min_share)
+    };
+    if !all_active(hi) {
+        return None;
+    }
+    if all_active(lo) {
+        return Some(lo);
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    for _ in 0..64 {
+        let mid = (lo * hi).sqrt(); // geometric bisection: sizes span decades
+        if all_active(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpx_topo::params::extract_all;
+    use mpx_topo::path::{enumerate_paths, PathSelection};
+    use mpx_topo::presets;
+    use crate::pipeline::omega_delta_unpipelined;
+
+    fn beluga_laws() -> Vec<OmegaDelta> {
+        let topo = presets::beluga();
+        let gpus = topo.gpus();
+        let paths =
+            enumerate_paths(&topo, gpus[0], gpus[1], PathSelection::THREE_GPUS_WITH_HOST).unwrap();
+        extract_all(&topo, &paths)
+            .unwrap()
+            .iter()
+            .map(omega_delta_unpipelined)
+            .collect()
+    }
+
+    #[test]
+    fn entry_size_zero_for_equal_delta() {
+        let d = OmegaDelta {
+            omega: 1.0 / 48e9,
+            delta: 2e-6,
+        };
+        assert_eq!(entry_size(&d, &d), Some(0.0));
+    }
+
+    #[test]
+    fn entry_size_matches_share_activation() {
+        // Around the predicted entry size, the optimizer's share for the
+        // path flips from zero to positive.
+        let laws = beluga_laws();
+        let host = laws.last().unwrap();
+        let n_entry = entry_size(&laws[0], host).unwrap();
+        assert!(n_entry > 0.0);
+        let below = optimal_shares(&laws, (n_entry * 0.5).max(1.0));
+        let above = optimal_shares(&laws, n_entry * 4.0);
+        assert_eq!(*below.shares.last().unwrap(), 0.0, "below entry: no share");
+        assert!(
+            *above.shares.last().unwrap() > 0.0,
+            "above entry: positive share"
+        );
+    }
+
+    #[test]
+    fn full_activation_in_the_paper_band() {
+        // On Beluga all four paths are active well inside the paper's
+        // 2–512 MB sweep (Fig. 4c shows the host path alive at 2 MB).
+        let laws = beluga_laws();
+        let n = full_activation_size(&laws, 1e-3, 1e3, 1e9).expect("activates");
+        assert!(
+            n < 4e6,
+            "all paths should be active below 4 MB, got {:.1} KB",
+            n / 1e3
+        );
+    }
+
+    #[test]
+    fn tighter_share_floor_needs_larger_messages() {
+        let laws = beluga_laws();
+        let loose = full_activation_size(&laws, 1e-3, 1e3, 1e10).unwrap();
+        let tight = full_activation_size(&laws, 0.05, 1e3, 1e10).unwrap();
+        assert!(tight > loose, "5% floor {tight} vs 0.1% floor {loose}");
+    }
+
+    #[test]
+    fn unreachable_floor_returns_none() {
+        let laws = beluga_laws();
+        // The host path's asymptotic share on Beluga is ~7%; demanding
+        // 30% for every path can never happen.
+        assert!(full_activation_size(&laws, 0.30, 1e3, 1e12).is_none());
+    }
+}

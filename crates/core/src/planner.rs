@@ -1,0 +1,650 @@
+//! Algorithm 1: computing the optimal path configuration for one
+//! transfer, with the configuration cache (paper Section 4).
+//!
+//! Given `(src, dst, message size, candidate paths)` the planner:
+//!
+//! 1. resolves each candidate path's links and Hockney parameters
+//!    (Algorithm 1 lines 7–15, via `mpx-topo`);
+//! 2. derives each path's affine coefficients `Ωᵢ, Δᵢ` — pipelined
+//!    staged paths through the φ-linearization (Eq. 22), direct paths
+//!    exactly — accumulating the sequential-initiation latency of earlier
+//!    paths into `Δᵢ` (line 18);
+//! 3. solves for the optimal shares `θᵢ` (Eq. 24, lines 22–26);
+//! 4. converts shares to aligned byte counts, giving the remainder to the
+//!    direct path (lines 27–29), and picks per-path chunk counts
+//!    (Eqs. 14/15 rounded);
+//! 5. caches the result per `(src, dst, selection, n)`.
+
+use crate::optimizer::{optimal_shares, OmegaDelta};
+use crate::pipeline::{
+    chunk_count, omega_delta_pipelined, omega_delta_unpipelined, time_pipelined,
+    topology_constant,
+};
+use mpx_topo::params::{extract_all, PathParams};
+use mpx_topo::path::{enumerate_paths_auto, PathKind, PathSelection, TransferPath};
+use mpx_topo::units::{Bandwidth, Secs};
+use mpx_topo::{DeviceId, Topology, TopologyError};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Whether staged paths are modeled (and executed) with chunk pipelining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PipelineMode {
+    /// One monolithic copy per leg (Section 3.3's model).
+    Unpipelined,
+    /// Chunked, pipelined staging (Section 3.4's model). The default.
+    Pipelined,
+}
+
+/// Planner tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlannerConfig {
+    /// Pipelining mode for staged paths.
+    pub mode: PipelineMode,
+    /// Upper bound on chunks per path (staging-ring depth of the pipeline
+    /// engine).
+    pub max_chunks: u32,
+    /// Do not split below this chunk size; bounds per-chunk overhead for
+    /// small messages.
+    pub min_chunk_bytes: usize,
+    /// Share byte counts are rounded down to this alignment (element
+    /// size); the remainder goes to the direct path.
+    pub alignment: usize,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            mode: PipelineMode::Pipelined,
+            max_chunks: 32,
+            min_chunk_bytes: 256 << 10,
+            alignment: 4,
+        }
+    }
+}
+
+/// One path's slice of the plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlannedPath {
+    /// Index within the candidate set (0 = direct).
+    pub index: usize,
+    /// Path class.
+    pub kind: PathKind,
+    /// Hockney parameters used (after the sequential-initiation
+    /// correction).
+    pub params: PathParams,
+    /// Optimal fraction `θᵢ` from Eq. (24).
+    pub theta: f64,
+    /// Bytes assigned (aligned; direct path absorbs the remainder).
+    pub share_bytes: usize,
+    /// Chunks to pipeline this share through (1 for direct or excluded
+    /// paths).
+    pub chunks: u32,
+    /// The model's predicted completion time for this path's share.
+    pub predicted_time: Secs,
+}
+
+/// A complete transfer configuration: Algorithm 1's `configs[], shares[]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransferPlan {
+    /// Message size in bytes.
+    pub n: usize,
+    /// Per-path assignments, direct path first.
+    pub paths: Vec<PlannedPath>,
+    /// Predicted end-to-end time: `max_i` of per-path predictions.
+    pub predicted_time: Secs,
+    /// Predicted aggregate bandwidth `n / T`.
+    pub predicted_bandwidth: Bandwidth,
+}
+
+impl TransferPlan {
+    /// Paths that actually carry bytes.
+    pub fn active_paths(&self) -> impl Iterator<Item = &PlannedPath> {
+        self.paths.iter().filter(|p| p.share_bytes > 0)
+    }
+
+    /// Number of paths carrying bytes.
+    pub fn active_path_count(&self) -> usize {
+        self.active_paths().count()
+    }
+
+    /// Predicted aggregate bandwidth when `window` messages of this size
+    /// are in flight at once (the OMB windowed-BW protocol): the fixed
+    /// costs `Δ` are paid once per window instead of once per message, so
+    /// bandwidth approaches the asymptote as the window grows —
+    /// Observation 2's mechanism, model-side.
+    ///
+    /// With all `window` messages sharing the same path set fairly, each
+    /// path's per-byte time scales with the total bytes while its fixed
+    /// cost does not: `T(w) ≈ w·(T − Δ_max) + Δ_max` where `Δ_max` is the
+    /// slowest path's fixed cost at the equalized optimum.
+    pub fn predicted_windowed_bandwidth(&self, window: usize) -> Bandwidth {
+        let w = window.max(1) as f64;
+        // The makespan path's fixed-cost component: T_i = θᵢnΩᵢ + Δᵢ at
+        // the optimum; take the Δ of the path achieving the makespan.
+        let delta_max = self
+            .paths
+            .iter()
+            .filter(|p| p.share_bytes > 0)
+            .max_by(|a, b| {
+                a.predicted_time
+                    .partial_cmp(&b.predicted_time)
+                    .expect("finite")
+            })
+            .map(|p| p.params.delta_unpipelined())
+            .unwrap_or(0.0);
+        let streaming = (self.predicted_time - delta_max).max(0.0);
+        (w * self.n as f64) / (w * streaming + delta_max)
+    }
+
+    /// Renders the plan as an aligned text table (used by the CLI and
+    /// examples).
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "plan for {} bytes ({} active path(s)):",
+            self.n,
+            self.active_path_count()
+        );
+        for p in &self.paths {
+            let _ = writeln!(
+                out,
+                "  {:<22} theta={:<8.4} bytes={:<12} chunks={:<3} t={:.1}us",
+                p.kind.to_string(),
+                p.theta,
+                p.share_bytes,
+                p.chunks,
+                p.predicted_time * 1e6
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  predicted: {:.2} GB/s in {:.1} us",
+            self.predicted_bandwidth / 1e9,
+            self.predicted_time * 1e6
+        );
+        out
+    }
+}
+
+/// Cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlannerStats {
+    /// Plans served from cache.
+    pub hits: u64,
+    /// Plans computed.
+    pub misses: u64,
+}
+
+type CacheKey = (DeviceId, DeviceId, usize, bool, usize);
+
+/// Algorithm 1 with its configuration cache.
+pub struct Planner {
+    topo: Arc<Topology>,
+    cfg: PlannerConfig,
+    cache: Mutex<(HashMap<CacheKey, Arc<TransferPlan>>, PlannerStats)>,
+}
+
+impl Planner {
+    /// Creates a planner over `topo` with default tunables.
+    pub fn new(topo: Arc<Topology>) -> Planner {
+        Planner::with_config(topo, PlannerConfig::default())
+    }
+
+    /// Creates a planner with explicit tunables.
+    pub fn with_config(topo: Arc<Topology>, cfg: PlannerConfig) -> Planner {
+        Planner {
+            topo,
+            cfg,
+            cache: Mutex::new((HashMap::new(), PlannerStats::default())),
+        }
+    }
+
+    /// The topology this planner describes.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// The active tunables.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.cfg
+    }
+
+    /// Cache counters.
+    pub fn stats(&self) -> PlannerStats {
+        self.cache.lock().1
+    }
+
+    /// `populate_path_config` (Algorithm 1): the optimal configuration for
+    /// an `n`-byte transfer `src → dst` over the paths selected by `sel`.
+    pub fn plan(
+        &self,
+        src: DeviceId,
+        dst: DeviceId,
+        n: usize,
+        sel: PathSelection,
+    ) -> Result<Arc<TransferPlan>, TopologyError> {
+        let key = (src, dst, sel.max_gpu_staged, sel.host_staged, n);
+        if let Some(hit) = {
+            let mut c = self.cache.lock();
+            let hit = c.0.get(&key).cloned();
+            if hit.is_some() {
+                c.1.hits += 1;
+            }
+            hit
+        } {
+            return Ok(hit);
+        }
+        let paths = enumerate_paths_auto(&self.topo, src, dst, sel)?;
+        let plan = Arc::new(self.compute(n, &paths)?);
+        let mut c = self.cache.lock();
+        c.1.misses += 1;
+        c.0.insert(key, plan.clone());
+        Ok(plan)
+    }
+
+    /// The uncached Algorithm-1 body, usable with an externally-supplied
+    /// candidate set; parameters are extracted from the topology
+    /// description.
+    pub fn compute(&self, n: usize, paths: &[TransferPath]) -> Result<TransferPlan, TopologyError> {
+        let params = extract_all(&self.topo, paths)?;
+        Ok(self.compute_with_params(n, paths, params))
+    }
+
+    /// The uncached Algorithm-1 body with externally supplied per-path
+    /// Hockney parameters — the hook for runtime-calibrated ("probed")
+    /// parameters, which is how the paper's Dynamic Path Distribution
+    /// obtains them.
+    pub fn compute_with_params(
+        &self,
+        n: usize,
+        paths: &[TransferPath],
+        mut params: Vec<PathParams>,
+    ) -> TransferPlan {
+        assert!(n > 0, "cannot plan a zero-byte transfer");
+        assert_eq!(paths.len(), params.len(), "one parameter set per path");
+
+        // Line 18: sequential initiation — path i's first chunk cannot
+        // launch before the launches of paths 0..i have been issued.
+        let launch = self.topo.overheads.copy_launch;
+        for (i, p) in params.iter_mut().enumerate() {
+            p.first.alpha += launch * i as f64;
+        }
+
+        // Lines 16–21: per-path affine coefficients.
+        let nf = n as f64;
+        let beta_sum: f64 = params.iter().map(|p| p.bottleneck_bandwidth()).sum();
+        let ods: Vec<OmegaDelta> = params
+            .iter()
+            .map(|p| {
+                if !p.is_staged() || self.cfg.mode == PipelineMode::Unpipelined {
+                    omega_delta_unpipelined(p)
+                } else {
+                    // Reference share for φ: bandwidth-proportional.
+                    let theta_ref = (p.bottleneck_bandwidth() / beta_sum).max(1e-6);
+                    let phi = topology_constant(p, theta_ref, nf);
+                    omega_delta_pipelined(p, phi)
+                }
+            })
+            .collect();
+
+        // Lines 22–30 with a quantization-aware exclusion loop: the
+        // optimizer's affine law assumes continuous chunk counts, but the
+        // executed config rounds `k` and enforces the min-chunk-size
+        // floor. A path whose share is so small that it ends up with one
+        // unpipelinable chunk can overshoot the equalized time and
+        // straggle the whole transfer; such paths are dropped (by
+        // inflating their fixed cost — the optimizer's natural exclusion
+        // mechanism) and the shares re-solved.
+        let mut ods = ods;
+        let mut best: Option<TransferPlan> = None;
+        for _round in 0..paths.len() + 1 {
+            // Lines 22–26: optimal shares.
+            let sol = optimal_shares(&ods, nf);
+
+            // Lines 27–29: shares → aligned bytes, remainder to the
+            // first path (the direct one when it exists).
+            let align = self.cfg.alignment.max(1);
+            let mut bytes: Vec<usize> = sol
+                .shares
+                .iter()
+                .map(|&t| ((t * nf) as usize / align) * align)
+                .collect();
+            let assigned: usize = bytes.iter().sum();
+            bytes[0] += n - assigned;
+
+            // Chunk counts and exact (quantized) per-path predictions.
+            let mut planned = Vec::with_capacity(paths.len());
+            let mut worst: Secs = 0.0;
+            for (i, ((path, p), share)) in paths.iter().zip(&params).zip(&bytes).enumerate() {
+                let theta = *share as f64 / nf;
+                let chunks = if *share == 0
+                    || !p.is_staged()
+                    || self.cfg.mode == PipelineMode::Unpipelined
+                {
+                    1
+                } else {
+                    let by_overhead = chunk_count(p, theta, nf, self.cfg.max_chunks);
+                    let by_size = (*share / self.cfg.min_chunk_bytes.max(1)).max(1) as u32;
+                    by_overhead.min(by_size)
+                };
+                let predicted_time = if *share == 0 {
+                    0.0
+                } else if p.is_staged() && self.cfg.mode == PipelineMode::Pipelined {
+                    time_pipelined(p, theta, nf, chunks)
+                } else {
+                    p.time_unpipelined(*share as f64)
+                };
+                worst = worst.max(predicted_time);
+                planned.push(PlannedPath {
+                    index: i,
+                    kind: path.kind,
+                    params: *p,
+                    theta,
+                    share_bytes: *share,
+                    chunks,
+                    predicted_time,
+                });
+            }
+
+            // Straggler check: a non-first active path whose quantized
+            // time overshoots the optimizer's equalized target by more
+            // than 2% poisons the makespan — drop it and re-solve,
+            // keeping the best plan seen so far. At termination either no
+            // path overshoots (so the makespan is within 2% of the
+            // equalized optimum, which never exceeds the direct-only
+            // time) or the best earlier round wins.
+            let candidate = TransferPlan {
+                n,
+                paths: planned,
+                predicted_time: worst,
+                predicted_bandwidth: nf / worst,
+            };
+            let candidate_time = candidate.predicted_time;
+            if best
+                .as_ref()
+                .is_none_or(|b| candidate_time < b.predicted_time)
+            {
+                best = Some(candidate);
+            }
+            let straggler = best
+                .as_ref()
+                .expect("just set")
+                .paths
+                .iter()
+                .skip(1)
+                .filter(|pp| pp.share_bytes > 0 && pp.index < ods.len())
+                .filter(|pp| pp.predicted_time > sol.time * 1.02 + 1e-9)
+                .max_by(|a, b| {
+                    a.predicted_time
+                        .partial_cmp(&b.predicted_time)
+                        .expect("finite times")
+                })
+                .map(|pp| pp.index);
+            // Only re-solve if the straggler came from *this* round's
+            // plan (otherwise we already improved past it).
+            let this_round_straggler = if (candidate_time
+                - best.as_ref().expect("set").predicted_time)
+                .abs()
+                < 1e-18
+            {
+                straggler
+            } else {
+                None
+            };
+            match this_round_straggler {
+                Some(idx) => {
+                    ods[idx] = OmegaDelta {
+                        omega: ods[idx].omega,
+                        delta: nf * ods[idx].omega + sol.time * 1e3,
+                    };
+                }
+                None => break,
+            }
+        }
+        best.expect("at least one round ran")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpx_topo::presets;
+    use mpx_topo::units::MIB;
+
+    fn planner(topo: Topology) -> Planner {
+        Planner::new(Arc::new(topo))
+    }
+
+    fn beluga_plan(n: usize, sel: PathSelection) -> Arc<TransferPlan> {
+        let p = planner(presets::beluga());
+        let gpus = p.topology().gpus();
+        p.plan(gpus[0], gpus[1], n, sel).unwrap()
+    }
+
+    #[test]
+    fn all_bytes_are_assigned() {
+        for n in [4096, 2 * MIB, 64 * MIB + 7, 512 * MIB] {
+            let plan = beluga_plan(n, PathSelection::THREE_GPUS_WITH_HOST);
+            let total: usize = plan.paths.iter().map(|p| p.share_bytes).sum();
+            assert_eq!(total, n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn non_direct_shares_are_aligned() {
+        let plan = beluga_plan(64 * MIB + 3, PathSelection::THREE_GPUS_WITH_HOST);
+        for p in &plan.paths[1..] {
+            assert_eq!(p.share_bytes % 4, 0, "path {} misaligned", p.index);
+        }
+    }
+
+    #[test]
+    fn direct_only_plan_is_trivial() {
+        let plan = beluga_plan(16 * MIB, PathSelection::DIRECT_ONLY);
+        assert_eq!(plan.paths.len(), 1);
+        assert_eq!(plan.paths[0].share_bytes, 16 * MIB);
+        assert_eq!(plan.paths[0].chunks, 1);
+    }
+
+    #[test]
+    fn large_messages_use_all_four_paths() {
+        let plan = beluga_plan(256 * MIB, PathSelection::THREE_GPUS_WITH_HOST);
+        assert_eq!(plan.active_path_count(), 4);
+        // Host path exists but carries the least.
+        let host = plan.paths.last().unwrap();
+        for p in &plan.paths[..3] {
+            assert!(p.share_bytes > host.share_bytes);
+        }
+    }
+
+    #[test]
+    fn small_messages_collapse_to_direct() {
+        let plan = beluga_plan(8 << 10, PathSelection::THREE_GPUS_WITH_HOST);
+        assert_eq!(
+            plan.active_path_count(),
+            1,
+            "8 KiB should ride the direct path only: {:?}",
+            plan.paths
+                .iter()
+                .map(|p| (p.index, p.share_bytes))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(plan.paths[0].share_bytes, 8 << 10);
+    }
+
+    #[test]
+    fn predicted_bandwidth_grows_with_paths() {
+        let n = 256 * MIB;
+        let direct = beluga_plan(n, PathSelection::DIRECT_ONLY);
+        let two = beluga_plan(n, PathSelection::TWO_GPUS);
+        let three = beluga_plan(n, PathSelection::THREE_GPUS);
+        let four = beluga_plan(n, PathSelection::THREE_GPUS_WITH_HOST);
+        assert!(two.predicted_bandwidth > direct.predicted_bandwidth * 1.5);
+        assert!(three.predicted_bandwidth > two.predicted_bandwidth);
+        assert!(four.predicted_bandwidth > three.predicted_bandwidth);
+        // Headline shape: ~3x for 3 GPU paths + host on Beluga.
+        let speedup = four.predicted_bandwidth / direct.predicted_bandwidth;
+        assert!(
+            (2.5..3.6).contains(&speedup),
+            "speedup {speedup} out of the expected band"
+        );
+    }
+
+    #[test]
+    fn staged_paths_get_multiple_chunks_for_large_messages() {
+        let plan = beluga_plan(256 * MIB, PathSelection::THREE_GPUS);
+        for p in &plan.paths[1..] {
+            assert!(p.chunks > 1, "path {} should pipeline, got k=1", p.index);
+        }
+        assert_eq!(plan.paths[0].chunks, 1, "direct path never chunks");
+    }
+
+    #[test]
+    fn chunk_size_floor_respected() {
+        let p = planner(presets::beluga());
+        let gpus = p.topology().gpus();
+        let plan = p
+            .plan(gpus[0], gpus[1], 4 * MIB, PathSelection::THREE_GPUS)
+            .unwrap();
+        for pp in plan.active_paths() {
+            if pp.index > 0 {
+                let chunk = pp.share_bytes / pp.chunks as usize;
+                assert!(
+                    chunk >= p.config().min_chunk_bytes || pp.chunks == 1,
+                    "path {}: chunk {} below floor",
+                    pp.index,
+                    chunk
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_plans() {
+        let p = planner(presets::beluga());
+        let gpus = p.topology().gpus();
+        let a = p
+            .plan(gpus[0], gpus[1], 2 * MIB, PathSelection::TWO_GPUS)
+            .unwrap();
+        let b = p
+            .plan(gpus[0], gpus[1], 2 * MIB, PathSelection::TWO_GPUS)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(p.stats(), PlannerStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn cache_distinguishes_sizes_and_selections() {
+        let p = planner(presets::beluga());
+        let gpus = p.topology().gpus();
+        p.plan(gpus[0], gpus[1], 2 * MIB, PathSelection::TWO_GPUS)
+            .unwrap();
+        p.plan(gpus[0], gpus[1], 4 * MIB, PathSelection::TWO_GPUS)
+            .unwrap();
+        p.plan(gpus[0], gpus[1], 2 * MIB, PathSelection::THREE_GPUS)
+            .unwrap();
+        assert_eq!(p.stats().misses, 3);
+    }
+
+    #[test]
+    fn unpipelined_mode_prediction_is_slower() {
+        let topo = Arc::new(presets::beluga());
+        let gpus = topo.gpus();
+        let piped = Planner::new(topo.clone())
+            .plan(gpus[0], gpus[1], 256 * MIB, PathSelection::THREE_GPUS)
+            .unwrap();
+        let unpiped = Planner::with_config(
+            topo,
+            PlannerConfig {
+                mode: PipelineMode::Unpipelined,
+                ..PlannerConfig::default()
+            },
+        )
+        .plan(gpus[0], gpus[1], 256 * MIB, PathSelection::THREE_GPUS)
+        .unwrap();
+        assert!(piped.predicted_time < unpiped.predicted_time);
+    }
+
+    #[test]
+    fn narval_host_share_smaller_than_beluga_host_share() {
+        // Observation 3: Narval's NUMA layout makes its host path weaker.
+        let host_share = |topo: Topology| {
+            let p = planner(topo);
+            let gpus = p.topology().gpus();
+            let plan = p
+                .plan(gpus[0], gpus[1], 256 * MIB, PathSelection::THREE_GPUS_WITH_HOST)
+                .unwrap();
+            plan.paths.last().unwrap().theta
+        };
+        let beluga = host_share(presets::beluga());
+        let narval = host_share(presets::narval());
+        assert!(
+            narval < beluga,
+            "narval host share {narval} should trail beluga {beluga}"
+        );
+    }
+
+    #[test]
+    fn plan_rejects_non_gpu_endpoints() {
+        let p = planner(presets::beluga());
+        let hm = p.topology().host_memories()[0];
+        let g0 = p.topology().gpus()[0];
+        assert!(p.plan(hm, g0, MIB, PathSelection::DIRECT_ONLY).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-byte")]
+    fn zero_byte_plan_panics() {
+        let p = planner(presets::beluga());
+        let gpus = p.topology().gpus();
+        let _ = p.plan(gpus[0], gpus[1], 0, PathSelection::DIRECT_ONLY);
+    }
+
+    #[test]
+    fn windowed_bandwidth_amortizes_fixed_costs() {
+        let plan = beluga_plan(2 * MIB, PathSelection::THREE_GPUS);
+        let w1 = plan.predicted_windowed_bandwidth(1);
+        let w16 = plan.predicted_windowed_bandwidth(16);
+        assert!((w1 - plan.predicted_bandwidth).abs() < 1e-3 * w1);
+        assert!(w16 > w1, "window must raise small-message bandwidth");
+        // Bounded by the streaming asymptote.
+        let asymptote = plan.n as f64
+            / plan
+                .paths
+                .iter()
+                .filter(|p| p.share_bytes > 0)
+                .map(|p| p.predicted_time - p.params.delta_unpipelined())
+                .fold(0.0f64, f64::max);
+        assert!(w16 <= asymptote * 1.001);
+    }
+
+    #[test]
+    fn windowed_bandwidth_matters_less_for_large_messages() {
+        let small = beluga_plan(2 * MIB, PathSelection::THREE_GPUS);
+        let large = beluga_plan(256 * MIB, PathSelection::THREE_GPUS);
+        let lift = |p: &TransferPlan| {
+            p.predicted_windowed_bandwidth(16) / p.predicted_windowed_bandwidth(1)
+        };
+        assert!(lift(&small) > lift(&large));
+        assert!(lift(&large) < 1.01, "256 MB is latency-insensitive");
+    }
+
+    #[test]
+    fn theta_distribution_shifts_with_message_size() {
+        // Fig. 4's qualitative shape: the direct share shrinks toward its
+        // asymptote as n grows, staged shares grow.
+        let direct_theta = |n: usize| beluga_plan(n, PathSelection::THREE_GPUS).paths[0].theta;
+        let small = direct_theta(2 * MIB);
+        let large = direct_theta(512 * MIB);
+        assert!(
+            small > large,
+            "direct share should shrink: {small} -> {large}"
+        );
+        assert!(large > 0.3, "direct keeps the largest share: {large}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests of the Algorithm-1 planner over randomized
+//! synthetic topologies and message sizes.
+
+use mpx_model::{Planner, PlannerConfig};
+use mpx_topo::overhead::OverheadModel;
+use mpx_topo::presets::{synthetic, SyntheticSpec};
+use mpx_topo::units::gb_per_s;
+use mpx_topo::PathSelection;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_spec() -> impl Strategy<Value = SyntheticSpec> {
+    (
+        2usize..6,           // gpus
+        5.0f64..200.0,       // nvlink GB/s
+        0.0f64..10e-6,       // nvlink latency
+        2.0f64..30.0,        // pcie GB/s
+        0.0f64..10e-6,       // pcie latency
+        10.0f64..100.0,      // dram GB/s
+        proptest::bool::ANY, // overheads on/off
+    )
+        .prop_map(|(gpus, nv, nvl, pc, pcl, dr, oh)| SyntheticSpec {
+            gpus,
+            nvlink_bw: gb_per_s(nv),
+            nvlink_lat: nvl,
+            pcie_bw: gb_per_s(pc),
+            pcie_lat: pcl,
+            dram_bw: gb_per_s(dr),
+            overheads: if oh {
+                OverheadModel::default_cuda()
+            } else {
+                OverheadModel::zero()
+            },
+        })
+}
+
+fn arb_selection() -> impl Strategy<Value = PathSelection> {
+    (0usize..4, proptest::bool::ANY).prop_map(|(g, h)| PathSelection {
+        max_gpu_staged: g,
+        host_staged: h,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn plans_assign_every_byte(
+        spec in arb_spec(),
+        sel in arb_selection(),
+        n in 1usize..(1 << 28),
+    ) {
+        let topo = Arc::new(synthetic(spec));
+        let planner = Planner::new(topo.clone());
+        let gpus = topo.gpus();
+        let plan = planner.plan(gpus[0], gpus[1], n, sel).unwrap();
+        let total: usize = plan.paths.iter().map(|p| p.share_bytes).sum();
+        prop_assert_eq!(total, n);
+        for p in &plan.paths {
+            prop_assert!(p.theta >= 0.0 && p.theta <= 1.0 + 1e-9);
+            prop_assert!(p.chunks >= 1);
+        }
+        prop_assert!(plan.predicted_time > 0.0);
+        prop_assert!(plan.predicted_bandwidth.is_finite());
+    }
+
+    #[test]
+    fn multipath_never_predicted_slower_than_direct(
+        spec in arb_spec(),
+        n in (1usize << 20)..(1 << 28),
+    ) {
+        let topo = Arc::new(synthetic(spec));
+        let planner = Planner::new(topo.clone());
+        let gpus = topo.gpus();
+        let direct = planner
+            .plan(gpus[0], gpus[1], n, PathSelection::DIRECT_ONLY)
+            .unwrap();
+        let multi = planner
+            .plan(gpus[0], gpus[1], n, PathSelection::THREE_GPUS_WITH_HOST)
+            .unwrap();
+        // The planner's quantization-aware exclusion loop guarantees the
+        // makespan stays within its 2% straggler threshold of the
+        // equalized optimum, which never exceeds the direct-only time.
+        prop_assert!(
+            multi.predicted_time <= direct.predicted_time * 1.03,
+            "multi {} > direct {}",
+            multi.predicted_time,
+            direct.predicted_time
+        );
+    }
+
+    #[test]
+    fn predicted_bandwidth_is_monotone_in_message_size(
+        spec in arb_spec(),
+    ) {
+        // Hockney-style laws: effective bandwidth grows with n.
+        let topo = Arc::new(synthetic(spec));
+        let planner = Planner::new(topo.clone());
+        let gpus = topo.gpus();
+        let mut last = 0.0f64;
+        for n in [1 << 20, 1 << 22, 1 << 24, 1 << 26, 1 << 28] {
+            let plan = planner
+                .plan(gpus[0], gpus[1], n, PathSelection::THREE_GPUS)
+                .unwrap();
+            // Integer chunk counts and byte alignment allow small local
+            // wobbles; the trend must still be monotone within 3%.
+            prop_assert!(
+                plan.predicted_bandwidth >= last * 0.97,
+                "bandwidth regressed at n={n}: {} < {last}",
+                plan.predicted_bandwidth
+            );
+            last = plan.predicted_bandwidth;
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_respect_floor(
+        spec in arb_spec(),
+        n in (1usize << 20)..(1 << 28),
+    ) {
+        let topo = Arc::new(synthetic(spec));
+        let cfg = PlannerConfig::default();
+        let planner = Planner::with_config(topo.clone(), cfg);
+        let gpus = topo.gpus();
+        let plan = planner
+            .plan(gpus[0], gpus[1], n, PathSelection::THREE_GPUS)
+            .unwrap();
+        for p in plan.active_paths() {
+            if p.chunks > 1 {
+                prop_assert!(
+                    p.share_bytes / p.chunks as usize >= cfg.min_chunk_bytes,
+                    "path {}: {} bytes in {} chunks below floor",
+                    p.index,
+                    p.share_bytes,
+                    p.chunks
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn active_path_times_equalize(
+        spec in arb_spec(),
+        n in (1usize << 22)..(1 << 28),
+    ) {
+        // Theorem 1 observed through the planner: per-path predicted
+        // times of active paths agree within the linearization slack.
+        let topo = Arc::new(synthetic(spec));
+        let planner = Planner::new(topo.clone());
+        let gpus = topo.gpus();
+        let plan = planner
+            .plan(gpus[0], gpus[1], n, PathSelection::THREE_GPUS)
+            .unwrap();
+        let times: Vec<f64> = plan
+            .active_paths()
+            .map(|p| p.predicted_time)
+            .collect();
+        let max = times.iter().cloned().fold(0.0f64, f64::max);
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        // Integer chunk rounding + φ linearization allow ~15% spread.
+        prop_assert!(
+            max <= min * 1.15 + 20e-6,
+            "active path times spread too far: {times:?}"
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! GPU events: one-shot cross-stream synchronization points.
+//!
+//! The multi-path pipeline's chunk protocol is "copy → **record event** on
+//! the first-leg stream → **wait event** on the second-leg stream → copy"
+//! (paper Section 3.4). We model events as *one-shot*: created unrecorded,
+//! completed exactly once, after which waits pass immediately. (CUDA
+//! events are reusable; the pipeline engine allocates one per sync point,
+//! so the one-shot model is sufficient and simpler to reason about.)
+
+use crate::stream::Stream;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+struct EventState {
+    complete: bool,
+    waiters: Vec<Stream>,
+}
+
+/// A one-shot synchronization point between streams.
+#[derive(Clone)]
+pub struct GpuEvent {
+    name: Arc<String>,
+    state: Arc<Mutex<EventState>>,
+}
+
+impl GpuEvent {
+    /// Creates an unrecorded event.
+    pub fn new(name: impl Into<String>) -> GpuEvent {
+        GpuEvent {
+            name: Arc::new(name.into()),
+            state: Arc::new(Mutex::new(EventState {
+                complete: false,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Debug name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// True once the recorded point has completed.
+    pub fn is_complete(&self) -> bool {
+        self.state.lock().complete
+    }
+
+    /// Marks the event complete and returns the streams parked on it.
+    /// (Called by the stream executor when a `Record` op retires.)
+    pub(crate) fn complete(&self) -> Vec<Stream> {
+        let mut st = self.state.lock();
+        st.complete = true;
+        std::mem::take(&mut st.waiters)
+    }
+
+    /// If already complete returns `true`; otherwise parks `stream` and
+    /// returns `false`. Atomic w.r.t. [`GpuEvent::complete`].
+    pub(crate) fn park_unless_complete(&self, stream: Stream) -> bool {
+        let mut st = self.state.lock();
+        if st.complete {
+            true
+        } else {
+            st.waiters.push(stream);
+            false
+        }
+    }
+}
+
+impl fmt::Debug for GpuEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GpuEvent")
+            .field("name", &self.name)
+            .field("complete", &self.is_complete())
+            .finish()
+    }
+}

@@ -1,0 +1,90 @@
+//! Per-device memory accounting.
+//!
+//! Simulated allocations are cheap, but *bounded staging memory* is a
+//! correctness property of the pipeline engine (its staging ring must
+//! not grow with message size), so the runtime tracks current and peak
+//! bytes per device and tests assert the bound.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Live/peak byte counters for every device of a topology.
+#[derive(Debug)]
+pub struct MemTracker {
+    per_device: Vec<(AtomicU64, AtomicU64)>, // (current, peak)
+}
+
+/// Snapshot of the tracker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Live bytes per device (indexed by `DeviceId`).
+    pub current: Vec<u64>,
+    /// Peak live bytes per device since runtime creation.
+    pub peak: Vec<u64>,
+}
+
+impl MemTracker {
+    /// A tracker for `devices` devices.
+    pub fn new(devices: usize) -> Arc<MemTracker> {
+        Arc::new(MemTracker {
+            per_device: (0..devices)
+                .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+                .collect(),
+        })
+    }
+
+    pub(crate) fn acquire(&self, device: usize, len: u64) {
+        let Some((cur, peak)) = self.per_device.get(device) else {
+            return;
+        };
+        let now = cur.fetch_add(len, Ordering::AcqRel) + len;
+        peak.fetch_max(now, Ordering::AcqRel);
+    }
+
+    pub(crate) fn release(&self, device: usize, len: u64) {
+        if let Some((cur, _)) = self.per_device.get(device) {
+            cur.fetch_sub(len, Ordering::AcqRel);
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> MemoryStats {
+        MemoryStats {
+            current: self
+                .per_device
+                .iter()
+                .map(|(c, _)| c.load(Ordering::Acquire))
+                .collect(),
+            peak: self
+                .per_device
+                .iter()
+                .map(|(_, p)| p.load(Ordering::Acquire))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_current_and_peak() {
+        let t = MemTracker::new(2);
+        t.acquire(0, 100);
+        t.acquire(0, 50);
+        t.acquire(1, 10);
+        t.release(0, 100);
+        let s = t.stats();
+        assert_eq!(s.current, vec![50, 10]);
+        assert_eq!(s.peak, vec![150, 10]);
+    }
+
+    #[test]
+    fn out_of_range_device_ignored() {
+        let t = MemTracker::new(1);
+        t.acquire(5, 100);
+        t.release(5, 100);
+        assert_eq!(t.stats().current, vec![0]);
+    }
+}

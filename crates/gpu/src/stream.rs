@@ -1,0 +1,469 @@
+//! Streams: ordered asynchronous work queues, CUDA-style.
+//!
+//! A stream executes its operations strictly in order. Enqueueing never
+//! blocks; completion is observed via events, wakers, or
+//! [`Stream::synchronize`]. The executor is driven in two ways that must
+//! coexist without deadlock:
+//!
+//! * rank threads enqueue ops and kick the stream (no engine lock held
+//!   while the stream lock is held, and vice versa);
+//! * engine callbacks retire the in-flight op and advance the stream
+//!   (engine lock held, stream lock taken inside — the single permitted
+//!   nesting order).
+//!
+//! The [`Issuer`] abstraction lets both paths share the same `advance`
+//! loop.
+
+use crate::buffer::Buffer;
+use crate::event::GpuEvent;
+use mpx_sim::{Ctx, Engine, FlowSpec, OnComplete, Waker};
+use mpx_topo::units::Secs;
+use mpx_topo::{DeviceId, LinkId};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+/// Either the public (locking) engine API or an in-callback context.
+pub enum Issuer<'a, 'b> {
+    /// Issue through the engine's public API (from a rank thread).
+    Api(&'a Engine),
+    /// Issue through an event-loop context (from a completion callback).
+    Call(&'a mut Ctx<'b>),
+}
+
+impl Issuer<'_, '_> {
+    fn start_flow(&mut self, spec: FlowSpec, done: OnComplete) {
+        match self {
+            Issuer::Api(e) => {
+                e.start_flow(spec, done);
+            }
+            Issuer::Call(ctx) => {
+                ctx.start_flow(spec, done);
+            }
+        }
+    }
+
+    fn schedule_in(&mut self, delay: Secs, done: OnComplete) {
+        match self {
+            Issuer::Api(e) => e.schedule_in(delay, done),
+            Issuer::Call(ctx) => ctx.schedule_in(delay, done),
+        }
+    }
+
+    fn signal(&mut self, w: &Waker) {
+        match self {
+            Issuer::Api(e) => e.signal_waker(w),
+            Issuer::Call(ctx) => ctx.signal(w),
+        }
+    }
+}
+
+/// A kernel's completion effect (e.g. the reduction arithmetic). Runs when
+/// the kernel retires; must not block.
+pub type KernelEffect = Box<dyn FnOnce() + Send>;
+
+enum Op {
+    Copy {
+        src: Buffer,
+        src_off: usize,
+        dst: Buffer,
+        dst_off: usize,
+        len: usize,
+        route: Vec<LinkId>,
+        extra_latency: Secs,
+        label: String,
+    },
+    Record(GpuEvent),
+    WaitEvent(GpuEvent),
+    Kernel {
+        cost: Secs,
+        effect: Option<KernelEffect>,
+        label: String,
+    },
+    Signal(Waker),
+    Callback(mpx_sim::EventFn),
+}
+
+impl fmt::Debug for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Copy { len, label, .. } => write!(f, "Copy({label}, {len}B)"),
+            Op::Record(e) => write!(f, "Record({})", e.name()),
+            Op::WaitEvent(e) => write!(f, "WaitEvent({})", e.name()),
+            Op::Kernel { label, .. } => write!(f, "Kernel({label})"),
+            Op::Signal(w) => write!(f, "Signal({})", w.name()),
+            Op::Callback(_) => write!(f, "Callback"),
+        }
+    }
+}
+
+struct StreamState {
+    queue: VecDeque<Op>,
+    /// An async op (copy/kernel) is in flight.
+    busy: bool,
+    /// Parked on an unrecorded event.
+    parked: bool,
+}
+
+struct StreamInner {
+    name: String,
+    device: DeviceId,
+    engine: Engine,
+    state: Mutex<StreamState>,
+}
+
+/// An ordered asynchronous work queue bound to a device. Cloning shares
+/// the queue.
+#[derive(Clone)]
+pub struct Stream {
+    inner: Arc<StreamInner>,
+}
+
+impl Stream {
+    /// Creates an idle stream on `device`.
+    pub fn new(engine: Engine, device: DeviceId, name: impl Into<String>) -> Stream {
+        Stream {
+            inner: Arc::new(StreamInner {
+                name: name.into(),
+                device,
+                engine,
+                state: Mutex::new(StreamState {
+                    queue: VecDeque::new(),
+                    busy: false,
+                    parked: false,
+                }),
+            }),
+        }
+    }
+
+    /// Stream name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The device this stream executes on.
+    pub fn device(&self) -> DeviceId {
+        self.inner.device
+    }
+
+    /// Number of ops waiting or in flight.
+    pub fn pending_ops(&self) -> usize {
+        let st = self.inner.state.lock();
+        st.queue.len() + usize::from(st.busy)
+    }
+
+    /// Enqueues an asynchronous copy of `len` bytes over `route`,
+    /// from `src[src_off..]` to `dst[dst_off..]`. `extra_latency` models
+    /// the launch overhead; `label` appears in traces.
+    #[allow(clippy::too_many_arguments)]
+    pub fn copy(
+        &self,
+        src: &Buffer,
+        src_off: usize,
+        dst: &Buffer,
+        dst_off: usize,
+        len: usize,
+        route: Vec<LinkId>,
+        extra_latency: Secs,
+        label: impl Into<String>,
+    ) {
+        self.enqueue(Op::Copy {
+            src: src.clone(),
+            src_off,
+            dst: dst.clone(),
+            dst_off,
+            len,
+            route,
+            extra_latency,
+            label: label.into(),
+        });
+    }
+
+    /// Enqueues an event record: the event completes when every earlier op
+    /// on this stream has retired.
+    pub fn record(&self, ev: &GpuEvent) {
+        self.enqueue(Op::Record(ev.clone()));
+    }
+
+    /// Enqueues an event wait: later ops on this stream hold until the
+    /// event completes.
+    pub fn wait_event(&self, ev: &GpuEvent) {
+        self.enqueue(Op::WaitEvent(ev.clone()));
+    }
+
+    /// Enqueues a compute kernel costing `cost` seconds; `effect` runs at
+    /// retirement (e.g. reduction arithmetic on real buffers).
+    pub fn kernel(&self, cost: Secs, effect: Option<KernelEffect>, label: impl Into<String>) {
+        self.enqueue(Op::Kernel {
+            cost,
+            effect,
+            label: label.into(),
+        });
+    }
+
+    /// Enqueues a waker signal: fires when every earlier op has retired.
+    pub fn signal(&self, w: &Waker) {
+        self.enqueue(Op::Signal(w.clone()));
+    }
+
+    /// Enqueues a callback run in the event loop once every earlier op has
+    /// retired. The callback receives the engine context and must not
+    /// block.
+    pub fn callback(&self, f: mpx_sim::EventFn) {
+        self.enqueue(Op::Callback(f));
+    }
+
+    /// Blocks the calling simulated thread until every op enqueued so far
+    /// has retired.
+    pub fn synchronize(&self, thread: &mpx_sim::SimThread) {
+        let w = Waker::new(format!("{}.sync", self.inner.name));
+        self.signal(&w);
+        thread.wait(&w);
+    }
+
+    fn enqueue(&self, op: Op) {
+        self.inner.state.lock().queue.push_back(op);
+        self.advance(&mut Issuer::Api(&self.inner.engine));
+    }
+
+    /// Runs ops until the stream blocks (async op in flight, parked on an
+    /// event, or queue empty). Called from enqueue sites and from
+    /// completion callbacks.
+    pub(crate) fn advance(&self, issuer: &mut Issuer<'_, '_>) {
+        loop {
+            let op = {
+                let mut st = self.inner.state.lock();
+                if st.busy || st.parked {
+                    return;
+                }
+                match st.queue.pop_front() {
+                    None => return,
+                    Some(op) => {
+                        st.busy = true;
+                        op
+                    }
+                }
+            };
+            match op {
+                Op::Copy {
+                    src,
+                    src_off,
+                    dst,
+                    dst_off,
+                    len,
+                    route,
+                    extra_latency,
+                    label,
+                } => {
+                    let this = self.clone();
+                    let spec = FlowSpec::new(route, len)
+                        .with_extra_latency(extra_latency)
+                        .labeled(label);
+                    issuer.start_flow(
+                        spec,
+                        OnComplete::Call(Box::new(move |ctx| {
+                            Buffer::transfer(&src, src_off, &dst, dst_off, len);
+                            this.retire(ctx);
+                        })),
+                    );
+                    return;
+                }
+                Op::Kernel {
+                    cost,
+                    effect,
+                    label: _,
+                } => {
+                    let this = self.clone();
+                    issuer.schedule_in(
+                        cost,
+                        OnComplete::Call(Box::new(move |ctx| {
+                            if let Some(f) = effect {
+                                f();
+                            }
+                            this.retire(ctx);
+                        })),
+                    );
+                    return;
+                }
+                Op::Record(ev) => {
+                    self.inner.state.lock().busy = false;
+                    let parked = ev.complete();
+                    for s in parked {
+                        s.inner.state.lock().parked = false;
+                        s.advance(issuer);
+                    }
+                    continue;
+                }
+                Op::WaitEvent(ev) => {
+                    {
+                        let mut st = self.inner.state.lock();
+                        st.busy = false;
+                        st.parked = true;
+                    }
+                    if ev.park_unless_complete(self.clone()) {
+                        self.inner.state.lock().parked = false;
+                        continue;
+                    }
+                    return;
+                }
+                Op::Signal(w) => {
+                    self.inner.state.lock().busy = false;
+                    issuer.signal(&w);
+                    continue;
+                }
+                Op::Callback(f) => {
+                    self.inner.state.lock().busy = false;
+                    match issuer {
+                        // From a rank thread: defer to the event loop at
+                        // the current virtual time.
+                        Issuer::Api(e) => e.schedule_in(0.0, OnComplete::Call(f)),
+                        Issuer::Call(ctx) => f(ctx),
+                    }
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// Retires the in-flight async op (engine callback context) and
+    /// advances.
+    fn retire(&self, ctx: &mut Ctx<'_>) {
+        self.inner.state.lock().busy = false;
+        self.advance(&mut Issuer::Call(ctx));
+    }
+}
+
+impl fmt::Debug for Stream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.inner.state.lock();
+        f.debug_struct("Stream")
+            .field("name", &self.inner.name)
+            .field("device", &self.inner.device)
+            .field("queued", &st.queue.len())
+            .field("busy", &st.busy)
+            .field("parked", &st.parked)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpx_topo::presets;
+    use parking_lot::Mutex as PlMutex;
+    use std::sync::Arc;
+
+    fn engine() -> Engine {
+        Engine::new(Arc::new(presets::synthetic_default()))
+    }
+
+    fn route(eng: &Engine, a: usize, b: usize) -> Vec<LinkId> {
+        let topo = eng.topology();
+        let gpus = topo.gpus();
+        vec![topo.link_between(gpus[a], gpus[b]).unwrap().id]
+    }
+
+    #[test]
+    fn one_event_releases_many_streams() {
+        let eng = engine();
+        let gpus = eng.topology().gpus();
+        let ev = GpuEvent::new("fan-out");
+        let log = Arc::new(PlMutex::new(Vec::new()));
+        let mut waiters = Vec::new();
+        for i in 0..3 {
+            let s = Stream::new(eng.clone(), gpus[1], format!("w{i}"));
+            s.wait_event(&ev);
+            let log = log.clone();
+            s.callback(Box::new(move |_| log.lock().push(i)));
+            waiters.push(s);
+        }
+        eng.run_until_idle();
+        assert!(log.lock().is_empty(), "no waiter may pass an unrecorded event");
+        let producer = Stream::new(eng.clone(), gpus[0], "producer");
+        let src = Buffer::synthetic(gpus[0], 1 << 20);
+        let dst = Buffer::synthetic(gpus[1], 1 << 20);
+        producer.copy(&src, 0, &dst, 0, 1 << 20, route(&eng, 0, 1), 0.0, "work");
+        producer.record(&ev);
+        eng.run_until_idle();
+        let mut got = log.lock().clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn stream_waits_on_many_events() {
+        // Fan-in: a consumer stream waits on three producers' events.
+        let eng = engine();
+        let gpus = eng.topology().gpus();
+        let consumer = Stream::new(eng.clone(), gpus[3], "consumer");
+        let done = Waker::new("all-done");
+        let mut events = Vec::new();
+        for i in 0..3 {
+            let ev = GpuEvent::new(format!("p{i}"));
+            consumer.wait_event(&ev);
+            events.push(ev);
+        }
+        consumer.signal(&done);
+        // Record the events in reverse order on separate streams.
+        for (i, ev) in events.iter().enumerate().rev() {
+            let s = Stream::new(eng.clone(), gpus[i], format!("prod{i}"));
+            let src = Buffer::synthetic(gpus[i], 1 << 16);
+            let dst = Buffer::synthetic(gpus[3], 1 << 16);
+            s.copy(&src, 0, &dst, 0, 1 << 16, route(&eng, i, 3), 0.0, "w");
+            s.record(ev);
+        }
+        eng.run_until_idle();
+        assert!(done.is_signaled());
+    }
+
+    #[test]
+    fn callbacks_preserve_stream_order() {
+        let eng = engine();
+        let gpus = eng.topology().gpus();
+        let s = Stream::new(eng.clone(), gpus[0], "ordered");
+        let log = Arc::new(PlMutex::new(Vec::new()));
+        for i in 0..4 {
+            let src = Buffer::synthetic(gpus[0], 1 << 12);
+            let dst = Buffer::synthetic(gpus[1], 1 << 12);
+            s.copy(&src, 0, &dst, 0, 1 << 12, route(&eng, 0, 1), 0.0, format!("c{i}"));
+            let log = log.clone();
+            s.callback(Box::new(move |_| log.lock().push(i)));
+        }
+        eng.run_until_idle();
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn kernel_without_effect_still_charges_time() {
+        let eng = engine();
+        let gpus = eng.topology().gpus();
+        let s = Stream::new(eng.clone(), gpus[0], "k");
+        s.kernel(5e-6, None, "noop");
+        eng.run_until_idle();
+        assert!((eng.now().as_secs() - 5e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stream_synchronize_returns_immediately() {
+        let eng = engine();
+        let gpus = eng.topology().gpus();
+        let s = Stream::new(eng.clone(), gpus[0], "idle");
+        let t = eng.register_thread("host");
+        let s2 = s.clone();
+        let h = std::thread::spawn(move || {
+            s2.synchronize(&t);
+            t.now().as_nanos()
+        });
+        assert_eq!(h.join().unwrap(), 0, "nothing queued: no time passes");
+    }
+
+    #[test]
+    fn debug_formats_mention_state() {
+        let eng = engine();
+        let gpus = eng.topology().gpus();
+        let s = Stream::new(eng.clone(), gpus[0], "dbg");
+        let text = format!("{s:?}");
+        assert!(text.contains("dbg") && text.contains("queued"));
+    }
+}

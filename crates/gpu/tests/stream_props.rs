@@ -1,0 +1,93 @@
+//! Property-based tests of stream ordering: arbitrary interleavings of
+//! copies, kernels, events and callbacks must retire strictly in FIFO
+//! order per stream, and cross-stream event edges must never be
+//! reordered.
+
+use mpx_gpu::{Buffer, GpuRuntime};
+use mpx_sim::Engine;
+use mpx_topo::presets;
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum OpKind {
+    Copy { kib: usize },
+    Kernel { micros: u16 },
+    Marker,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<OpKind>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1usize..256).prop_map(|kib| OpKind::Copy { kib }),
+            (1u16..50).prop_map(|micros| OpKind::Kernel { micros }),
+            Just(OpKind::Marker),
+        ],
+        1..24,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn single_stream_retires_in_order(ops in arb_ops()) {
+        let topo = Arc::new(presets::synthetic_default());
+        let rt = GpuRuntime::new(Engine::new(topo.clone()));
+        let gpus = topo.gpus();
+        let s = rt.stream(gpus[0]);
+        let route = rt.direct_route(gpus[0], gpus[1]).unwrap();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                OpKind::Copy { kib } => {
+                    let src = Buffer::synthetic(gpus[0], kib << 10);
+                    let dst = Buffer::synthetic(gpus[1], kib << 10);
+                    s.copy(&src, 0, &dst, 0, kib << 10, route.clone(), 0.0, format!("c{i}"));
+                }
+                OpKind::Kernel { micros } => {
+                    s.kernel(*micros as f64 * 1e-6, None, format!("k{i}"));
+                }
+                OpKind::Marker => {}
+            }
+            let log = log.clone();
+            s.callback(Box::new(move |_| log.lock().push(i)));
+        }
+        rt.engine().run_until_idle();
+        let got = log.lock().clone();
+        let want: Vec<usize> = (0..ops.len()).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn event_chains_serialize_across_streams(hops in 2usize..4, kib in 1usize..512) {
+        // A relay: stream k waits on stream k-1's event, copies, records
+        // its own. Completion order must follow the chain regardless of
+        // sizes.
+        let topo = Arc::new(presets::synthetic_default());
+        let rt = GpuRuntime::new(Engine::new(topo.clone()));
+        let gpus = topo.gpus();
+        let route = rt.direct_route(gpus[0], gpus[1]).unwrap();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut prev_event: Option<mpx_gpu::GpuEvent> = None;
+        for k in 0..hops {
+            let s = rt.stream(gpus[k % gpus.len()]);
+            if let Some(ev) = &prev_event {
+                s.wait_event(ev);
+            }
+            let src = Buffer::synthetic(gpus[0], kib << 10);
+            let dst = Buffer::synthetic(gpus[1], kib << 10);
+            s.copy(&src, 0, &dst, 0, kib << 10, route.clone(), 0.0, format!("hop{k}"));
+            let log = log.clone();
+            s.callback(Box::new(move |_| log.lock().push(k)));
+            let ev = rt.event(format!("e{k}"));
+            s.record(&ev);
+            prev_event = Some(ev);
+        }
+        rt.engine().run_until_idle();
+        let got = log.lock().clone();
+        let want: Vec<usize> = (0..hops).collect();
+        prop_assert_eq!(got, want);
+    }
+}

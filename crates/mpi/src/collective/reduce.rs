@@ -1,0 +1,189 @@
+//! Rooted reduction (MPI_Reduce, binomial tree) and reduce-scatter
+//! (MPI_Reduce_scatter_block, ring) — the remaining reduction-family
+//! collectives.
+
+use crate::world::Rank;
+use mpx_gpu::{Buffer, ReduceOp};
+
+const TAG: u64 = 1 << 58;
+
+/// Binomial-tree reduce of `buf[..n]` toward `root`. On exit `root`'s
+/// buffer holds the element-wise reduction of every rank's input; other
+/// ranks' buffers hold partial sums (as in MPI, their contents are
+/// unspecified).
+pub fn reduce_binomial(r: &Rank, buf: &Buffer, n: usize, op: ReduceOp, root: usize) {
+    let p = r.size;
+    if p == 1 {
+        return;
+    }
+    assert!(root < p, "root {root} out of range");
+    let vrank = (r.rank + p - root) % p;
+    let tmp = r.scratch(n, !buf.is_synthetic(), 0);
+    // Children send up the tree; parents absorb with a reduction kernel.
+    let mut mask = 1usize;
+    while mask < p {
+        if vrank & mask != 0 {
+            let parent = ((vrank & !mask) + root) % p;
+            r.send(buf, n, parent, TAG + mask as u64);
+            return;
+        }
+        let child_v = vrank | mask;
+        if child_v < p {
+            let child = (child_v + root) % p;
+            r.recv(&tmp, n, Some(child), Some(TAG + mask as u64));
+            r.reduce_local(op, &tmp, 0, buf, 0, n);
+        }
+        mask <<= 1;
+    }
+}
+
+/// Ring reduce-scatter: every rank contributes `size` blocks of `block`
+/// bytes in `buf`; on exit rank `i` owns the fully reduced block `i`
+/// (at offset `i·block`), matching MPI_Reduce_scatter_block semantics.
+pub fn reduce_scatter_ring(r: &Rank, buf: &Buffer, block: usize, op: ReduceOp) {
+    let p = r.size;
+    if p == 1 {
+        return;
+    }
+    assert!(buf.len() >= p * block, "buffer smaller than size*block");
+    assert_eq!(block % 4, 0, "f32 blocks need 4-byte alignment");
+    let tmp = r.scratch(block, !buf.is_synthetic(), 0);
+    let right = (r.rank + 1) % p;
+    let left = (r.rank + p - 1) % p;
+    // Standard ring: after p−1 steps rank owns block (rank+1) mod p…
+    for s in 0..p - 1 {
+        let send_block = (r.rank + p - s) % p;
+        let recv_block = (r.rank + p - s - 1) % p;
+        r.sendrecv(
+            buf,
+            send_block * block,
+            block,
+            right,
+            &tmp,
+            0,
+            block,
+            left,
+            TAG + (1 << 12) + s as u64,
+        );
+        r.reduce_local(op, &tmp, 0, buf, recv_block * block, block);
+    }
+    // …then one rotation step moves it home: block (rank+1) belongs to
+    // the right neighbour, and my own block arrives from the left.
+    let owned = (r.rank + 1) % p;
+    r.sendrecv(
+        buf,
+        owned * block,
+        block,
+        right,
+        buf,
+        r.rank * block,
+        block,
+        left,
+        TAG + (1 << 13),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+    use mpx_gpu::reduce::{bytes_f32, f32_bytes};
+    use mpx_topo::presets;
+    use mpx_ucx::UcxConfig;
+    use std::sync::Arc;
+
+    fn world() -> World {
+        World::new(Arc::new(presets::beluga()), UcxConfig::default())
+    }
+
+    #[test]
+    fn reduce_collects_sum_at_root() {
+        for root in 0..4 {
+            let w = world();
+            let out = w.run(4, move |r| {
+                let vals = vec![(r.rank + 1) as f32; 64];
+                let buf = r.alloc_bytes(f32_bytes(&vals));
+                reduce_binomial(&r, &buf, 256, ReduceOp::Sum, root);
+                (r.rank, bytes_f32(&buf.to_vec().unwrap()))
+            });
+            let (_, root_vals) = out.iter().find(|(rk, _)| *rk == root).unwrap();
+            assert!(
+                root_vals.iter().all(|&v| v == 10.0),
+                "root {root}: {:?}",
+                &root_vals[..4]
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_three_ranks() {
+        let w = world();
+        let out = w.run(3, |r| {
+            let buf = r.alloc_bytes(f32_bytes(&[r.rank as f32 + 1.0; 8]));
+            reduce_binomial(&r, &buf, 32, ReduceOp::Sum, 0);
+            bytes_f32(&buf.to_vec().unwrap())
+        });
+        assert!(out[0].iter().all(|&v| v == 6.0), "{:?}", out[0]);
+    }
+
+    #[test]
+    fn reduce_max_at_root() {
+        let w = world();
+        let out = w.run(4, |r| {
+            let buf = r.alloc_bytes(f32_bytes(&[r.rank as f32, -(r.rank as f32)]));
+            reduce_binomial(&r, &buf, 8, ReduceOp::Max, 0);
+            bytes_f32(&buf.to_vec().unwrap())
+        });
+        assert_eq!(out[0], vec![3.0, 0.0]);
+    }
+
+    #[test]
+    fn reduce_scatter_owns_correct_blocks() {
+        let w = world();
+        let block = 1 << 10;
+        let out = w.run(4, move |r| {
+            // Block j holds the value (rank+1)·(j+1) in every element.
+            let data: Vec<f32> = (0..4)
+                .flat_map(|j| vec![(r.rank + 1) as f32 * (j + 1) as f32; block / 4])
+                .collect();
+            let buf = r.alloc_bytes(f32_bytes(&data));
+            reduce_scatter_ring(&r, &buf, block, ReduceOp::Sum);
+            let mine = bytes_f32(&buf.read(r.rank * block, block).unwrap());
+            (r.rank, mine)
+        });
+        // Sum over ranks of (rank+1)·(j+1) = 10·(j+1) for block j.
+        for (rank, mine) in &out {
+            let want = 10.0 * (*rank as f32 + 1.0);
+            assert!(
+                mine.iter().all(|&v| v == want),
+                "rank {rank}: got {:?} want {want}",
+                &mine[..2]
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_matches_allreduce_prefix() {
+        // reduce_scatter of blocks == the corresponding slice of a full
+        // allreduce.
+        let block = 512usize;
+        let w1 = world();
+        let rs = w1.run(4, move |r| {
+            let vals: Vec<f32> = (0..block).map(|i| (r.rank * block + i) as f32).collect();
+            let buf = r.alloc_bytes(f32_bytes(&vals));
+            reduce_scatter_ring(&r, &buf, block, ReduceOp::Sum);
+            bytes_f32(&buf.read(r.rank * block, block).unwrap())
+        });
+        let w2 = world();
+        let ar = w2.run(4, move |r| {
+            let vals: Vec<f32> = (0..block).map(|i| (r.rank * block + i) as f32).collect();
+            let buf = r.alloc_bytes(f32_bytes(&vals));
+            crate::collective::allreduce_rabenseifner(&r, &buf, block * 4, ReduceOp::Sum);
+            bytes_f32(&buf.to_vec().unwrap())
+        });
+        for rank in 0..4 {
+            let slice = &ar[rank][rank * block / 4..(rank + 1) * block / 4];
+            assert_eq!(&rs[rank][..], slice, "rank {rank}");
+        }
+    }
+}

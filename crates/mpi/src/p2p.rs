@@ -1,0 +1,221 @@
+//! Point-to-point messaging: non-blocking requests and tag matching.
+//!
+//! The matching engine implements MPI semantics: a receive posted at rank
+//! `d` matches the oldest send targeting `d` whose source and tag satisfy
+//! the receive's (possibly wildcard) source/tag. Whichever side arrives
+//! second triggers the actual data movement through the UCX context's
+//! multi-path PUT; both requests complete when the whole message has
+//! landed (one-sided cuda_ipc style, paper Section 2.1).
+
+use mpx_gpu::Buffer;
+use mpx_sim::{SimThread, Waker};
+use mpx_ucx::UcxContext;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::{Arc, OnceLock};
+
+/// Wildcard source for receives (MPI_ANY_SOURCE).
+pub const ANY_SOURCE: Option<usize> = None;
+/// Wildcard tag for receives (MPI_ANY_TAG).
+pub const ANY_TAG: Option<u64> = None;
+
+/// The tag space reserved for library internals. Application tags
+/// should stay **below** this bound; bits 44 and above are used by the
+/// collectives (bits 50–60), sub-communicator salts (bits 44+), and
+/// internal barriers (bit 60). Matching is exact, so a collision would
+/// only occur if an application deliberately crafted tags in this
+/// range.
+pub const MAX_APP_TAG: u64 = 1 << 44;
+
+/// A non-blocking communication request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    done: Waker,
+    status: Arc<OnceLock<MessageStatus>>,
+}
+
+/// What a completed receive matched (MPI_Status).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageStatus {
+    /// The sending rank.
+    pub source: usize,
+    /// The matched tag.
+    pub tag: u64,
+    /// Bytes transferred.
+    pub len: usize,
+}
+
+impl Request {
+    pub(crate) fn new(name: String) -> Request {
+        Request {
+            done: Waker::new(name),
+            status: Arc::new(OnceLock::new()),
+        }
+    }
+
+    pub(crate) fn waker(&self) -> &Waker {
+        &self.done
+    }
+
+    pub(crate) fn status_cell(&self) -> Arc<OnceLock<MessageStatus>> {
+        self.status.clone()
+    }
+
+    /// Blocks the simulated thread until the request completes.
+    pub fn wait(&self, thread: &SimThread) {
+        thread.wait(&self.done);
+    }
+
+    /// Blocks until completion and returns the matched status
+    /// (meaningful for receives — this is `MPI_Wait` with a status).
+    pub fn wait_status(&self, thread: &SimThread) -> MessageStatus {
+        self.wait(thread);
+        *self
+            .status
+            .get()
+            .expect("completed request has a recorded status")
+    }
+
+    /// The matched status, if the request has been matched yet.
+    pub fn status(&self) -> Option<MessageStatus> {
+        self.status.get().copied()
+    }
+
+    /// Non-consuming completion check (MPI_Test-like; callback drivers).
+    pub fn is_complete(&self) -> bool {
+        self.done.is_signaled()
+    }
+}
+
+/// Waits for every request (MPI_Waitall).
+pub fn waitall(thread: &SimThread, requests: &[Request]) {
+    for r in requests {
+        r.wait(thread);
+    }
+}
+
+pub(crate) struct PostedSend {
+    pub from: usize,
+    pub to: usize,
+    pub tag: u64,
+    pub buf: Buffer,
+    pub off: usize,
+    pub n: usize,
+    pub done: Waker,
+    pub status: Arc<OnceLock<MessageStatus>>,
+}
+
+pub(crate) struct PostedRecv {
+    pub at: usize,
+    pub src: Option<usize>,
+    pub tag: Option<u64>,
+    pub buf: Buffer,
+    pub off: usize,
+    pub n: usize,
+    pub done: Waker,
+    pub status: Arc<OnceLock<MessageStatus>>,
+}
+
+impl PostedRecv {
+    fn matches(&self, s: &PostedSend) -> bool {
+        self.at == s.to
+            && self.src.is_none_or(|src| src == s.from)
+            && self.tag.is_none_or(|tag| tag == s.tag)
+    }
+}
+
+/// Shared matching state for one communicator.
+pub(crate) struct Matching {
+    state: Mutex<MatchState>,
+}
+
+#[derive(Default)]
+struct MatchState {
+    sends: VecDeque<PostedSend>,
+    recvs: VecDeque<PostedRecv>,
+}
+
+impl Matching {
+    pub fn new() -> Matching {
+        Matching {
+            state: Mutex::new(MatchState::default()),
+        }
+    }
+
+    /// Number of unmatched entries (diagnostics / leak tests).
+    pub fn pending(&self) -> (usize, usize) {
+        let st = self.state.lock();
+        (st.sends.len(), st.recvs.len())
+    }
+
+    pub fn post_send(&self, ctx: &UcxContext, send: PostedSend) {
+        let matched = {
+            let mut st = self.state.lock();
+            match st.recvs.iter().position(|r| r.matches(&send)) {
+                Some(i) => Some(st.recvs.remove(i).expect("index valid")),
+                None => {
+                    st.sends.push_back(send);
+                    return;
+                }
+            }
+        };
+        // Lock released: start the transfer outside the matching lock.
+        let recv = matched.expect("checked above");
+        start_transfer(ctx, &send, &recv);
+    }
+
+    pub fn post_recv(&self, ctx: &UcxContext, recv: PostedRecv) {
+        let matched = {
+            let mut st = self.state.lock();
+            match st.sends.iter().position(|s| recv.matches(s)) {
+                Some(i) => Some(st.sends.remove(i).expect("index valid")),
+                None => {
+                    st.recvs.push_back(recv);
+                    return;
+                }
+            }
+        };
+        let send = matched.expect("checked above");
+        start_transfer(ctx, &send, &recv);
+    }
+}
+
+fn start_transfer(ctx: &UcxContext, send: &PostedSend, recv: &PostedRecv) {
+    let status = MessageStatus {
+        source: send.from,
+        tag: send.tag,
+        len: send.n,
+    };
+    let _ = send.status.set(status);
+    let _ = recv.status.set(status);
+    assert!(
+        recv.n >= send.n,
+        "receive buffer ({} bytes) smaller than message ({} bytes) \
+         [send {}→{} tag {}]",
+        recv.n,
+        send.n,
+        send.from,
+        send.to,
+        send.tag
+    );
+    let notify = [send.done.clone(), recv.done.clone()];
+    if send.n == 0 {
+        // Zero-byte messages synchronize without moving data; charge one
+        // rendezvous.
+        let rendezvous = ctx.runtime().engine().topology().overheads.rendezvous;
+        for w in &notify {
+            let w = w.clone();
+            ctx.runtime()
+                .engine()
+                .schedule_in(rendezvous, mpx_sim::OnComplete::Signal(w));
+        }
+        return;
+    }
+    ctx.put_async_at(&send.buf, send.off, &recv.buf, recv.off, send.n, &notify)
+        .unwrap_or_else(|e| {
+            panic!(
+                "transfer {}→{} tag {} failed: {e}",
+                send.from, send.to, send.tag
+            )
+        });
+}

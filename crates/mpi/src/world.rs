@@ -1,0 +1,573 @@
+//! The communicator: thread-per-rank execution over the simulated node.
+//!
+//! [`World::run`] registers every rank with the virtual clock *before*
+//! spawning any of them (the quorum rule of `mpx-sim`), runs the closure
+//! on one OS thread per rank, and joins. Each rank owns one GPU, in id
+//! order — the standard one-process-per-GPU MPI launch.
+
+use crate::p2p::{Matching, PostedRecv, PostedSend, Request};
+use mpx_gpu::{Buffer, GpuRuntime, ReduceOp};
+use mpx_sim::{Engine, SimThread, SimTime};
+use mpx_topo::units::Secs;
+use mpx_topo::{DeviceId, Topology};
+use mpx_ucx::{UcxConfig, UcxContext};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A simulated MPI world over one multi-GPU node.
+pub struct World {
+    ctx: UcxContext,
+    matching: Arc<Matching>,
+}
+
+impl World {
+    /// Builds a world over `topo` with the given transport configuration.
+    pub fn new(topo: Arc<Topology>, cfg: UcxConfig) -> World {
+        let rt = GpuRuntime::new(Engine::new(topo));
+        World::over(rt, cfg)
+    }
+
+    /// Builds a world over an existing runtime (sharing its virtual
+    /// clock and counters).
+    pub fn over(rt: GpuRuntime, cfg: UcxConfig) -> World {
+        World {
+            ctx: UcxContext::new(rt, cfg),
+            matching: Arc::new(Matching::new()),
+        }
+    }
+
+    /// The transport context.
+    pub fn context(&self) -> &UcxContext {
+        &self.ctx
+    }
+
+    /// The simulation engine.
+    pub fn engine(&self) -> &Engine {
+        self.ctx.runtime().engine()
+    }
+
+    /// Unmatched (sends, recvs) — nonzero after a run indicates a leak.
+    pub fn pending_messages(&self) -> (usize, usize) {
+        self.matching.pending()
+    }
+
+    /// Runs `f` on `nranks` rank threads; returns their results in rank
+    /// order. Rank `i` owns GPU `i`.
+    ///
+    /// # Panics
+    /// Panics if `nranks` exceeds the GPU count, or if a rank panics
+    /// (e.g. a simulated deadlock).
+    pub fn run<R, F>(&self, nranks: usize, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(Rank) -> R + Send + Sync + 'static,
+    {
+        let gpus = self.engine().topology().gpus();
+        assert!(
+            nranks <= gpus.len(),
+            "{nranks} ranks but only {} GPUs",
+            gpus.len()
+        );
+        // Register every rank before any thread starts (quorum rule).
+        let ranks: Vec<Rank> = (0..nranks)
+            .map(|i| Rank {
+                rank: i,
+                size: nranks,
+                device: gpus[i],
+                thread: self.engine().register_thread(format!("rank{i}")),
+                ctx: self.ctx.clone(),
+                matching: self.matching.clone(),
+                scratch: Mutex::new(HashMap::new()),
+            })
+            .collect();
+        let f = Arc::new(f);
+        let handles: Vec<_> = ranks
+            .into_iter()
+            .map(|r| {
+                let f = f.clone();
+                std::thread::Builder::new()
+                    .name(format!("mpx-rank{}", r.rank))
+                    .spawn(move || f(r))
+                    .expect("spawn rank thread")
+            })
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(i, h)| h.join().unwrap_or_else(|_| panic!("rank {i} panicked")))
+            .collect()
+    }
+}
+
+/// A rank's handle: its identity, its GPU, and the blocking communication
+/// API. Lives on the rank's own OS thread.
+pub struct Rank {
+    /// This rank's index.
+    pub rank: usize,
+    /// World size.
+    pub size: usize,
+    /// The GPU this rank owns.
+    pub device: DeviceId,
+    thread: SimThread,
+    ctx: UcxContext,
+    matching: Arc<Matching>,
+    scratch: Mutex<HashMap<(usize, bool, usize), Buffer>>,
+}
+
+impl Rank {
+    /// The simulated-thread handle (for waiting on custom wakers).
+    pub fn thread(&self) -> &SimThread {
+        &self.thread
+    }
+
+    /// The transport context.
+    pub fn context(&self) -> &UcxContext {
+        &self.ctx
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.thread.now()
+    }
+
+    /// Allocates a synthetic buffer on this rank's GPU.
+    pub fn alloc(&self, n: usize) -> Buffer {
+        self.ctx.runtime().alloc(self.device, n)
+    }
+
+    /// Allocates a real buffer holding `data` on this rank's GPU.
+    pub fn alloc_bytes(&self, data: Vec<u8>) -> Buffer {
+        self.ctx.runtime().alloc_bytes(self.device, data)
+    }
+
+    /// Allocates a zero-filled real buffer on this rank's GPU.
+    pub fn alloc_zeroed(&self, n: usize) -> Buffer {
+        self.ctx.runtime().alloc_zeroed(self.device, n)
+    }
+
+    /// A reusable scratch buffer of `n` bytes (real iff `real`), cached
+    /// per rank like a registered temporary pool — repeated collective
+    /// calls reuse it, so its IPC handle stays warm instead of paying
+    /// the open cost on every invocation. `slot` distinguishes buffers
+    /// that must coexist (e.g. a pack and an unpack staging area of the
+    /// same size).
+    pub fn scratch(&self, n: usize, real: bool, slot: usize) -> Buffer {
+        self.scratch
+            .lock()
+            .entry((n, real, slot))
+            .or_insert_with(|| {
+                if real {
+                    self.alloc_zeroed(n)
+                } else {
+                    self.alloc(n)
+                }
+            })
+            .clone()
+    }
+
+    // --- point-to-point ---------------------------------------------------
+
+    /// Non-blocking send of `buf[off..off+n]` to `to` with `tag`.
+    pub fn isend_at(&self, buf: &Buffer, off: usize, n: usize, to: usize, tag: u64) -> Request {
+        assert!(to < self.size, "send to rank {to} of {}", self.size);
+        let req = Request::new(format!("send r{}->r{to} t{tag}", self.rank));
+        self.matching.post_send(
+            &self.ctx,
+            PostedSend {
+                from: self.rank,
+                to,
+                tag,
+                buf: buf.clone(),
+                off,
+                n,
+                done: req.waker().clone(),
+                status: req.status_cell(),
+            },
+        );
+        req
+    }
+
+    /// Non-blocking whole-buffer-prefix send.
+    pub fn isend(&self, buf: &Buffer, n: usize, to: usize, tag: u64) -> Request {
+        self.isend_at(buf, 0, n, to, tag)
+    }
+
+    /// Non-blocking receive into `buf[off..off+n]`. `from`/`tag` may be
+    /// wildcards ([`crate::p2p::ANY_SOURCE`], [`crate::p2p::ANY_TAG`]).
+    pub fn irecv_at(
+        &self,
+        buf: &Buffer,
+        off: usize,
+        n: usize,
+        from: Option<usize>,
+        tag: Option<u64>,
+    ) -> Request {
+        let req = Request::new(format!("recv r{}<-{from:?} t{tag:?}", self.rank));
+        self.matching.post_recv(
+            &self.ctx,
+            PostedRecv {
+                at: self.rank,
+                src: from,
+                tag,
+                buf: buf.clone(),
+                off,
+                n,
+                done: req.waker().clone(),
+                status: req.status_cell(),
+            },
+        );
+        req
+    }
+
+    /// Non-blocking whole-buffer-prefix receive.
+    pub fn irecv(&self, buf: &Buffer, n: usize, from: Option<usize>, tag: Option<u64>) -> Request {
+        self.irecv_at(buf, 0, n, from, tag)
+    }
+
+    /// Blocking send.
+    pub fn send(&self, buf: &Buffer, n: usize, to: usize, tag: u64) {
+        self.isend(buf, n, to, tag).wait(&self.thread);
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self, buf: &Buffer, n: usize, from: Option<usize>, tag: Option<u64>) {
+        self.irecv(buf, n, from, tag).wait(&self.thread);
+    }
+
+    /// Deadlock-free combined send+receive (MPI_Sendrecv).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sendrecv(
+        &self,
+        sbuf: &Buffer,
+        soff: usize,
+        sn: usize,
+        to: usize,
+        rbuf: &Buffer,
+        roff: usize,
+        rn: usize,
+        from: usize,
+        tag: u64,
+    ) {
+        let r = self.irecv_at(rbuf, roff, rn, Some(from), Some(tag));
+        let s = self.isend_at(sbuf, soff, sn, to, tag);
+        r.wait(&self.thread);
+        s.wait(&self.thread);
+    }
+
+    /// Dissemination barrier (zero-byte message rounds).
+    pub fn barrier(&self) {
+        const BARRIER_TAG_BASE: u64 = 1 << 60;
+        let dummy = self.alloc(0);
+        let mut k = 1usize;
+        let mut round = 0u64;
+        while k < self.size {
+            let to = (self.rank + k) % self.size;
+            let from = (self.rank + self.size - k) % self.size;
+            let tag = BARRIER_TAG_BASE + round;
+            let r = self.irecv(&dummy, 0, Some(from), Some(tag));
+            let s = self.isend(&dummy, 0, to, tag);
+            r.wait(&self.thread);
+            s.wait(&self.thread);
+            k <<= 1;
+            round += 1;
+        }
+    }
+
+    /// Runs a reduction kernel `dst[doff..doff+n] op= src[soff..]` on this
+    /// rank's GPU, charging the kernel cost model, and waits for it.
+    pub fn reduce_local(
+        &self,
+        op: ReduceOp,
+        src: &Buffer,
+        soff: usize,
+        dst: &Buffer,
+        doff: usize,
+        n: usize,
+    ) {
+        let cost = self.ctx.runtime().kernel_cost().cost(n);
+        let s = self.ctx.runtime().stream(self.device);
+        let (src, dst) = (src.clone(), dst.clone());
+        s.kernel(
+            cost,
+            Some(Box::new(move || {
+                mpx_gpu::reduce::apply(op, &src, soff, &dst, doff, n);
+            })),
+            format!("reduce r{}", self.rank),
+        );
+        s.synchronize(&self.thread);
+    }
+
+    /// Runs a local device-to-device pack/copy (e.g. Bruck rotations),
+    /// charging kernel cost for the bytes touched, and waits for it.
+    pub fn local_copy(&self, src: &Buffer, soff: usize, dst: &Buffer, doff: usize, n: usize) {
+        let cost = self.ctx.runtime().kernel_cost().cost_copy(n);
+        let s = self.ctx.runtime().stream(self.device);
+        let (src, dst) = (src.clone(), dst.clone());
+        s.kernel(
+            cost,
+            Some(Box::new(move || {
+                Buffer::transfer(&src, soff, &dst, doff, n);
+            })),
+            format!("pack r{}", self.rank),
+        );
+        s.synchronize(&self.thread);
+    }
+
+    /// Sleeps in virtual time (compute phases in app-level examples).
+    pub fn compute(&self, d: Secs) {
+        self.thread.sleep(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::p2p::waitall;
+    use mpx_topo::presets;
+    use mpx_topo::units::MIB;
+
+    fn world() -> World {
+        World::new(Arc::new(presets::beluga()), UcxConfig::default())
+    }
+
+    #[test]
+    fn two_rank_send_recv_moves_data() {
+        let w = world();
+        let results = w.run(2, |r| {
+            let n = MIB;
+            if r.rank == 0 {
+                let data: Vec<u8> = (0..n).map(|i| (i % 256) as u8).collect();
+                let buf = r.alloc_bytes(data);
+                r.send(&buf, n, 1, 7);
+                None
+            } else {
+                let buf = r.alloc_zeroed(n);
+                r.recv(&buf, n, Some(0), Some(7));
+                buf.to_vec()
+            }
+        });
+        let received = results[1].as_ref().unwrap();
+        assert_eq!(received.len(), MIB);
+        assert!(received.iter().enumerate().all(|(i, &b)| b == (i % 256) as u8));
+        assert_eq!(w.pending_messages(), (0, 0));
+    }
+
+    #[test]
+    fn recv_before_send_matches() {
+        let w = world();
+        let times = w.run(2, |r| {
+            if r.rank == 1 {
+                let buf = r.alloc_zeroed(4);
+                // Receiver posts first (it has nothing else to do).
+                r.recv(&buf, 4, Some(0), Some(1));
+            } else {
+                // Sender dawdles, then sends.
+                r.compute(1e-3);
+                let buf = r.alloc_bytes(vec![9, 9, 9, 9]);
+                r.send(&buf, 4, 1, 1);
+            }
+            r.now().as_secs()
+        });
+        // The receiver cannot finish before the sender started sending.
+        assert!(times[1] >= 1e-3);
+    }
+
+    #[test]
+    fn wildcard_receive_matches_any_source_and_tag() {
+        let w = world();
+        let results = w.run(3, |r| {
+            if r.rank == 0 {
+                let a = r.alloc_zeroed(4);
+                let b = r.alloc_zeroed(4);
+                r.recv(&a, 4, crate::p2p::ANY_SOURCE, crate::p2p::ANY_TAG);
+                r.recv(&b, 4, crate::p2p::ANY_SOURCE, crate::p2p::ANY_TAG);
+                let mut got = vec![a.to_vec().unwrap()[0], b.to_vec().unwrap()[0]];
+                got.sort_unstable();
+                Some(got)
+            } else {
+                let buf = r.alloc_bytes(vec![r.rank as u8; 4]);
+                r.send(&buf, 4, 0, 100 + r.rank as u64);
+                None
+            }
+        });
+        assert_eq!(results[0].as_ref().unwrap(), &vec![1, 2]);
+    }
+
+    #[test]
+    fn tag_matching_keeps_streams_separate() {
+        let w = world();
+        let results = w.run(2, |r| {
+            if r.rank == 0 {
+                let a = r.alloc_bytes(vec![1; 4]);
+                let b = r.alloc_bytes(vec![2; 4]);
+                // Send tag 2 first, then tag 1.
+                let s1 = r.isend(&b, 4, 1, 2);
+                let s2 = r.isend(&a, 4, 1, 1);
+                waitall(r.thread(), &[s1, s2]);
+                None
+            } else {
+                let want1 = r.alloc_zeroed(4);
+                let want2 = r.alloc_zeroed(4);
+                r.recv(&want1, 4, Some(0), Some(1));
+                r.recv(&want2, 4, Some(0), Some(2));
+                Some((want1.to_vec().unwrap()[0], want2.to_vec().unwrap()[0]))
+            }
+        });
+        assert_eq!(results[1], Some((1, 2)));
+    }
+
+    #[test]
+    fn wildcard_receive_reports_matched_status() {
+        let w = world();
+        let results = w.run(3, |r| {
+            if r.rank == 0 {
+                let buf = r.alloc_zeroed(8);
+                let req = r.irecv(&buf, 8, crate::p2p::ANY_SOURCE, crate::p2p::ANY_TAG);
+                let status = req.wait_status(r.thread());
+                Some(status)
+            } else {
+                // Only rank 2 sends.
+                if r.rank == 2 {
+                    let buf = r.alloc_bytes(vec![5; 8]);
+                    r.send(&buf, 8, 0, 77);
+                }
+                None
+            }
+        });
+        let status = results[0].unwrap();
+        assert_eq!(status.source, 2);
+        assert_eq!(status.tag, 77);
+        assert_eq!(status.len, 8);
+    }
+
+    #[test]
+    fn status_absent_before_match() {
+        let w = world();
+        w.run(2, |r| {
+            if r.rank == 0 {
+                let buf = r.alloc_zeroed(4);
+                let req = r.irecv(&buf, 4, Some(1), Some(1));
+                assert!(req.status().is_none(), "unmatched recv has no status");
+                r.compute(1e-4); // give the sender time
+                req.wait(r.thread());
+                assert!(req.status().is_some());
+            } else {
+                r.compute(5e-5);
+                let buf = r.alloc(4);
+                r.send(&buf, 4, 0, 1);
+            }
+        });
+    }
+
+    #[test]
+    fn sendrecv_exchanges_without_deadlock() {
+        let w = world();
+        let results = w.run(2, |r| {
+            let peer = 1 - r.rank;
+            let sbuf = r.alloc_bytes(vec![r.rank as u8 + 10; 8]);
+            let rbuf = r.alloc_zeroed(8);
+            r.sendrecv(&sbuf, 0, 8, peer, &rbuf, 0, 8, peer, 5);
+            rbuf.to_vec().unwrap()[0]
+        });
+        assert_eq!(results, vec![11, 10]);
+    }
+
+    #[test]
+    fn barrier_synchronizes_ranks() {
+        let w = world();
+        let times = w.run(4, |r| {
+            // Rank i computes i milliseconds, then everyone barriers.
+            r.compute(r.rank as f64 * 1e-3);
+            r.barrier();
+            r.now().as_secs()
+        });
+        // All ranks leave the barrier at (or after) the slowest arrival.
+        for t in &times {
+            assert!(*t >= 3e-3, "barrier exited early: {times:?}");
+        }
+    }
+
+    #[test]
+    fn window_of_nonblocking_sends_completes() {
+        let w = world();
+        let n = 4 * MIB;
+        let window = 8;
+        let bw = w.run(2, move |r| {
+            if r.rank == 0 {
+                let bufs: Vec<_> = (0..window).map(|_| r.alloc(n)).collect();
+                let t0 = r.now();
+                let reqs: Vec<_> = (0..window)
+                    .map(|i| r.isend(&bufs[i], n, 1, i as u64))
+                    .collect();
+                waitall(r.thread(), &reqs);
+                let dt = r.now().secs_since(t0);
+                Some((window * n) as f64 / dt)
+            } else {
+                let bufs: Vec<_> = (0..window).map(|_| r.alloc(n)).collect();
+                let reqs: Vec<_> = (0..window)
+                    .map(|i| r.irecv(&bufs[i], n, Some(0), Some(i as u64)))
+                    .collect();
+                waitall(r.thread(), &reqs);
+                None
+            }
+        });
+        let bw = bw[0].unwrap();
+        // Multi-path on Beluga: comfortably above the 48 GB/s direct link.
+        assert!(bw > 60e9, "windowed bandwidth {:.1} GB/s", bw / 1e9);
+    }
+
+    #[test]
+    fn zero_byte_message_synchronizes() {
+        let w = world();
+        w.run(2, |r| {
+            let buf = r.alloc(0);
+            if r.rank == 0 {
+                r.send(&buf, 0, 1, 9);
+            } else {
+                r.recv(&buf, 0, Some(0), Some(9));
+            }
+        });
+        assert_eq!(w.pending_messages(), (0, 0));
+    }
+
+    #[test]
+    fn reduce_local_charges_time_and_computes() {
+        let w = world();
+        let out = w.run(1, |r| {
+            let a = r.alloc_bytes(mpx_gpu::reduce::f32_bytes(&[1.0, 2.0]));
+            let b = r.alloc_bytes(mpx_gpu::reduce::f32_bytes(&[10.0, 20.0]));
+            let t0 = r.now();
+            r.reduce_local(ReduceOp::Sum, &a, 0, &b, 0, 8);
+            let dt = r.now().secs_since(t0);
+            (mpx_gpu::reduce::bytes_f32(&b.to_vec().unwrap()), dt)
+        });
+        let (vals, dt) = &out[0];
+        assert_eq!(vals, &vec![11.0, 22.0]);
+        assert!(*dt > 0.0, "kernel time must be charged");
+    }
+
+    #[test]
+    #[should_panic(expected = "ranks but only")]
+    fn too_many_ranks_panics() {
+        let w = world();
+        w.run(5, |_| ());
+    }
+
+    // The assert fires inside a rank thread; World::run rethrows as
+    // "rank N panicked".
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn oversized_send_into_small_recv_panics() {
+        let w = world();
+        w.run(2, |r| {
+            if r.rank == 0 {
+                let buf = r.alloc(8);
+                r.send(&buf, 8, 1, 0);
+            } else {
+                let buf = r.alloc(4);
+                r.recv(&buf, 4, Some(0), Some(0));
+            }
+        });
+    }
+}

@@ -1,0 +1,185 @@
+//! Measurements on a *loaded* fabric (paper Section 3, first paragraph:
+//! "intra-node GPU interconnects are often shared among multiple
+//! processes, which may lead to contention ... but our approach still
+//! accelerates concurrent intra-node communication, including
+//! collectives, if there are any under-utilized paths").
+//!
+//! Two rank pairs share the node: the *measured* pair runs the OMB BW
+//! protocol while the *loader* pair saturates its own direct link with
+//! back-to-back single-path traffic for the whole measurement.
+
+use mpx_mpi::{waitall, World};
+use mpx_topo::units::Bandwidth;
+use mpx_topo::Topology;
+use mpx_ucx::UcxConfig;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Configuration of a loaded-bandwidth measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadedConfig {
+    /// Message size of the measured transfer.
+    pub n: usize,
+    /// Outstanding messages per iteration for the measured pair.
+    pub window: usize,
+    /// Timed iterations for the measured pair.
+    pub iterations: usize,
+    /// Message size of each background transfer.
+    pub load_n: usize,
+}
+
+impl Default for LoadedConfig {
+    fn default() -> Self {
+        LoadedConfig {
+            n: 32 << 20,
+            window: 1,
+            iterations: 4,
+            load_n: 16 << 20,
+        }
+    }
+}
+
+/// Measures rank0 → rank1 bandwidth while ranks 2 → 3 continuously send
+/// single-path traffic on their own direct link. Returns the measured
+/// pair's bandwidth in bytes/s.
+///
+/// The loader uses the *direct* path only (a well-behaved neighbour);
+/// the measured pair uses whatever `ucx` configures, so comparing
+/// `TuningMode::SinglePath` and `TuningMode::Dynamic` here answers the
+/// paper's shared-fabric question directly.
+pub fn osu_bw_loaded(topo: &Arc<Topology>, ucx: UcxConfig, cfg: LoadedConfig) -> Bandwidth {
+    assert!(topo.gpus().len() >= 4, "loaded test needs 4 GPUs");
+    let world = World::new(topo.clone(), ucx);
+    let stop = Arc::new(AtomicBool::new(false));
+    let results = world.run(4, move |r| {
+        match r.rank {
+            0 | 1 => {
+                // Measured pair: standard windowed BW protocol.
+                let bufs: Vec<_> = (0..cfg.window).map(|_| r.alloc(cfg.n)).collect();
+                let mut t0 = r.now();
+                for it in 0..1 + cfg.iterations {
+                    if it == 1 {
+                        t0 = r.now();
+                    }
+                    let reqs: Vec<_> = bufs
+                        .iter()
+                        .enumerate()
+                        .map(|(k, buf)| {
+                            let tag = (it * cfg.window + k) as u64;
+                            if r.rank == 0 {
+                                r.isend(buf, cfg.n, 1, tag)
+                            } else {
+                                r.irecv(buf, cfg.n, Some(0), Some(tag))
+                            }
+                        })
+                        .collect();
+                    waitall(r.thread(), &reqs);
+                }
+                let bw = (cfg.iterations * cfg.window * cfg.n) as f64
+                    / r.now().secs_since(t0);
+                stop.store(true, Ordering::Release);
+                Some(bw)
+            }
+            _ => {
+                // Loader pair: single-path back-to-back transfers until
+                // the measured pair finishes. Only rank 2 reads the stop
+                // flag; it tells rank 3 in-protocol (a STOP bit in the
+                // tag), so both loaders always agree on the last
+                // iteration regardless of when the flag flips.
+                const STOP_BIT: u64 = 1 << 40;
+                let buf = r.alloc(cfg.load_n);
+                if r.rank == 2 {
+                    let mut it = 0u64;
+                    loop {
+                        let last = stop.load(Ordering::Acquire);
+                        let tag = (1 << 48) | it | if last { STOP_BIT } else { 0 };
+                        r.send(&buf, cfg.load_n, 3, tag);
+                        if last {
+                            break;
+                        }
+                        it += 1;
+                    }
+                } else {
+                    loop {
+                        let req = r.irecv(&buf, cfg.load_n, Some(2), mpx_mpi::ANY_TAG);
+                        let status = req.wait_status(r.thread());
+                        if status.tag & STOP_BIT != 0 {
+                            break;
+                        }
+                    }
+                }
+                None
+            }
+        }
+    });
+    results[0].expect("rank 0 measures")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpx_topo::path::PathSelection;
+    use mpx_topo::presets;
+    use mpx_ucx::TuningMode;
+
+    fn cfg(mode: TuningMode) -> UcxConfig {
+        UcxConfig {
+            mode,
+            selection: PathSelection::THREE_GPUS,
+            ..UcxConfig::default()
+        }
+    }
+
+    #[test]
+    fn multipath_still_helps_on_a_loaded_fabric() {
+        // The paper's Section-3 claim: with the 2↔3 link busy, the 0↔1
+        // transfer's staged detours (via 2 and 3) are partially
+        // contended, yet multi-path must still beat single path — the
+        // detours' *other* legs are idle.
+        let topo = Arc::new(presets::beluga());
+        let single = osu_bw_loaded(&topo, cfg(TuningMode::SinglePath), LoadedConfig::default());
+        let multi = osu_bw_loaded(&topo, cfg(TuningMode::Dynamic), LoadedConfig::default());
+        let gain = multi / single;
+        assert!(
+            gain > 1.2,
+            "loaded-fabric multi-path gain {gain:.2} (single {:.1}, multi {:.1} GB/s)",
+            single / 1e9,
+            multi / 1e9
+        );
+    }
+
+    #[test]
+    fn load_shrinks_the_multipath_gain() {
+        // Contention does cost something: the gain under load is smaller
+        // than on an idle fabric.
+        let topo = Arc::new(presets::beluga());
+        let idle_single = crate::osu_bw(
+            &topo,
+            cfg(TuningMode::SinglePath),
+            32 << 20,
+            crate::P2pConfig::default(),
+        );
+        let idle_multi = crate::osu_bw(
+            &topo,
+            cfg(TuningMode::Dynamic),
+            32 << 20,
+            crate::P2pConfig::default(),
+        );
+        let loaded_single =
+            osu_bw_loaded(&topo, cfg(TuningMode::SinglePath), LoadedConfig::default());
+        let loaded_multi =
+            osu_bw_loaded(&topo, cfg(TuningMode::Dynamic), LoadedConfig::default());
+        let idle_gain = idle_multi / idle_single;
+        let loaded_gain = loaded_multi / loaded_single;
+        assert!(
+            loaded_gain < idle_gain,
+            "load should shrink the gain: idle {idle_gain:.2} vs loaded {loaded_gain:.2}"
+        );
+        // And the single-path measurement itself is unaffected by the
+        // loader (disjoint direct links, full duplex).
+        assert!(
+            (loaded_single - idle_single).abs() / idle_single < 0.02,
+            "loader must not perturb the single-path baseline"
+        );
+    }
+}

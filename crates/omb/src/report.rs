@@ -1,0 +1,149 @@
+//! Result records shared by the benchmark harness and the figure
+//! binaries.
+
+use serde::{Deserialize, Serialize};
+
+/// One measured (or predicted) point of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Message size in bytes.
+    pub bytes: usize,
+    /// The metric: bandwidth in bytes/s for BW/BIBW figures, seconds for
+    /// latency figures, dimensionless for speedup figures.
+    pub value: f64,
+}
+
+/// A labeled sweep (one line of a paper figure).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label (`Direct Path`, `Dynamic`, `Static`, `Predicted`...).
+    pub label: String,
+    /// Points in ascending message-size order.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Series {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, bytes: usize, value: f64) {
+        self.points.push(SeriesPoint { bytes, value });
+    }
+
+    /// The value at an exact message size, if present.
+    pub fn at(&self, bytes: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.bytes == bytes)
+            .map(|p| p.value)
+    }
+}
+
+/// The OMB-style message-size ladder: powers of two from `min` to `max`
+/// inclusive.
+pub fn size_ladder(min: usize, max: usize) -> Vec<usize> {
+    assert!(min > 0 && min <= max, "invalid ladder [{min}, {max}]");
+    let mut out = Vec::new();
+    let mut n = min.next_power_of_two();
+    if n != min {
+        out.push(min);
+    }
+    while n <= max {
+        out.push(n);
+        n = match n.checked_mul(2) {
+            Some(x) => x,
+            None => break,
+        };
+    }
+    out
+}
+
+/// Mean relative error between two series on their shared sizes,
+/// restricted to sizes `>= floor` (the paper reports errors for messages
+/// larger than 4 MB).
+pub fn mean_relative_error(reference: &Series, other: &Series, floor: usize) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for p in &reference.points {
+        if p.bytes < floor {
+            continue;
+        }
+        if let Some(v) = other.at(p.bytes) {
+            total += ((v - p.value) / p.value).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpx_topo::units::MIB;
+
+    #[test]
+    fn ladder_is_powers_of_two() {
+        let l = size_ladder(2 * MIB, 32 * MIB);
+        assert_eq!(l, vec![2 * MIB, 4 * MIB, 8 * MIB, 16 * MIB, 32 * MIB]);
+    }
+
+    #[test]
+    fn ladder_keeps_non_power_min() {
+        let l = size_ladder(3, 16);
+        assert_eq!(l, vec![3, 4, 8, 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ladder")]
+    fn ladder_rejects_zero_min() {
+        size_ladder(0, 8);
+    }
+
+    #[test]
+    fn series_lookup() {
+        let mut s = Series::new("x");
+        s.push(4, 10.0);
+        s.push(8, 20.0);
+        assert_eq!(s.at(8), Some(20.0));
+        assert_eq!(s.at(5), None);
+    }
+
+    #[test]
+    fn relative_error_respects_floor() {
+        let mut a = Series::new("ref");
+        let mut b = Series::new("other");
+        for (n, va, vb) in [(1, 10.0, 20.0), (4, 10.0, 11.0), (8, 10.0, 9.0)] {
+            a.push(n, va);
+            b.push(n, vb);
+        }
+        // Floor at 4 skips the wildly-off n=1 point: mean(10%, 10%) = 10%.
+        let err = mean_relative_error(&a, &b, 4);
+        assert!((err - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_empty_is_zero() {
+        let a = Series::new("a");
+        let b = Series::new("b");
+        assert_eq!(mean_relative_error(&a, &b, 0), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut s = Series::new("dyn");
+        s.push(1024, 5e9);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Series = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,1278 @@
+//! The discrete-event engine: virtual time, fluid flows with max-min fair
+//! bandwidth sharing, and a blocked-thread quorum protocol that lets
+//! simulated ranks be written as ordinary blocking Rust threads.
+//!
+//! # Execution model
+//!
+//! Simulated actors are OS threads registered via
+//! [`Engine::register_thread`]. Every blocking operation funnels into
+//! [`SimThread::wait`] on a [`Waker`]. Virtual time only advances when
+//! *all* registered threads are blocked: the last thread to block becomes
+//! the coordinator, pops the earliest event, advances `now`, and handles
+//! it. Handling an event may fire wakers, making threads runnable again;
+//! the clock then stays frozen until they all block once more. This gives
+//! deterministic-enough virtual time while keeping rank code straight-line.
+//!
+//! # Flows
+//!
+//! A transfer is a *flow*: a byte count draining over a route of directed
+//! links at the max-min fair rate (see [`crate::fairness`]). Rates are
+//! recomputed whenever the set of active flows changes; in-flight
+//! completion events are invalidated by a per-flow generation counter.
+//!
+//! # Callbacks
+//!
+//! Completion handlers ([`OnComplete::Call`]) run *inside* the engine
+//! lock and receive a [`Ctx`] with non-blocking operations only. They
+//! must never touch the public blocking API — doing so would deadlock.
+
+use crate::fairness::{max_min_rates, FlowDemand};
+use crate::time::SimTime;
+use crate::waker::Waker;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use mpx_topo::units::Secs;
+use mpx_topo::{LinkId, Topology};
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// Deterministic latency noise: every flow's startup latency is scaled
+/// by a factor drawn from `[1 − spread, 1 + spread]` using a seeded RNG.
+/// Models OS/driver timing variation; the same seed reproduces the same
+/// run exactly. This is the "latency and bandwidth variations" the
+/// paper's Observation 2 says larger window sizes smooth over.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JitterModel {
+    /// RNG seed.
+    pub seed: u64,
+    /// Relative spread (e.g. 0.3 → ±30% on startup latencies).
+    pub spread: f64,
+}
+
+/// Identifier of a flow within one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+/// A callback run by the event loop. Runs under the engine lock; use only
+/// the [`Ctx`] argument, never the blocking `Engine`/`SimThread` API.
+pub type EventFn = Box<dyn FnOnce(&mut Ctx<'_>) + Send>;
+
+/// What to do when a flow or timer completes.
+pub enum OnComplete {
+    /// Do nothing.
+    Nothing,
+    /// Fire a waker (unblocking a simulated thread).
+    Signal(Waker),
+    /// Run a callback in the event loop.
+    Call(EventFn),
+}
+
+impl std::fmt::Debug for OnComplete {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OnComplete::Nothing => write!(f, "Nothing"),
+            OnComplete::Signal(w) => write!(f, "Signal({})", w.name()),
+            OnComplete::Call(_) => write!(f, "Call(..)"),
+        }
+    }
+}
+
+/// Description of a transfer to inject into the fabric.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Directed links the flow occupies, in traversal order. Repeated
+    /// links count double for contention.
+    pub route: Vec<LinkId>,
+    /// Payload size in bytes.
+    pub bytes: usize,
+    /// Extra startup delay charged before the flow becomes active, *in
+    /// addition to* the sum of link latencies (used for software launch
+    /// overheads).
+    pub extra_latency: Secs,
+    /// QoS weight for fair sharing: a weight-2 flow receives twice the
+    /// rate of a weight-1 flow wherever they contend. Default 1.
+    pub weight: f64,
+    /// Label recorded in the trace (e.g. `p1.c3.leg2`).
+    pub label: String,
+}
+
+impl FlowSpec {
+    /// A flow over `route` carrying `bytes`, no extra latency, no label.
+    pub fn new(route: Vec<LinkId>, bytes: usize) -> FlowSpec {
+        FlowSpec {
+            route,
+            bytes,
+            extra_latency: 0.0,
+            weight: 1.0,
+            label: String::new(),
+        }
+    }
+
+    /// Sets the QoS weight (must be positive).
+    pub fn with_weight(mut self, weight: f64) -> FlowSpec {
+        assert!(weight > 0.0 && weight.is_finite(), "invalid weight {weight}");
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the trace label.
+    pub fn labeled(mut self, label: impl Into<String>) -> FlowSpec {
+        self.label = label.into();
+        self
+    }
+
+    /// Adds software startup latency.
+    pub fn with_extra_latency(mut self, l: Secs) -> FlowSpec {
+        self.extra_latency += l;
+        self
+    }
+}
+
+/// One completed-flow record (tracing must be enabled).
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// Flow id.
+    pub flow: FlowId,
+    /// Trace label from the [`FlowSpec`].
+    pub label: String,
+    /// Route taken.
+    pub route: Vec<LinkId>,
+    /// Bytes carried.
+    pub bytes: usize,
+    /// When the flow was issued.
+    pub issued: SimTime,
+    /// When data started moving (after latency).
+    pub activated: SimTime,
+    /// When the last byte arrived.
+    pub completed: SimTime,
+}
+
+/// Per-link counters.
+#[derive(Debug, Clone, Default)]
+pub struct LinkStats {
+    /// Total bytes that crossed the link.
+    pub bytes: f64,
+    /// Number of flows that used the link.
+    pub flows: u64,
+}
+
+/// Snapshot of engine counters.
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    /// Virtual time of the snapshot.
+    pub now: SimTime,
+    /// Per-link counters, indexed like `Topology::links`.
+    pub links: Vec<LinkStats>,
+    /// Flows issued so far.
+    pub flows_issued: u64,
+    /// Flows completed so far.
+    pub flows_completed: u64,
+    /// Events processed so far.
+    pub events_processed: u64,
+}
+
+struct FlowState {
+    route: Vec<LinkId>,
+    demand: FlowDemand,
+    remaining: f64,
+    rate: f64,
+    last_update: SimTime,
+    generation: u64,
+    active: bool,
+    done: OnComplete,
+    bytes: usize,
+    issued: SimTime,
+    activated: SimTime,
+    label: String,
+}
+
+enum Event {
+    Timer(OnComplete),
+    FlowActivate(FlowId),
+    FlowComplete(FlowId, u64),
+}
+
+struct QueuedEvent {
+    at: SimTime,
+    seq: u64,
+    ev: Event,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct State {
+    now: SimTime,
+    seq: u64,
+    /// Current link capacities (bytes/s); starts from the topology and
+    /// may be degraded at runtime.
+    capacities: Vec<f64>,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    flows: HashMap<FlowId, FlowState>,
+    next_flow: u64,
+    registered: usize,
+    blocked: usize,
+    poisoned: bool,
+    link_stats: Vec<LinkStats>,
+    flows_issued: u64,
+    flows_completed: u64,
+    events_processed: u64,
+    trace: Option<Vec<TraceRecord>>,
+    jitter: Option<(JitterModel, StdRng)>,
+}
+
+struct Shared {
+    topo: Arc<Topology>,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+/// The simulation engine. Clone freely; clones share the simulation.
+#[derive(Clone)]
+pub struct Engine {
+    shared: Arc<Shared>,
+}
+
+/// Non-blocking operations available to event callbacks.
+pub struct Ctx<'a> {
+    st: &'a mut State,
+    topo: &'a Topology,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.st.now
+    }
+
+    /// The topology the engine simulates.
+    pub fn topology(&self) -> &Topology {
+        self.topo
+    }
+
+    /// Schedules `done` to run after `delay` seconds of virtual time.
+    pub fn schedule_in(&mut self, delay: Secs, done: OnComplete) {
+        let at = self.st.now.after(delay);
+        push_event(self.st, at, Event::Timer(done));
+    }
+
+    /// Fires a waker immediately.
+    pub fn signal(&mut self, w: &Waker) {
+        fire_waker(self.st, w);
+    }
+
+    /// Injects a flow; `done` runs/fires when the last byte lands.
+    pub fn start_flow(&mut self, spec: FlowSpec, done: OnComplete) -> FlowId {
+        start_flow_locked(self.st, self.topo, spec, done)
+    }
+}
+
+impl Engine {
+    /// Creates an engine over `topo` with tracing disabled.
+    pub fn new(topo: Arc<Topology>) -> Engine {
+        Engine::with_tracing(topo, false)
+    }
+
+    /// Creates an engine, optionally recording a [`TraceRecord`] per flow.
+    pub fn with_tracing(topo: Arc<Topology>, trace: bool) -> Engine {
+        let nlinks = topo.link_count();
+        let capacities: Vec<f64> = topo.links.iter().map(|l| l.bandwidth).collect();
+        Engine {
+            shared: Arc::new(Shared {
+                topo,
+                state: Mutex::new(State {
+                    now: SimTime::ZERO,
+                    seq: 0,
+                    capacities,
+                    queue: BinaryHeap::new(),
+                    flows: HashMap::new(),
+                    next_flow: 0,
+                    registered: 0,
+                    blocked: 0,
+                    poisoned: false,
+                    link_stats: vec![LinkStats::default(); nlinks],
+                    flows_issued: 0,
+                    flows_completed: 0,
+                    events_processed: 0,
+                    trace: trace.then(Vec::new),
+                    jitter: None,
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The simulated topology.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.shared.topo
+    }
+
+    /// Changes a link's capacity at the current virtual time (hardware
+    /// degradation, cable fault, QoS throttling). In-flight flows are
+    /// re-shared immediately; the topology description itself is
+    /// untouched, so models consulting it will mis-predict until they
+    /// recalibrate — which is the experiment this API exists for.
+    ///
+    /// # Panics
+    /// Panics on non-positive capacities or unknown links.
+    pub fn set_link_capacity(&self, link: mpx_topo::LinkId, bytes_per_sec: f64) {
+        assert!(
+            bytes_per_sec > 0.0 && bytes_per_sec.is_finite(),
+            "invalid capacity {bytes_per_sec}"
+        );
+        let mut st = self.shared.state.lock();
+        assert!(
+            link.index() < st.capacities.len(),
+            "unknown link {link}"
+        );
+        st.capacities[link.index()] = bytes_per_sec;
+        recompute_rates(&mut st, &self.shared.topo);
+        self.shared.cv.notify_all();
+    }
+
+    /// The current (possibly degraded) capacity of a link.
+    pub fn link_capacity(&self, link: mpx_topo::LinkId) -> f64 {
+        self.shared.state.lock().capacities[link.index()]
+    }
+
+    /// Snapshot of every link's current capacity.
+    pub fn capacities(&self) -> Vec<f64> {
+        self.shared.state.lock().capacities.clone()
+    }
+
+    /// Enables deterministic latency jitter for flows issued from now on.
+    pub fn set_jitter(&self, model: JitterModel) {
+        assert!(
+            (0.0..1.0).contains(&model.spread),
+            "spread must be in [0, 1)"
+        );
+        let mut st = self.shared.state.lock();
+        st.jitter = Some((model, StdRng::seed_from_u64(model.seed)));
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.shared.state.lock().now
+    }
+
+    /// Registers a simulated actor. Keep the guard alive for as long as
+    /// the actor participates.
+    ///
+    /// **All actors of a phase must be registered before any of them
+    /// starts blocking** — otherwise an early actor can form a quorum by
+    /// itself and run virtual time ahead of latecomers. The standard
+    /// pattern is to register every actor in the parent thread and move
+    /// each [`SimThread`] guard into its worker:
+    ///
+    /// ```
+    /// # use std::sync::Arc;
+    /// # use mpx_sim::Engine;
+    /// # use mpx_topo::presets;
+    /// let eng = Engine::new(Arc::new(presets::beluga()));
+    /// let actors: Vec<_> = (0..2).map(|i| eng.register_thread(format!("rank{i}"))).collect();
+    /// let handles: Vec<_> = actors
+    ///     .into_iter()
+    ///     .map(|t| std::thread::spawn(move || t.sleep(1e-6)))
+    ///     .collect();
+    /// for h in handles { h.join().unwrap(); }
+    /// ```
+    pub fn register_thread(&self, name: impl Into<String>) -> SimThread {
+        let mut st = self.shared.state.lock();
+        st.registered += 1;
+        SimThread {
+            engine: self.clone(),
+            name: name.into(),
+        }
+    }
+
+    /// Schedules `done` after `delay` seconds (non-blocking; callable from
+    /// any thread).
+    pub fn schedule_in(&self, delay: Secs, done: OnComplete) {
+        let mut st = self.shared.state.lock();
+        let at = st.now.after(delay);
+        push_event(&mut st, at, Event::Timer(done));
+        self.shared.cv.notify_all();
+    }
+
+    /// Fires a waker immediately (non-blocking; callable from any
+    /// thread).
+    pub fn signal_waker(&self, w: &Waker) {
+        let mut st = self.shared.state.lock();
+        fire_waker(&mut st, w);
+        self.shared.cv.notify_all();
+    }
+
+    /// Injects a flow (non-blocking). `done` fires when it completes.
+    pub fn start_flow(&self, spec: FlowSpec, done: OnComplete) -> FlowId {
+        let mut st = self.shared.state.lock();
+        let id = start_flow_locked(&mut st, &self.shared.topo, spec, done);
+        self.shared.cv.notify_all();
+        id
+    }
+
+    /// Drains the event queue without any registered threads — the
+    /// deterministic single-threaded driver used by unit tests and
+    /// callback-structured workloads.
+    ///
+    /// # Panics
+    /// Panics if simulated threads are registered (they own the clock).
+    pub fn run_until_idle(&self) {
+        let mut st = self.shared.state.lock();
+        assert_eq!(
+            st.registered, 0,
+            "run_until_idle with registered threads would corrupt the quorum"
+        );
+        while process_next_event(&mut st, &self.shared.topo) {}
+    }
+
+    /// Drains events until virtual time would pass `deadline` (events at
+    /// or before the deadline are processed; later ones stay queued).
+    /// Like [`Engine::run_until_idle`], only valid without registered
+    /// threads. Returns the number of events processed.
+    pub fn run_until(&self, deadline: SimTime) -> u64 {
+        let mut st = self.shared.state.lock();
+        assert_eq!(
+            st.registered, 0,
+            "run_until with registered threads would corrupt the quorum"
+        );
+        let before = st.events_processed;
+        loop {
+            let next = st.queue.peek().map(|Reverse(qe)| qe.at);
+            match next {
+                Some(at) if at <= deadline => {
+                    if !process_next_event(&mut st, &self.shared.topo) {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        if st.now < deadline {
+            st.now = deadline;
+        }
+        st.events_processed - before
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        let st = self.shared.state.lock();
+        StatsSnapshot {
+            now: st.now,
+            links: st.link_stats.clone(),
+            flows_issued: st.flows_issued,
+            flows_completed: st.flows_completed,
+            events_processed: st.events_processed,
+        }
+    }
+
+    /// Takes the accumulated trace (tracing must have been enabled).
+    pub fn take_trace(&self) -> Vec<TraceRecord> {
+        let mut st = self.shared.state.lock();
+        match st.trace.as_mut() {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of flows currently in flight.
+    pub fn active_flows(&self) -> usize {
+        self.shared.state.lock().flows.len()
+    }
+
+    fn block_on(&self, waker: &Waker, who: &str) {
+        let sh = &self.shared;
+        let mut st = sh.state.lock();
+        if st.poisoned {
+            panic!("simulation engine poisoned (earlier deadlock)");
+        }
+        if waker.begin_wait() {
+            return; // already signaled
+        }
+        st.blocked += 1;
+        loop {
+            if waker.try_consume() {
+                return; // `blocked` was decremented by the firing site
+            }
+            if st.poisoned {
+                panic!("simulation engine poisoned (earlier deadlock)");
+            }
+            if st.blocked == st.registered {
+                if !process_next_event(&mut st, &sh.topo) {
+                    st.poisoned = true;
+                    sh.cv.notify_all();
+                    panic!(
+                        "simulated deadlock at {}: {} blocked thread(s), empty event queue; \
+                         thread `{who}` waiting on `{}`",
+                        st.now,
+                        st.blocked,
+                        waker.name()
+                    );
+                }
+                sh.cv.notify_all();
+                continue;
+            }
+            sh.cv.wait(&mut st);
+        }
+    }
+}
+
+/// A registered simulated thread. Dropping deregisters it.
+pub struct SimThread {
+    engine: Engine,
+    name: String,
+}
+
+impl SimThread {
+    /// The engine this thread participates in.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Thread name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Blocks until `waker` fires.
+    pub fn wait(&self, waker: &Waker) {
+        self.engine.block_on(waker, &self.name);
+    }
+
+    /// Sleeps for `d` seconds of virtual time.
+    pub fn sleep(&self, d: Secs) {
+        let w = Waker::new(format!("{}.sleep", self.name));
+        self.engine.schedule_in(d, OnComplete::Signal(w.clone()));
+        self.wait(&w);
+    }
+
+    /// Starts a flow and blocks until it completes.
+    pub fn transfer(&self, spec: FlowSpec) {
+        let w = Waker::new(format!("{}.transfer", self.name));
+        self.engine.start_flow(spec, OnComplete::Signal(w.clone()));
+        self.wait(&w);
+    }
+}
+
+impl Drop for SimThread {
+    fn drop(&mut self) {
+        let mut st = self.engine.shared.state.lock();
+        st.registered -= 1;
+        // Quorum may now be complete for the remaining threads.
+        self.engine.shared.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lock-held internals. Every function below expects the engine mutex.
+// ---------------------------------------------------------------------
+
+fn push_event(st: &mut State, at: SimTime, ev: Event) {
+    let seq = st.seq;
+    st.seq += 1;
+    st.queue.push(Reverse(QueuedEvent { at, seq, ev }));
+}
+
+fn fire_waker(st: &mut State, w: &Waker) {
+    if w.fire() {
+        debug_assert!(st.blocked > 0);
+        st.blocked -= 1;
+    }
+}
+
+fn run_on_complete(st: &mut State, topo: &Topology, done: OnComplete) {
+    match done {
+        OnComplete::Nothing => {}
+        OnComplete::Signal(w) => fire_waker(st, &w),
+        OnComplete::Call(f) => {
+            let mut ctx = Ctx { st, topo };
+            f(&mut ctx);
+        }
+    }
+}
+
+fn start_flow_locked(st: &mut State, topo: &Topology, spec: FlowSpec, done: OnComplete) -> FlowId {
+    assert!(
+        !spec.route.is_empty(),
+        "flow `{}` has an empty route",
+        spec.label
+    );
+    let mut latency = spec.extra_latency;
+    for &lid in &spec.route {
+        latency += topo
+            .link(lid)
+            .unwrap_or_else(|e| panic!("flow `{}`: {e}", spec.label))
+            .latency;
+    }
+    if let Some((model, rng)) = st.jitter.as_mut() {
+        let factor = 1.0 + rng.gen_range(-model.spread..=model.spread);
+        latency *= factor;
+    }
+    let id = FlowId(st.next_flow);
+    st.next_flow += 1;
+    st.flows_issued += 1;
+    let demand = FlowDemand::from_route_weighted(
+        &spec.route.iter().map(|l| l.index()).collect::<Vec<_>>(),
+        spec.weight,
+    );
+    for &(l, _) in &demand.links {
+        st.link_stats[l].flows += 1;
+    }
+    let now = st.now;
+    st.flows.insert(
+        id,
+        FlowState {
+            route: spec.route,
+            demand,
+            remaining: spec.bytes as f64,
+            rate: 0.0,
+            last_update: now,
+            generation: 0,
+            active: false,
+            done,
+            bytes: spec.bytes,
+            issued: now,
+            activated: SimTime::NEVER,
+            label: spec.label,
+        },
+    );
+    let at = now.after(latency);
+    push_event(st, at, Event::FlowActivate(id));
+    id
+}
+
+/// Drains progress for all active flows up to `st.now` and recomputes
+/// max-min fair rates; reschedules completion events.
+fn recompute_rates(st: &mut State, topo: &Topology) {
+    debug_assert_eq!(st.capacities.len(), topo.link_count());
+    let now = st.now;
+    // 1. Account elapsed progress.
+    for fs in st.flows.values_mut() {
+        if !fs.active {
+            continue;
+        }
+        let dt = now.secs_since(fs.last_update);
+        if dt > 0.0 && fs.rate > 0.0 {
+            let drained = (fs.rate * dt).min(fs.remaining);
+            fs.remaining -= drained;
+            for &(l, m) in &fs.demand.links {
+                st.link_stats[l].bytes += drained * m;
+            }
+        }
+        fs.last_update = now;
+    }
+    // 2. Fair-share rates for active flows.
+    let caps: Vec<f64> = st.capacities.clone();
+    let ids: Vec<FlowId> = st
+        .flows
+        .iter()
+        .filter(|(_, f)| f.active)
+        .map(|(id, _)| *id)
+        .collect();
+    // Sorted for determinism (HashMap iteration order is arbitrary).
+    let mut ids = ids;
+    ids.sort_unstable();
+    let demands: Vec<FlowDemand> = ids
+        .iter()
+        .map(|id| st.flows[id].demand.clone())
+        .collect();
+    let rates = max_min_rates(&caps, &demands);
+    // 3. Apply and reschedule completions.
+    let mut to_schedule = Vec::with_capacity(ids.len());
+    for (id, rate) in ids.iter().zip(rates) {
+        let fs = st.flows.get_mut(id).expect("flow disappeared");
+        fs.rate = rate;
+        fs.generation += 1;
+        let eta = if fs.remaining <= 0.0 {
+            0.0
+        } else {
+            fs.remaining / rate
+        };
+        to_schedule.push((*id, fs.generation, now.after(eta)));
+    }
+    for (id, gen, at) in to_schedule {
+        push_event(st, at, Event::FlowComplete(id, gen));
+    }
+}
+
+fn complete_flow(st: &mut State, topo: &Topology, id: FlowId) {
+    let mut fs = st.flows.remove(&id).expect("completing unknown flow");
+    // Account the final drain exactly: whatever was left is delivered now.
+    for &(l, m) in &fs.demand.links {
+        st.link_stats[l].bytes += fs.remaining * m;
+    }
+    fs.remaining = 0.0;
+    st.flows_completed += 1;
+    if let Some(trace) = st.trace.as_mut() {
+        trace.push(TraceRecord {
+            flow: id,
+            label: std::mem::take(&mut fs.label),
+            route: fs.route.clone(),
+            bytes: fs.bytes,
+            issued: fs.issued,
+            activated: fs.activated,
+            completed: st.now,
+        });
+    }
+    let done = std::mem::replace(&mut fs.done, OnComplete::Nothing);
+    run_on_complete(st, topo, done);
+    recompute_rates(st, topo);
+}
+
+/// Pops and handles the earliest event. Returns `false` on an empty queue.
+fn process_next_event(st: &mut State, topo: &Topology) -> bool {
+    let Some(Reverse(qe)) = st.queue.pop() else {
+        return false;
+    };
+    // Stale completion events (superseded by a rate change) are dropped
+    // *without advancing the clock*: they are pure bookkeeping debris and
+    // must not stretch the simulation's end time.
+    if let Event::FlowComplete(id, gen) = qe.ev {
+        let stale = st
+            .flows
+            .get(&id)
+            .is_none_or(|f| f.generation != gen || !f.active);
+        if stale {
+            return true;
+        }
+    }
+    debug_assert!(qe.at >= st.now, "event in the past: {} < {}", qe.at, st.now);
+    st.now = qe.at.max(st.now);
+    st.events_processed += 1;
+    match qe.ev {
+        Event::Timer(done) => run_on_complete(st, topo, done),
+        Event::FlowActivate(id) => {
+            let Some(fs) = st.flows.get_mut(&id) else {
+                return true; // flow already gone (zero-byte fast path)
+            };
+            fs.active = true;
+            fs.activated = st.now;
+            fs.last_update = st.now;
+            if fs.remaining <= 0.0 {
+                complete_flow(st, topo, id);
+            } else {
+                recompute_rates(st, topo);
+            }
+        }
+        Event::FlowComplete(id, _gen) => complete_flow(st, topo, id),
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpx_topo::presets;
+    use mpx_topo::units::gb_per_s;
+
+    fn engine() -> Engine {
+        Engine::new(Arc::new(presets::synthetic_default()))
+    }
+
+    fn direct_route(eng: &Engine) -> Vec<LinkId> {
+        let t = eng.topology();
+        let gpus = t.gpus();
+        vec![t.link_between(gpus[0], gpus[1]).unwrap().id]
+    }
+
+    #[test]
+    fn single_flow_runs_at_link_rate() {
+        let eng = engine();
+        let route = direct_route(&eng);
+        // 50 GB over a 50 GB/s link with 2 µs latency.
+        eng.start_flow(FlowSpec::new(route, 50_000_000_000), OnComplete::Nothing);
+        eng.run_until_idle();
+        let t = eng.now().as_secs();
+        assert!((t - 1.000002).abs() < 1e-8, "t = {t}");
+    }
+
+    #[test]
+    fn two_flows_on_one_link_halve_rate() {
+        let eng = engine();
+        let route = direct_route(&eng);
+        for _ in 0..2 {
+            eng.start_flow(
+                FlowSpec::new(route.clone(), 25_000_000_000),
+                OnComplete::Nothing,
+            );
+        }
+        eng.run_until_idle();
+        // 2 × 25 GB on 50 GB/s shared fairly: both finish at ~1 s.
+        let t = eng.now().as_secs();
+        assert!((t - 1.000002).abs() < 1e-7, "t = {t}");
+    }
+
+    #[test]
+    fn staggered_flow_speeds_up_after_first_completes() {
+        let eng = engine();
+        let route = direct_route(&eng);
+        // Flow A: 25 GB. Flow B: 50 GB. Shared until A finishes at t≈1s
+        // (25 GB at 25 GB/s each), then B runs at full 50 GB/s for its
+        // remaining 25 GB → ~1.5 s total.
+        eng.start_flow(
+            FlowSpec::new(route.clone(), 25_000_000_000),
+            OnComplete::Nothing,
+        );
+        eng.start_flow(FlowSpec::new(route, 50_000_000_000), OnComplete::Nothing);
+        eng.run_until_idle();
+        let t = eng.now().as_secs();
+        assert!((t - 1.500002).abs() < 1e-6, "t = {t}");
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_after_latency_only() {
+        let eng = engine();
+        let route = direct_route(&eng);
+        let w = Waker::new("done");
+        eng.start_flow(FlowSpec::new(route, 0), OnComplete::Signal(w.clone()));
+        eng.run_until_idle();
+        assert!(w.is_signaled());
+        assert!((eng.now().as_secs() - 2e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extra_latency_delays_activation() {
+        let eng = engine();
+        let route = direct_route(&eng);
+        eng.start_flow(
+            FlowSpec::new(route, 0).with_extra_latency(10e-6),
+            OnComplete::Nothing,
+        );
+        eng.run_until_idle();
+        assert!((eng.now().as_secs() - 12e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timer_callback_chains() {
+        let eng = engine();
+        let w = Waker::new("chain");
+        let wc = w.clone();
+        eng.schedule_in(
+            1e-3,
+            OnComplete::Call(Box::new(move |ctx| {
+                ctx.schedule_in(1e-3, OnComplete::Signal(wc));
+            })),
+        );
+        eng.run_until_idle();
+        assert!(w.is_signaled());
+        assert!((eng.now().as_secs() - 2e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flow_completion_callback_can_start_next_flow() {
+        // Two sequential 25 GB transfers via callback chaining: 2 s total
+        // (plus two latencies).
+        let eng = engine();
+        let route = direct_route(&eng);
+        let r2 = route.clone();
+        eng.start_flow(
+            FlowSpec::new(route, 25_000_000_000),
+            OnComplete::Call(Box::new(move |ctx| {
+                ctx.start_flow(FlowSpec::new(r2, 25_000_000_000), OnComplete::Nothing);
+            })),
+        );
+        eng.run_until_idle();
+        let t = eng.now().as_secs();
+        assert!((t - (1.0 + 2.0 * 2e-6)).abs() < 1e-7, "t = {t}");
+    }
+
+    #[test]
+    fn stats_count_bytes_and_flows() {
+        let eng = engine();
+        let route = direct_route(&eng);
+        eng.start_flow(
+            FlowSpec::new(route.clone(), 1_000_000),
+            OnComplete::Nothing,
+        );
+        eng.run_until_idle();
+        let stats = eng.stats();
+        assert_eq!(stats.flows_issued, 1);
+        assert_eq!(stats.flows_completed, 1);
+        let l = route[0].index();
+        assert!((stats.links[l].bytes - 1_000_000.0).abs() < 1.0);
+        assert_eq!(stats.links[l].flows, 1);
+    }
+
+    #[test]
+    fn trace_records_flow_lifecycle() {
+        let eng = Engine::with_tracing(Arc::new(presets::synthetic_default()), true);
+        let route = direct_route(&eng);
+        eng.start_flow(
+            FlowSpec::new(route, 1_000_000).labeled("probe"),
+            OnComplete::Nothing,
+        );
+        eng.run_until_idle();
+        let trace = eng.take_trace();
+        assert_eq!(trace.len(), 1);
+        let r = &trace[0];
+        assert_eq!(r.label, "probe");
+        assert_eq!(r.bytes, 1_000_000);
+        assert!(r.issued <= r.activated && r.activated <= r.completed);
+    }
+
+    #[test]
+    fn threaded_sleep_advances_clock() {
+        let eng = engine();
+        let e2 = eng.clone();
+        let h = std::thread::spawn(move || {
+            let t = e2.register_thread("sleeper");
+            t.sleep(5e-3);
+            t.now().as_secs()
+        });
+        let woke_at = h.join().unwrap();
+        assert!((woke_at - 5e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_threads_interleave_in_virtual_time() {
+        let eng = engine();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        // Register *all* actors before spawning any of them (see
+        // `register_thread` docs — early actors must not form a quorum
+        // alone).
+        let actors: Vec<_> = [("a", 2e-3), ("b", 1e-3)]
+            .into_iter()
+            .map(|(name, delay)| (eng.register_thread(name), name, delay))
+            .collect();
+        let mut handles = Vec::new();
+        for (t, name, delay) in actors {
+            let order = order.clone();
+            handles.push(std::thread::spawn(move || {
+                t.sleep(delay);
+                order.lock().push((name, t.now().as_nanos()));
+                // Second phase: a sleeps 1 ms more, b 3 ms more.
+                let second = if name == "a" { 1e-3 } else { 3e-3 };
+                t.sleep(second);
+                order.lock().push((name, t.now().as_nanos()));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let order = order.lock();
+        let times: Vec<_> = order.iter().map(|&(_, t)| t).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "wakeups must be in virtual-time order: {order:?}");
+        assert_eq!(order[0].0, "b"); // b wakes first (1 ms)
+        assert_eq!(order.last().unwrap().0, "b"); // b finishes last (4 ms)
+    }
+
+    #[test]
+    fn threaded_transfer_blocks_until_completion() {
+        let eng = engine();
+        let route = direct_route(&eng);
+        let e2 = eng.clone();
+        let h = std::thread::spawn(move || {
+            let t = e2.register_thread("mover");
+            t.transfer(FlowSpec::new(route, 50_000_000_000));
+            t.now().as_secs()
+        });
+        let t = h.join().unwrap();
+        assert!((t - 1.000002).abs() < 1e-8);
+    }
+
+    #[test]
+    fn concurrent_thread_transfers_share_bandwidth() {
+        let eng = engine();
+        let topo = eng.topology().clone();
+        let gpus = topo.gpus();
+        let route = vec![topo.link_between(gpus[0], gpus[1]).unwrap().id];
+        let actors: Vec<_> = (0..2)
+            .map(|i| eng.register_thread(format!("rank{i}")))
+            .collect();
+        let mut handles = Vec::new();
+        for t in actors {
+            let route = route.clone();
+            handles.push(std::thread::spawn(move || {
+                t.transfer(FlowSpec::new(route, 25_000_000_000));
+                t.now().as_secs()
+            }));
+        }
+        for h in handles {
+            let t = h.join().unwrap();
+            assert!((t - 1.000002).abs() < 1e-6, "t = {t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated deadlock")]
+    fn deadlock_is_detected() {
+        let eng = engine();
+        let t = eng.register_thread("stuck");
+        let w = Waker::new("never-fired");
+        t.wait(&w);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered threads")]
+    fn run_until_idle_rejects_registered_threads() {
+        let eng = engine();
+        let _t = eng.register_thread("active");
+        eng.run_until_idle();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty route")]
+    fn empty_route_rejected() {
+        let eng = engine();
+        eng.start_flow(FlowSpec::new(vec![], 100), OnComplete::Nothing);
+    }
+
+    #[test]
+    fn host_staged_flows_contend_on_dram() {
+        // Two flows down and up through the host DRAM self-loop; the DRAM
+        // link sees both, PCIe links one each.
+        let topo = Arc::new(presets::beluga());
+        let eng = Engine::new(topo.clone());
+        let gpus = topo.gpus();
+        let hm = topo.host_memories()[0];
+        let down = vec![
+            topo.link_between(gpus[0], hm).unwrap().id,
+            topo.link_between(hm, hm).unwrap().id,
+        ];
+        let up = vec![
+            topo.link_between(hm, hm).unwrap().id,
+            topo.link_between(hm, gpus[1]).unwrap().id,
+        ];
+        let n = 12_000_000_000usize; // 12 GB ≈ 1 s at PCIe rate
+        eng.start_flow(FlowSpec::new(down, n), OnComplete::Nothing);
+        eng.start_flow(FlowSpec::new(up, n), OnComplete::Nothing);
+        eng.run_until_idle();
+        // DRAM (38 GB/s) is not the bottleneck for two 12 GB/s PCIe flows,
+        // so both finish in ~1 s.
+        let t = eng.now().as_secs();
+        assert!((t - 1.0).abs() < 1e-3, "t = {t}");
+    }
+
+    #[test]
+    fn rate_changes_invalidate_stale_completions() {
+        // Start a long flow, then add a competitor halfway; the long
+        // flow's original completion estimate must be discarded.
+        let eng = engine();
+        let route = direct_route(&eng);
+        eng.start_flow(
+            FlowSpec::new(route.clone(), 50_000_000_000),
+            OnComplete::Nothing,
+        );
+        let r2 = route.clone();
+        eng.schedule_in(
+            0.5,
+            OnComplete::Call(Box::new(move |ctx| {
+                ctx.start_flow(FlowSpec::new(r2, 10_000_000_000), OnComplete::Nothing);
+            })),
+        );
+        eng.run_until_idle();
+        // First 0.5 s: flow A moves 25 GB. Then both share 25/25 GB/s;
+        // B (10 GB) finishes at t=0.9, A has 15 GB left, done at 1.2 s.
+        let t = eng.now().as_secs();
+        assert!((t - 1.200002).abs() < 1e-5, "t = {t}");
+    }
+
+    #[test]
+    fn events_at_same_time_fire_in_fifo_order() {
+        let eng = engine();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..5 {
+            let log = log.clone();
+            eng.schedule_in(
+                1e-3,
+                OnComplete::Call(Box::new(move |_| log.lock().push(i))),
+            );
+        }
+        eng.run_until_idle();
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn beluga_multi_path_aggregate_rate() {
+        // Sanity for the headline speedup shape: four flows on disjoint
+        // forward routes (direct, two staged first-legs, PCIe) must not
+        // slow each other down.
+        let topo = Arc::new(presets::beluga());
+        let eng = Engine::new(topo.clone());
+        let g = topo.gpus();
+        let hm = topo.host_memories()[0];
+        let routes = [
+            vec![topo.link_between(g[0], g[1]).unwrap().id],
+            vec![topo.link_between(g[0], g[2]).unwrap().id],
+            vec![topo.link_between(g[0], g[3]).unwrap().id],
+            vec![
+                topo.link_between(g[0], hm).unwrap().id,
+                topo.link_between(hm, hm).unwrap().id,
+            ],
+        ];
+        let sizes = [
+            gb_per_s(48.0) as usize,
+            gb_per_s(48.0) as usize,
+            gb_per_s(48.0) as usize,
+            gb_per_s(12.0) as usize,
+        ];
+        for (r, n) in routes.iter().zip(sizes) {
+            eng.start_flow(FlowSpec::new(r.clone(), n), OnComplete::Nothing);
+        }
+        eng.run_until_idle();
+        let t = eng.now().as_secs();
+        assert!((t - 1.0).abs() < 1e-4, "t = {t}");
+    }
+}
+
+#[cfg(test)]
+mod jitter_tests {
+    use super::*;
+    use mpx_topo::presets;
+    use std::sync::Arc;
+
+    fn jittered_run(seed: u64) -> u64 {
+        let topo = Arc::new(presets::synthetic_default());
+        let eng = Engine::new(topo.clone());
+        eng.set_jitter(JitterModel { seed, spread: 0.3 });
+        let gpus = topo.gpus();
+        let link = topo.link_between(gpus[0], gpus[1]).unwrap().id;
+        for _ in 0..8 {
+            eng.start_flow(FlowSpec::new(vec![link], 1 << 20), OnComplete::Nothing);
+        }
+        eng.run_until_idle();
+        eng.now().as_nanos()
+    }
+
+    #[test]
+    fn same_seed_reproduces_exactly() {
+        assert_eq!(jittered_run(7), jittered_run(7));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(jittered_run(7), jittered_run(8));
+    }
+
+    #[test]
+    fn jitter_perturbs_latency_within_spread() {
+        let topo = Arc::new(presets::synthetic_default());
+        let gpus = topo.gpus();
+        let link = topo.link_between(gpus[0], gpus[1]).unwrap().id;
+        // Zero-byte flow: completion time == (jittered) latency.
+        for seed in 0..20u64 {
+            let eng = Engine::new(topo.clone());
+            eng.set_jitter(JitterModel { seed, spread: 0.3 });
+            eng.start_flow(FlowSpec::new(vec![link], 0), OnComplete::Nothing);
+            eng.run_until_idle();
+            let t = eng.now().as_secs();
+            assert!(
+                (1.4e-6..=2.6e-6).contains(&t),
+                "seed {seed}: latency {t} outside ±30% of 2us"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "spread")]
+    fn invalid_spread_rejected() {
+        let eng = Engine::new(Arc::new(presets::synthetic_default()));
+        eng.set_jitter(JitterModel {
+            seed: 0,
+            spread: 1.5,
+        });
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let topo = Arc::new(presets::synthetic_default());
+        let eng = Engine::new(topo.clone());
+        let gpus = topo.gpus();
+        let link = topo.link_between(gpus[0], gpus[1]).unwrap().id;
+        // 50 GB at 50 GB/s: completes at ~1 s.
+        eng.start_flow(FlowSpec::new(vec![link], 50_000_000_000), OnComplete::Nothing);
+        let processed = eng.run_until(SimTime::from_secs(0.5));
+        assert_eq!(eng.now(), SimTime::from_secs(0.5));
+        assert!(processed >= 1, "activation fired");
+        assert_eq!(eng.active_flows(), 1, "flow still in flight");
+        eng.run_until_idle();
+        assert!((eng.now().as_secs() - 1.000002).abs() < 1e-8);
+    }
+
+    #[test]
+    fn run_until_is_composable_with_new_work() {
+        let topo = Arc::new(presets::synthetic_default());
+        let eng = Engine::new(topo.clone());
+        eng.run_until(SimTime::from_secs(1.0));
+        assert_eq!(eng.now(), SimTime::from_secs(1.0));
+        // New work scheduled after a drained deadline still runs.
+        eng.schedule_in(1e-3, OnComplete::Nothing);
+        eng.run_until_idle();
+        assert!((eng.now().as_secs() - 1.001).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod weight_tests {
+    use super::*;
+    use mpx_topo::presets;
+    use std::sync::Arc;
+
+    #[test]
+    fn weighted_flows_finish_in_weight_order() {
+        // Two equal-size flows on one link, weights 3:1 — the heavy one
+        // finishes first and the light one then speeds up.
+        let topo = Arc::new(presets::synthetic_default());
+        let eng = Engine::with_tracing(topo.clone(), true);
+        let gpus = topo.gpus();
+        let link = topo.link_between(gpus[0], gpus[1]).unwrap().id;
+        let n = 12_000_000_000usize; // 12 GB over a 50 GB/s link
+        eng.start_flow(
+            FlowSpec::new(vec![link], n).with_weight(3.0).labeled("prio"),
+            OnComplete::Nothing,
+        );
+        eng.start_flow(
+            FlowSpec::new(vec![link], n).labeled("bulk"),
+            OnComplete::Nothing,
+        );
+        eng.run_until_idle();
+        let trace = eng.take_trace();
+        let at = |label: &str| {
+            trace
+                .iter()
+                .find(|r| r.label == label)
+                .unwrap()
+                .completed
+                .as_secs()
+        };
+        // Priority flow: 12 GB at 37.5 GB/s = 0.32 s. Bulk: 12 GB with
+        // 0.32·12.5 = 4 GB done, remaining 8 GB at full 50 GB/s → 0.48 s.
+        assert!((at("prio") - 0.32).abs() < 1e-3, "prio at {}", at("prio"));
+        assert!((at("bulk") - 0.48).abs() < 1e-3, "bulk at {}", at("bulk"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn negative_weight_rejected() {
+        let topo = Arc::new(presets::synthetic_default());
+        let gpus = topo.gpus();
+        let link = topo.link_between(gpus[0], gpus[1]).unwrap().id;
+        let eng = Engine::new(topo);
+        eng.start_flow(
+            FlowSpec::new(vec![link], 1).with_weight(-1.0),
+            OnComplete::Nothing,
+        );
+    }
+}

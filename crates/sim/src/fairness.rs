@@ -1,0 +1,349 @@
+//! Max-min fair rate allocation over shared links ("progressive
+//! filling").
+//!
+//! Given link capacities and the set of links each flow traverses
+//! (with multiplicity: a flow crossing a link twice consumes twice its
+//! rate there), the algorithm repeatedly finds the most-contended link,
+//! freezes every flow crossing it at the link's fair share, removes the
+//! consumed capacity, and recurses on the rest. The result is the unique
+//! max-min fair allocation: no flow's rate can be raised without lowering
+//! that of a flow with an equal-or-smaller rate.
+//!
+//! This is what turns static link bandwidths into the *dynamic* contention
+//! behaviour the paper observes: staged paths sharing a DRAM channel or a
+//! UPI hop slow each other down exactly in proportion to how many of them
+//! are active.
+
+/// A flow's demand: the links it crosses, with multiplicity, and its
+/// QoS weight.
+#[derive(Debug, Clone)]
+pub struct FlowDemand {
+    /// `(link index, multiplicity)` — multiplicity counts how many times
+    /// the route crosses the link.
+    pub links: Vec<(usize, f64)>,
+    /// Weighted-fair-share weight: where flows contend, rates divide in
+    /// proportion to their weights.
+    pub weight: f64,
+}
+
+impl Default for FlowDemand {
+    fn default() -> Self {
+        FlowDemand {
+            links: Vec::new(),
+            weight: 1.0,
+        }
+    }
+}
+
+impl FlowDemand {
+    /// Builds a demand from a raw route, merging repeated links into
+    /// multiplicities.
+    pub fn from_route(route: &[usize]) -> FlowDemand {
+        let mut links: Vec<(usize, f64)> = Vec::with_capacity(route.len());
+        for &l in route {
+            match links.iter_mut().find(|(id, _)| *id == l) {
+                Some((_, m)) => *m += 1.0,
+                None => links.push((l, 1.0)),
+            }
+        }
+        FlowDemand { links, weight: 1.0 }
+    }
+
+    /// Builds a demand with a QoS weight: where flows contend, a flow of
+    /// weight `w` receives `w` times the rate of a weight-1 flow
+    /// (classic weighted max-min fairness).
+    ///
+    /// # Panics
+    /// Panics unless `weight > 0`.
+    pub fn from_route_weighted(route: &[usize], weight: f64) -> FlowDemand {
+        assert!(weight > 0.0 && weight.is_finite(), "invalid weight {weight}");
+        let mut d = FlowDemand::from_route(route);
+        d.weight = weight;
+        d
+    }
+}
+
+/// Computes max-min fair rates (bytes/s) for `flows` over links with the
+/// given `capacities` (bytes/s).
+///
+/// Flows with an empty demand are unconstrained and get `f64::INFINITY`.
+///
+/// # Panics
+/// Panics if a flow references a link index out of range, or any capacity
+/// is non-positive — both indicate topology construction bugs.
+pub fn max_min_rates(capacities: &[f64], flows: &[FlowDemand]) -> Vec<f64> {
+    for (i, c) in capacities.iter().enumerate() {
+        assert!(*c > 0.0 && c.is_finite(), "link {i} capacity {c} invalid");
+    }
+    let mut rates = vec![f64::INFINITY; flows.len()];
+    let mut frozen = vec![false; flows.len()];
+    // Residual capacity per link after frozen flows' consumption.
+    let mut residual = capacities.to_vec();
+    // Total *weighted* multiplicity of unfrozen flows per link: a flow
+    // of weight w and multiplicity m demands w·m per unit of fair share.
+    let mut load = vec![0.0f64; capacities.len()];
+    for (fi, f) in flows.iter().enumerate() {
+        assert!(
+            f.weight > 0.0 && f.weight.is_finite(),
+            "flow {fi} has invalid weight {}",
+            f.weight
+        );
+        if f.links.is_empty() {
+            frozen[fi] = true; // unconstrained
+            continue;
+        }
+        for &(l, m) in &f.links {
+            assert!(l < capacities.len(), "flow {fi} references unknown link {l}");
+            load[l] += f.weight * m;
+        }
+    }
+
+    loop {
+        // Most-contended link: minimal residual / weighted load.
+        let mut best: Option<(usize, f64)> = None;
+        for l in 0..residual.len() {
+            if load[l] > 0.0 {
+                let share = residual[l] / load[l];
+                if best.is_none_or(|(_, s)| share < s) {
+                    best = Some((l, share));
+                }
+            }
+        }
+        let Some((bottleneck, share_unit)) = best else {
+            break; // all flows frozen
+        };
+        // Freeze every unfrozen flow crossing the bottleneck at its
+        // weighted share.
+        for (fi, f) in flows.iter().enumerate() {
+            if frozen[fi] {
+                continue;
+            }
+            if f.links.iter().any(|&(l, _)| l == bottleneck) {
+                frozen[fi] = true;
+                let rate = share_unit * f.weight;
+                rates[fi] = rate;
+                for &(l, m) in &f.links {
+                    residual[l] = (residual[l] - rate * m).max(0.0);
+                    load[l] -= f.weight * m;
+                }
+            }
+        }
+        // Numerical safety: the bottleneck must now be unloaded.
+        load[bottleneck] = 0.0;
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(route: &[usize]) -> FlowDemand {
+        FlowDemand::from_route(route)
+    }
+
+    #[test]
+    fn single_flow_gets_min_capacity_on_route() {
+        let rates = max_min_rates(&[10.0, 4.0, 8.0], &[demand(&[0, 1, 2])]);
+        assert_eq!(rates, vec![4.0]);
+    }
+
+    #[test]
+    fn two_flows_share_a_link_equally() {
+        let rates = max_min_rates(&[10.0], &[demand(&[0]), demand(&[0])]);
+        assert_eq!(rates, vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_interfere() {
+        let rates = max_min_rates(&[10.0, 6.0], &[demand(&[0]), demand(&[1])]);
+        assert_eq!(rates, vec![10.0, 6.0]);
+    }
+
+    #[test]
+    fn bottlenecked_flow_releases_capacity_elsewhere() {
+        // Flow 0 crosses links 0 and 1; flow 1 only link 1.
+        // Link 0 = 2 is the bottleneck for flow 0, so flow 1 receives the
+        // rest of link 1's capacity: 10 - 2 = 8.
+        let rates = max_min_rates(&[2.0, 10.0], &[demand(&[0, 1]), demand(&[1])]);
+        assert_eq!(rates, vec![2.0, 8.0]);
+    }
+
+    #[test]
+    fn classic_three_flow_example() {
+        // Links A=10, B=10. Flows: f0 on A, f1 on B, f2 on A+B.
+        // Fair: f2 = 5, then f0 = f1 = 5. All equal here.
+        let rates = max_min_rates(
+            &[10.0, 10.0],
+            &[demand(&[0]), demand(&[1]), demand(&[0, 1])],
+        );
+        assert_eq!(rates, vec![5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn multiplicity_counts_double() {
+        // One flow crossing the same link twice can only move cap/2.
+        let rates = max_min_rates(&[10.0], &[demand(&[0, 0])]);
+        assert_eq!(rates, vec![5.0]);
+    }
+
+    #[test]
+    fn multiplicity_shares_with_single_crossers() {
+        // Flow 0 crosses twice, flow 1 once: loads are 2 and 1; the fair
+        // share per crossing is 10/3, flow rates are the same share.
+        let rates = max_min_rates(&[10.0], &[demand(&[0, 0]), demand(&[0])]);
+        assert!((rates[0] - 10.0 / 3.0).abs() < 1e-12);
+        assert!((rates[1] - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_flows_split_proportionally() {
+        // Weight 3 vs weight 1 on a 12-unit link: 9 vs 3.
+        let rates = max_min_rates(
+            &[12.0],
+            &[
+                FlowDemand::from_route_weighted(&[0], 3.0),
+                FlowDemand::from_route_weighted(&[0], 1.0),
+            ],
+        );
+        assert!((rates[0] - 9.0).abs() < 1e-12, "rates {rates:?}");
+        assert!((rates[1] - 3.0).abs() < 1e-12, "rates {rates:?}");
+    }
+
+    #[test]
+    fn weighted_flow_respects_other_bottlenecks() {
+        // The heavy flow also crosses a private 2-unit link: its weighted
+        // entitlement (9) is capped there, and the light flow picks up
+        // the released capacity.
+        let rates = max_min_rates(
+            &[12.0, 2.0],
+            &[
+                FlowDemand::from_route_weighted(&[0, 1], 3.0),
+                FlowDemand::from_route_weighted(&[0], 1.0),
+            ],
+        );
+        assert!((rates[0] - 2.0).abs() < 1e-12, "rates {rates:?}");
+        assert!((rates[1] - 10.0).abs() < 1e-12, "rates {rates:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn zero_weight_rejected() {
+        FlowDemand::from_route_weighted(&[0], 0.0);
+    }
+
+    #[test]
+    fn empty_demand_is_unconstrained() {
+        let rates = max_min_rates(&[10.0], &[FlowDemand::default(), demand(&[0])]);
+        assert_eq!(rates[0], f64::INFINITY);
+        assert_eq!(rates[1], 10.0);
+    }
+
+    #[test]
+    fn no_flows_no_rates() {
+        assert!(max_min_rates(&[1.0, 2.0], &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        max_min_rates(&[0.0], &[demand(&[0])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown link")]
+    fn out_of_range_link_panics() {
+        max_min_rates(&[1.0], &[demand(&[3])]);
+    }
+
+    #[test]
+    fn staged_bibw_contention_shape() {
+        // The Observation-5 scenario in miniature: a DRAM channel (link 2,
+        // 38 GB/s) crossed by four staging flows (two directions × two
+        // legs), while each leg also crosses its own PCIe link (12 GB/s).
+        // PCIe is the bottleneck while DRAM load is light; once four legs
+        // are active the DRAM channel (38/4 = 9.5) throttles all of them.
+        let caps = [12.0, 12.0, 38.0, 12.0, 12.0];
+        let two = max_min_rates(&caps, &[demand(&[0, 2]), demand(&[2, 1])]);
+        assert_eq!(two, vec![12.0, 12.0]);
+        let four = max_min_rates(
+            &caps,
+            &[
+                demand(&[0, 2]),
+                demand(&[2, 1]),
+                demand(&[3, 2]),
+                demand(&[2, 4]),
+            ],
+        );
+        for r in &four {
+            assert!((r - 9.5).abs() < 1e-12, "rates {four:?}");
+        }
+    }
+
+    // Property-based checks of the max-min definition.
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_case() -> impl Strategy<Value = (Vec<f64>, Vec<FlowDemand>)> {
+            (2usize..6).prop_flat_map(|nlinks| {
+                let caps = proptest::collection::vec(1.0f64..100.0, nlinks);
+                let flows = proptest::collection::vec(
+                    proptest::collection::vec(0usize..nlinks, 1..4),
+                    1..8,
+                )
+                .prop_map(|routes| {
+                    routes
+                        .iter()
+                        .map(|r| FlowDemand::from_route(r))
+                        .collect::<Vec<_>>()
+                });
+                (caps, flows)
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn no_link_oversubscribed((caps, flows) in arb_case()) {
+                let rates = max_min_rates(&caps, &flows);
+                let mut used = vec![0.0; caps.len()];
+                for (f, r) in flows.iter().zip(&rates) {
+                    for &(l, m) in &f.links {
+                        used[l] += r * m;
+                    }
+                }
+                for (l, (&u, &c)) in used.iter().zip(&caps).enumerate() {
+                    prop_assert!(u <= c * (1.0 + 1e-9), "link {l}: used {u} > cap {c}");
+                }
+            }
+
+            #[test]
+            fn every_flow_has_a_saturated_bottleneck((caps, flows) in arb_case()) {
+                // Max-min property: each flow crosses at least one link that
+                // is (numerically) fully utilized — otherwise its rate could
+                // be raised without hurting anyone.
+                let rates = max_min_rates(&caps, &flows);
+                let mut used = vec![0.0; caps.len()];
+                for (f, r) in flows.iter().zip(&rates) {
+                    for &(l, m) in &f.links {
+                        used[l] += r * m;
+                    }
+                }
+                for (fi, f) in flows.iter().enumerate() {
+                    let has_bottleneck = f
+                        .links
+                        .iter()
+                        .any(|&(l, _)| used[l] >= caps[l] * (1.0 - 1e-9));
+                    prop_assert!(has_bottleneck, "flow {fi} rate {} has slack everywhere", rates[fi]);
+                }
+            }
+
+            #[test]
+            fn rates_positive((caps, flows) in arb_case()) {
+                for (fi, r) in max_min_rates(&caps, &flows).iter().enumerate() {
+                    prop_assert!(*r > 0.0, "flow {fi} rate {r}");
+                }
+            }
+        }
+    }
+}

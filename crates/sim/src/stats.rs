@@ -1,0 +1,292 @@
+//! Post-run analysis of engine counters and traces: link utilization,
+//! path residency, and trace summarization — the reporting layer behind
+//! the pipeline-schedule example and the bench binaries.
+
+use crate::engine::{StatsSnapshot, TraceRecord};
+use crate::time::SimTime;
+use mpx_topo::Topology;
+
+/// One link's utilization over an interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkUtilization {
+    /// Link index (into `Topology::links`).
+    pub link: usize,
+    /// Bytes carried.
+    pub bytes: f64,
+    /// Mean fraction of the link's capacity used over the interval
+    /// (0.0–1.0; can slightly exceed 1.0 only through rounding).
+    pub utilization: f64,
+    /// Flows that crossed the link.
+    pub flows: u64,
+}
+
+/// Computes per-link utilization over `[0, snapshot.now]`.
+///
+/// Links that carried nothing are included with zero utilization so
+/// callers can spot idle capacity (the paper's Section-3 "under-utilized
+/// paths").
+pub fn link_utilization(topo: &Topology, snapshot: &StatsSnapshot) -> Vec<LinkUtilization> {
+    let horizon = snapshot.now.as_secs();
+    topo.links
+        .iter()
+        .zip(&snapshot.links)
+        .map(|(link, stats)| LinkUtilization {
+            link: link.id.index(),
+            bytes: stats.bytes,
+            utilization: if horizon > 0.0 {
+                stats.bytes / (link.bandwidth * horizon)
+            } else {
+                0.0
+            },
+            flows: stats.flows,
+        })
+        .collect()
+}
+
+/// The most-utilized link, if any traffic moved.
+pub fn bottleneck_link(topo: &Topology, snapshot: &StatsSnapshot) -> Option<LinkUtilization> {
+    link_utilization(topo, snapshot)
+        .into_iter()
+        .filter(|u| u.bytes > 0.0)
+        .max_by(|a, b| a.utilization.partial_cmp(&b.utilization).expect("finite"))
+}
+
+/// Aggregate description of a flow trace: span, bytes, and concurrency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Number of flows.
+    pub flows: usize,
+    /// First activation.
+    pub start: SimTime,
+    /// Last completion.
+    pub end: SimTime,
+    /// Total payload bytes (each flow counted once).
+    pub bytes: usize,
+    /// Time-averaged number of simultaneously active flows.
+    pub mean_concurrency: f64,
+    /// Peak number of simultaneously active flows.
+    pub peak_concurrency: usize,
+}
+
+/// Summarizes a trace (empty traces yield a zeroed summary).
+pub fn summarize_trace(trace: &[TraceRecord]) -> TraceSummary {
+    if trace.is_empty() {
+        return TraceSummary {
+            flows: 0,
+            start: SimTime::ZERO,
+            end: SimTime::ZERO,
+            bytes: 0,
+            mean_concurrency: 0.0,
+            peak_concurrency: 0,
+        };
+    }
+    let start = trace.iter().map(|r| r.activated).min().expect("non-empty");
+    let end = trace.iter().map(|r| r.completed).max().expect("non-empty");
+    let bytes = trace.iter().map(|r| r.bytes).sum();
+
+    // Sweep activation/completion edges for concurrency.
+    let mut edges: Vec<(SimTime, i64)> = Vec::with_capacity(trace.len() * 2);
+    for r in trace {
+        edges.push((r.activated, 1));
+        edges.push((r.completed, -1));
+    }
+    edges.sort_unstable_by_key(|&(t, delta)| (t, delta));
+    let mut active = 0i64;
+    let mut peak = 0i64;
+    let mut weighted = 0.0f64;
+    let mut last = start;
+    for (t, delta) in edges {
+        weighted += active as f64 * t.secs_since(last);
+        active += delta;
+        peak = peak.max(active);
+        last = t;
+    }
+    let span = end.secs_since(start);
+    TraceSummary {
+        flows: trace.len(),
+        start,
+        end,
+        bytes,
+        mean_concurrency: if span > 0.0 { weighted / span } else { 0.0 },
+        peak_concurrency: peak as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, FlowSpec, OnComplete};
+    use mpx_topo::presets;
+    use std::sync::Arc;
+
+    fn run_two_flows() -> (Arc<mpx_topo::Topology>, Engine) {
+        let topo = Arc::new(presets::synthetic_default());
+        let eng = Engine::with_tracing(topo.clone(), true);
+        let gpus = topo.gpus();
+        let l01 = topo.link_between(gpus[0], gpus[1]).unwrap().id;
+        let l02 = topo.link_between(gpus[0], gpus[2]).unwrap().id;
+        eng.start_flow(FlowSpec::new(vec![l01], 50_000_000), OnComplete::Nothing);
+        eng.start_flow(FlowSpec::new(vec![l02], 25_000_000), OnComplete::Nothing);
+        eng.run_until_idle();
+        (topo, eng)
+    }
+
+    #[test]
+    fn utilization_reflects_link_occupancy() {
+        let (topo, eng) = run_two_flows();
+        let stats = eng.stats();
+        let report = link_utilization(&topo, &stats);
+        let gpus = topo.gpus();
+        let l01 = topo.link_between(gpus[0], gpus[1]).unwrap().id.index();
+        let l02 = topo.link_between(gpus[0], gpus[2]).unwrap().id.index();
+        // Flow on l01 is twice the bytes of l02, same rate, so the run
+        // lasts as long as l01's flow: l01 ~100% busy, l02 ~50%.
+        assert!(report[l01].utilization > 0.95, "{:?}", report[l01]);
+        assert!(
+            (report[l02].utilization - 0.5).abs() < 0.05,
+            "{:?}",
+            report[l02]
+        );
+        // Idle links are reported with zero use.
+        let idle = report.iter().filter(|u| u.bytes == 0.0).count();
+        assert!(idle > 0);
+    }
+
+    #[test]
+    fn bottleneck_is_the_busy_link() {
+        let (topo, eng) = run_two_flows();
+        let gpus = topo.gpus();
+        let l01 = topo.link_between(gpus[0], gpus[1]).unwrap().id.index();
+        let b = bottleneck_link(&topo, &eng.stats()).expect("traffic moved");
+        assert_eq!(b.link, l01);
+    }
+
+    #[test]
+    fn trace_summary_counts_concurrency() {
+        let (_, eng) = run_two_flows();
+        let trace = eng.take_trace();
+        let s = summarize_trace(&trace);
+        assert_eq!(s.flows, 2);
+        assert_eq!(s.bytes, 75_000_000);
+        assert_eq!(s.peak_concurrency, 2);
+        // Both run together for the first half, one alone after:
+        // mean concurrency = (2·t + 1·t) / 2t = 1.5.
+        assert!((s.mean_concurrency - 1.5).abs() < 0.05, "{s:?}");
+        assert!(s.start < s.end);
+    }
+
+    #[test]
+    fn empty_trace_summary_is_zeroed() {
+        let s = summarize_trace(&[]);
+        assert_eq!(s.flows, 0);
+        assert_eq!(s.peak_concurrency, 0);
+        assert_eq!(s.mean_concurrency, 0.0);
+    }
+}
+
+/// Serializes a flow trace in Chrome trace-event format (the JSON array
+/// flavour), loadable in `chrome://tracing` or Perfetto. Each flow
+/// becomes a complete event (`ph: "X"`); its lane (`tid`) is derived
+/// from the label's `pN`/`leg` structure so multi-path transfers render
+/// one row per path and leg, mirroring the paper's Fig. 2(b).
+pub fn trace_to_chrome_json(trace: &[TraceRecord]) -> String {
+    fn lane(label: &str) -> String {
+        // "xfer0.p1.c3.leg2" → "xfer0.p1.leg2"; labels without the
+        // chunk field pass through unchanged.
+        let mut parts: Vec<&str> = label.split('.').collect();
+        parts.retain(|p| !(p.starts_with('c') && p[1..].bytes().all(|b| b.is_ascii_digit())));
+        parts.join(".")
+    }
+    let mut out = String::from("[\n");
+    let mut lanes: Vec<String> = Vec::new();
+    for r in trace {
+        let lane_name = lane(&r.label);
+        let tid = match lanes.iter().position(|l| *l == lane_name) {
+            Some(i) => i,
+            None => {
+                lanes.push(lane_name.clone());
+                lanes.len() - 1
+            }
+        };
+        let dur_us = r.completed.secs_since(r.activated) * 1e6;
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"cat\": \"flow\", \"ph\": \"X\", \"pid\": 1, \
+             \"tid\": {}, \"ts\": {:.3}, \"dur\": {:.3}, \
+             \"args\": {{\"bytes\": {}, \"lane\": \"{}\"}}}},\n",
+            r.label,
+            tid,
+            r.activated.as_secs() * 1e6,
+            dur_us,
+            r.bytes,
+            lane_name
+        ));
+    }
+    // Lane-name metadata events.
+    for (i, l) in lanes.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {i}, \
+             \"args\": {{\"name\": \"{l}\"}}}},\n"
+        ));
+    }
+    // Trailing comma is legal in the chrome trace array flavour, but be
+    // tidy anyway.
+    if out.ends_with(",\n") {
+        out.truncate(out.len() - 2);
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod chrome_tests {
+    use super::*;
+    use crate::engine::{Engine, FlowSpec, OnComplete};
+    use mpx_topo::presets;
+    use std::sync::Arc;
+
+    #[test]
+    fn chrome_export_is_valid_json_with_lanes() {
+        let topo = Arc::new(presets::synthetic_default());
+        let eng = Engine::with_tracing(topo.clone(), true);
+        let gpus = topo.gpus();
+        let l01 = topo.link_between(gpus[0], gpus[1]).unwrap().id;
+        let l02 = topo.link_between(gpus[0], gpus[2]).unwrap().id;
+        eng.start_flow(
+            FlowSpec::new(vec![l01], 1 << 20).labeled("xfer0.p0.direct"),
+            OnComplete::Nothing,
+        );
+        eng.start_flow(
+            FlowSpec::new(vec![l02], 1 << 20).labeled("xfer0.p1.c0.leg1"),
+            OnComplete::Nothing,
+        );
+        eng.start_flow(
+            FlowSpec::new(vec![l02], 1 << 20).labeled("xfer0.p1.c1.leg1"),
+            OnComplete::Nothing,
+        );
+        eng.run_until_idle();
+        let json = trace_to_chrome_json(&eng.take_trace());
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = parsed.as_array().unwrap();
+        // 3 flows + 2 lane-metadata events (chunks collapse to one lane).
+        assert_eq!(events.len(), 5, "{json}");
+        let lanes: Vec<&str> = events
+            .iter()
+            .filter(|e| e["ph"] == "M")
+            .map(|e| e["args"]["name"].as_str().unwrap())
+            .collect();
+        assert!(lanes.contains(&"xfer0.p0.direct"));
+        assert!(lanes.contains(&"xfer0.p1.leg1"));
+        // Durations are positive.
+        for e in events.iter().filter(|e| e["ph"] == "X") {
+            assert!(e["dur"].as_f64().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn chrome_export_empty_trace() {
+        let json = trace_to_chrome_json(&[]);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.as_array().unwrap().len(), 0);
+    }
+}

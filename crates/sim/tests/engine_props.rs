@@ -1,0 +1,130 @@
+//! Property-based tests of the discrete-event engine: byte conservation,
+//! virtual-time sanity, and fairness bounds over randomized flow sets.
+
+use mpx_sim::{Engine, FlowSpec, OnComplete};
+use mpx_topo::presets::{synthetic, SyntheticSpec};
+use mpx_topo::units::gb_per_s;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+struct FlowCase {
+    src: usize,
+    dst: usize,
+    bytes: usize,
+    delay_us: u32,
+}
+
+fn arb_flows() -> impl Strategy<Value = Vec<FlowCase>> {
+    proptest::collection::vec(
+        (0usize..4, 0usize..4, 1usize..(1 << 24), 0u32..500).prop_filter_map(
+            "distinct endpoints",
+            |(src, dst, bytes, delay_us)| {
+                (src != dst).then_some(FlowCase {
+                    src,
+                    dst,
+                    bytes,
+                    delay_us,
+                })
+            },
+        ),
+        1..12,
+    )
+}
+
+fn topo() -> Arc<mpx_topo::Topology> {
+    Arc::new(synthetic(SyntheticSpec {
+        gpus: 4,
+        nvlink_bw: gb_per_s(50.0),
+        ..SyntheticSpec::default()
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bytes_are_conserved(flows in arb_flows()) {
+        let topo = topo();
+        let eng = Engine::new(topo.clone());
+        let mut expected = vec![0.0f64; topo.link_count()];
+        for f in &flows {
+            let gpus = topo.gpus();
+            let link = topo.link_between(gpus[f.src], gpus[f.dst]).unwrap().id;
+            expected[link.index()] += f.bytes as f64;
+            let spec = FlowSpec::new(vec![link], f.bytes)
+                .with_extra_latency(f.delay_us as f64 * 1e-6);
+            eng.start_flow(spec, OnComplete::Nothing);
+        }
+        eng.run_until_idle();
+        let stats = eng.stats();
+        prop_assert_eq!(stats.flows_issued, flows.len() as u64);
+        prop_assert_eq!(stats.flows_completed, flows.len() as u64);
+        for (l, (got, want)) in stats.links.iter().zip(&expected).enumerate() {
+            prop_assert!(
+                (got.bytes - want).abs() < 1.0,
+                "link {l}: carried {} expected {want}",
+                got.bytes
+            );
+        }
+    }
+
+    #[test]
+    fn makespan_bounded_by_serial_and_ideal(flows in arb_flows()) {
+        // The makespan is at least the best-case (every flow at full link
+        // rate, maximal per-link aggregation) and at most the serial
+        // sum of all flows end to end.
+        let topo = topo();
+        let eng = Engine::new(topo.clone());
+        let gpus = topo.gpus();
+        let mut serial = 0.0f64;
+        let mut per_link_ideal = vec![0.0f64; topo.link_count()];
+        for f in &flows {
+            let link = topo.link_between(gpus[f.src], gpus[f.dst]).unwrap();
+            let t = f.delay_us as f64 * 1e-6 + link.transfer_time(f.bytes);
+            serial += t;
+            per_link_ideal[link.id.index()] += f.bytes as f64 / link.bandwidth;
+            eng.start_flow(
+                FlowSpec::new(vec![link.id], f.bytes)
+                    .with_extra_latency(f.delay_us as f64 * 1e-6),
+                OnComplete::Nothing,
+            );
+        }
+        let ideal = per_link_ideal.iter().cloned().fold(0.0f64, f64::max);
+        eng.run_until_idle();
+        let makespan = eng.now().as_secs();
+        // Every event time is ceiled to whole nanoseconds; allow a few
+        // ns of rounding per flow.
+        let slack = (4 * flows.len()) as f64 * 1e-9;
+        prop_assert!(
+            makespan <= serial + slack,
+            "{makespan} > serial {serial}"
+        );
+        prop_assert!(
+            makespan >= ideal - 1e-9,
+            "{makespan} beats the per-link ideal {ideal}"
+        );
+    }
+
+    #[test]
+    fn events_processed_scales_linearly(flows in arb_flows()) {
+        // Each flow contributes O(flows) events (activation, completion,
+        // rescheduled completions after rate changes). Guard against
+        // accidental quadratic blowup in the fairness recompute.
+        let topo = topo();
+        let eng = Engine::new(topo.clone());
+        let gpus = topo.gpus();
+        for f in &flows {
+            let link = topo.link_between(gpus[f.src], gpus[f.dst]).unwrap().id;
+            eng.start_flow(FlowSpec::new(vec![link], f.bytes), OnComplete::Nothing);
+        }
+        eng.run_until_idle();
+        let events = eng.stats().events_processed;
+        let bound = (2 * flows.len() * (flows.len() + 1)) as u64 + 4;
+        prop_assert!(
+            events <= bound,
+            "{events} events for {} flows (bound {bound})",
+            flows.len()
+        );
+    }
+}

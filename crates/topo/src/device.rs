@@ -1,0 +1,178 @@
+//! Devices: GPUs, host memory domains, and their NUMA placement.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a device within a [`crate::Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceId(pub u32);
+
+impl DeviceId {
+    /// Returns the raw index, usable to address per-device tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// NUMA domain a device belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NumaNode(pub u16);
+
+impl fmt::Display for NumaNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "numa{}", self.0)
+    }
+}
+
+/// GPU generation, used by presets and reporting. The model itself only
+/// consumes link parameters, so adding a model here never changes results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuModel {
+    /// NVIDIA V100 (Beluga nodes, NVLink-V2).
+    V100,
+    /// NVIDIA A100 (Narval nodes, NVLink-V3).
+    A100,
+    /// A device whose characteristics come purely from its links.
+    Generic,
+}
+
+impl fmt::Display for GpuModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuModel::V100 => write!(f, "V100"),
+            GpuModel::A100 => write!(f, "A100"),
+            GpuModel::Generic => write!(f, "GPU"),
+        }
+    }
+}
+
+/// What a device is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// A GPU accelerator able to source, sink, and stage transfers.
+    Gpu(GpuModel),
+    /// A host memory domain (one per NUMA node); staging target for
+    /// host-staged paths.
+    HostMemory,
+    /// A network interface (IB HCA / RDMA NIC); endpoint of inter-node
+    /// rails. RDMA reads/writes flow *through* NICs without staging.
+    Nic,
+}
+
+impl DeviceKind {
+    /// True for GPU devices.
+    #[inline]
+    pub fn is_gpu(self) -> bool {
+        matches!(self, DeviceKind::Gpu(_))
+    }
+
+    /// True for host memory domains.
+    #[inline]
+    pub fn is_host(self) -> bool {
+        matches!(self, DeviceKind::HostMemory)
+    }
+
+    /// True for network interfaces.
+    #[inline]
+    pub fn is_nic(self) -> bool {
+        matches!(self, DeviceKind::Nic)
+    }
+}
+
+/// A device node in the topology graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Identifier (index into [`crate::Topology::devices`]).
+    pub id: DeviceId,
+    /// GPU, host memory, or NIC.
+    pub kind: DeviceKind,
+    /// NUMA domain the device lives in.
+    pub numa: NumaNode,
+    /// Which physical node (machine) the device belongs to; 0 for
+    /// single-node topologies.
+    #[serde(default)]
+    pub node: u16,
+    /// Human-readable name (`gpu0`, `host-mem0`, ...).
+    pub name: String,
+}
+
+impl Device {
+    /// True if the device is a GPU.
+    #[inline]
+    pub fn is_gpu(&self) -> bool {
+        self.kind.is_gpu()
+    }
+
+    /// True if the device is a host memory domain.
+    #[inline]
+    pub fn is_host(&self) -> bool {
+        self.kind.is_host()
+    }
+
+    /// True if the device is a NIC.
+    #[inline]
+    pub fn is_nic(&self) -> bool {
+        self.kind.is_nic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_id_display_and_index() {
+        let id = DeviceId(3);
+        assert_eq!(id.to_string(), "dev3");
+        assert_eq!(id.index(), 3);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(DeviceKind::Gpu(GpuModel::V100).is_gpu());
+        assert!(!DeviceKind::Gpu(GpuModel::A100).is_host());
+        assert!(DeviceKind::HostMemory.is_host());
+        assert!(!DeviceKind::HostMemory.is_gpu());
+    }
+
+    #[test]
+    fn device_predicates_follow_kind() {
+        let gpu = Device {
+            id: DeviceId(0),
+            kind: DeviceKind::Gpu(GpuModel::Generic),
+            numa: NumaNode(0),
+            node: 0,
+            name: "gpu0".into(),
+        };
+        assert!(gpu.is_gpu());
+        assert!(!gpu.is_host());
+    }
+
+    #[test]
+    fn gpu_model_display() {
+        assert_eq!(GpuModel::V100.to_string(), "V100");
+        assert_eq!(GpuModel::A100.to_string(), "A100");
+        assert_eq!(GpuModel::Generic.to_string(), "GPU");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let dev = Device {
+            id: DeviceId(7),
+            kind: DeviceKind::HostMemory,
+            numa: NumaNode(2),
+            node: 1,
+            name: "host-mem2".into(),
+        };
+        let json = serde_json::to_string(&dev).unwrap();
+        let back: Device = serde_json::from_str(&json).unwrap();
+        assert_eq!(dev, back);
+    }
+}

@@ -1,0 +1,103 @@
+//! Graphviz DOT rendering of topologies — the quickest way to sanity-
+//! check a hand-written machine description (`mpx export --format dot`).
+
+use crate::device::DeviceKind;
+use crate::link::LinkKind;
+use crate::topology::Topology;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Renders `topo` as a Graphviz graph: GPUs as boxes, host memories as
+/// ellipses, NICs as hexagons, one edge per physical channel (duplex
+/// pairs collapse; self-loop DRAM channels annotate their node), labeled
+/// with technology and bandwidth.
+pub fn to_dot(topo: &Topology) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{}\" {{", topo.name);
+    let _ = writeln!(out, "  layout=neato; overlap=false; splines=true;");
+
+    // Nodes, annotated with DRAM channels where present.
+    for d in &topo.devices {
+        let (shape, extra) = match d.kind {
+            DeviceKind::Gpu(model) => ("box", format!("{model}")),
+            DeviceKind::HostMemory => {
+                let dram = topo
+                    .link_between(d.id, d.id)
+                    .map(|l| format!("\\nDRAM {:.0} GB/s", l.bandwidth / 1e9))
+                    .unwrap_or_default();
+                ("ellipse", format!("host{dram}"))
+            }
+            DeviceKind::Nic => ("hexagon", "NIC".to_string()),
+        };
+        let _ = writeln!(
+            out,
+            "  d{} [shape={shape}, label=\"{}\\n{} node{}\"];",
+            d.id.0, d.name, extra, d.node
+        );
+    }
+
+    // Edges: collapse duplex pairs, skip self-loops (annotated above).
+    let mut seen: HashSet<(u32, u32)> = HashSet::new();
+    for l in &topo.links {
+        if l.src == l.dst {
+            continue;
+        }
+        let key = (l.src.0.min(l.dst.0), l.src.0.max(l.dst.0));
+        if !seen.insert(key) {
+            continue;
+        }
+        let style = match l.kind {
+            LinkKind::NvLinkV2 | LinkKind::NvLinkV3 => "bold",
+            LinkKind::Pcie => "solid",
+            LinkKind::Upi => "dashed",
+            LinkKind::HostDram | LinkKind::Custom => "dotted",
+        };
+        let _ = writeln!(
+            out,
+            "  d{} -- d{} [style={style}, label=\"{} {:.0}\"];",
+            l.src.0,
+            l.dst.0,
+            l.kind,
+            l.bandwidth / 1e9
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn beluga_dot_has_all_devices_and_pairs() {
+        let dot = to_dot(&presets::beluga());
+        assert!(dot.starts_with("graph \"beluga\""));
+        for i in 0..5 {
+            assert!(dot.contains(&format!("d{i} [")), "device {i} missing");
+        }
+        // 6 NVLink pairs + 4 PCIe pairs = 10 edges (duplex collapsed).
+        assert_eq!(dot.matches(" -- ").count(), 10, "{dot}");
+        assert!(dot.contains("DRAM 38"));
+        assert!(dot.contains("NVLink-V2 48"));
+    }
+
+    #[test]
+    fn two_node_dot_includes_nics_and_wires() {
+        let dot = to_dot(&presets::two_node_beluga(2));
+        assert!(dot.contains("hexagon"));
+        assert!(dot.contains("node1"));
+        // Wires appear once each.
+        assert!(dot.contains("custom 24"));
+    }
+
+    #[test]
+    fn dot_is_braces_balanced() {
+        for topo in [presets::narval(), presets::dgx1()] {
+            let dot = to_dot(&topo);
+            assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+            assert!(dot.ends_with("}\n"));
+        }
+    }
+}

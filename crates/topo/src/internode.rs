@@ -1,0 +1,123 @@
+//! Inter-node rails: the multi-node extension the paper lists as future
+//! work (Section 6), where multi-*rail* transfers are the inter-node
+//! analog of multi-path.
+//!
+//! A **rail** is one GPUDirect-RDMA route: source GPU → local NIC →
+//! wire → remote NIC → destination GPU. RDMA is zero-copy end to end —
+//! no staging buffer, no synchronization point — so a rail is a *direct*
+//! path with a multi-link route, and the share optimizer applies to a
+//! set of rails through exactly Eq. (8).
+//!
+//! Rail selection mirrors production multi-rail policy: prefer the NIC
+//! in the GPU's own NUMA domain (rail affinity), then spill onto the
+//! node's other NICs.
+
+use crate::device::DeviceId;
+use crate::path::{Leg, PathKind, TransferPath};
+use crate::topology::{Topology, TopologyError};
+
+/// Enumerates up to `max_rails` rail paths from `src` to `dst` (GPUs on
+/// different nodes). Rails are ordered NUMA-local NIC first.
+pub fn enumerate_rails(
+    topo: &Topology,
+    src: DeviceId,
+    dst: DeviceId,
+    max_rails: usize,
+) -> Result<Vec<TransferPath>, TopologyError> {
+    let sdev = topo.device(src)?;
+    let ddev = topo.device(dst)?;
+    if !sdev.is_gpu() {
+        return Err(TopologyError::NotAGpu(src));
+    }
+    if !ddev.is_gpu() {
+        return Err(TopologyError::NotAGpu(dst));
+    }
+    assert_ne!(
+        sdev.node, ddev.node,
+        "enumerate_rails needs endpoints on different nodes"
+    );
+
+    // Local NICs reachable from the source, NUMA-affine first.
+    let mut local_nics: Vec<DeviceId> = topo
+        .nics()
+        .into_iter()
+        .filter(|&nic| {
+            topo.device(nic).map(|d| d.node) == Ok(sdev.node) && topo.has_link(src, nic)
+        })
+        .collect();
+    local_nics.sort_by_key(|&nic| {
+        let affine = topo.device(nic).map(|d| d.numa) == Ok(sdev.numa);
+        (!affine, nic)
+    });
+
+    let mut rails = Vec::new();
+    for nic in local_nics.into_iter() {
+        if rails.len() >= max_rails {
+            break;
+        }
+        // The wire: this NIC's link to a NIC on the destination node
+        // that can reach `dst`.
+        for remote in topo.nics() {
+            if topo.device(remote).map(|d| d.node) != Ok(ddev.node) {
+                continue;
+            }
+            let (Ok(wire), Ok(down)) = (topo.link_between(nic, remote), topo.link_between(remote, dst))
+            else {
+                continue;
+            };
+            let up = topo.link_between(src, nic)?;
+            rails.push(TransferPath {
+                kind: PathKind::Rail {
+                    src_nic: nic,
+                    dst_nic: remote,
+                },
+                src,
+                dst,
+                legs: vec![Leg::new(vec![up.id, wire.id, down.id])],
+            });
+            break; // one wire per local NIC (rails are point-to-point)
+        }
+    }
+    if rails.is_empty() {
+        return Err(TopologyError::NoLink(src, dst));
+    }
+    Ok(rails)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn two_node_rails_enumerate_per_nic() {
+        let t = presets::two_node_beluga(2);
+        let gpus = t.gpus();
+        // GPU 0 (node 0) to GPU 4 (node 1).
+        let rails = enumerate_rails(&t, gpus[0], gpus[4], 4).unwrap();
+        assert_eq!(rails.len(), 2, "two rails for two NIC pairs");
+        for r in &rails {
+            assert!(matches!(r.kind, PathKind::Rail { .. }));
+            assert_eq!(r.legs.len(), 1, "RDMA rails are single-leg");
+            assert_eq!(r.legs[0].route.len(), 3, "pcie + wire + pcie");
+        }
+        // Distinct wires.
+        assert_ne!(rails[0].legs[0].route[1], rails[1].legs[0].route[1]);
+    }
+
+    #[test]
+    fn rail_cap_respected() {
+        let t = presets::two_node_beluga(2);
+        let gpus = t.gpus();
+        let rails = enumerate_rails(&t, gpus[1], gpus[6], 1).unwrap();
+        assert_eq!(rails.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different nodes")]
+    fn same_node_endpoints_panic() {
+        let t = presets::two_node_beluga(2);
+        let gpus = t.gpus();
+        let _ = enumerate_rails(&t, gpus[0], gpus[1], 2);
+    }
+}

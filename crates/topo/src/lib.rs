@@ -1,0 +1,47 @@
+//! # mpx-topo — intra-node multi-GPU topology
+//!
+//! This crate describes the *hardware substrate* the performance model and
+//! the simulator operate on: GPUs, host (NUMA) memory domains, and the
+//! heterogeneous links between them (NVLink, PCIe, UPI, DRAM channels).
+//!
+//! It provides:
+//!
+//! * [`Topology`] — a directed multigraph of [`Device`]s and [`Link`]s,
+//!   built through [`TopologyBuilder`];
+//! * [`presets`] — the two clusters evaluated in the paper (Beluga with
+//!   4×V100/NVLink-V2 and Narval with 4×A100/NVLink-V3) plus auxiliary
+//!   configurations used by tests and ablations;
+//! * [`path`] — enumeration of the candidate transfer paths between two
+//!   GPUs: **direct**, **GPU-staged** and **host-staged** (Section 3.1 of
+//!   the paper);
+//! * [`params`] — extraction of the per-path Hockney parameters
+//!   `(αᵢ, βᵢ, α′ᵢ, β′ᵢ, εᵢ)` consumed by the analytical model.
+//!
+//! Everything here is plain data: no simulation state, no interior
+//! mutability, `Send + Sync` throughout.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod device;
+pub mod dot;
+pub mod internode;
+pub mod link;
+pub mod overhead;
+pub mod params;
+pub mod path;
+pub mod presets;
+pub mod topology;
+pub mod units;
+pub mod validate;
+
+pub use device::{Device, DeviceId, DeviceKind, GpuModel, NumaNode};
+pub use dot::to_dot;
+pub use link::{Link, LinkId, LinkKind};
+pub use overhead::OverheadModel;
+pub use params::{LegParams, PathParams};
+pub use internode::enumerate_rails;
+pub use path::{enumerate_paths_auto, Leg, PathKind, PathSelection, TransferPath};
+pub use topology::{Topology, TopologyBuilder, TopologyError};
+pub use units::{Bandwidth, Secs};
+pub use validate::{validate, ValidationIssue};

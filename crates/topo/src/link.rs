@@ -1,0 +1,155 @@
+//! Links: directed, capacity-limited channels between devices.
+//!
+//! A physical full-duplex interconnect (e.g. an NVLink brick) is modelled
+//! as **two directed links**, one per direction, each with the full
+//! per-direction bandwidth. Contention between transfers flowing the same
+//! direction over the same physical channel is then handled uniformly by
+//! the simulator's max-min fair sharing; opposite directions do not
+//! interfere, matching NVLink/PCIe full-duplex behaviour.
+//!
+//! Shared host resources (a NUMA domain's DRAM channel, the inter-socket
+//! UPI) are also links: a flow's route simply traverses them, and the same
+//! fairness machinery yields the host-side contention the paper observes
+//! in bidirectional host-staged transfers (Observation 5).
+
+use crate::device::DeviceId;
+use crate::units::{Bandwidth, Secs};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a link within a [`crate::Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// Returns the raw index, usable to address per-link tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link{}", self.0)
+    }
+}
+
+/// The physical technology behind a link. Only used for reporting and
+/// preset construction; the model and simulator consume `(bandwidth,
+/// latency)` directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// NVLink 2.0 (V100 era); ~25 GB/s per direction per sub-link.
+    NvLinkV2,
+    /// NVLink 3.0 (A100 era); ~25 GB/s per direction per sub-link.
+    NvLinkV3,
+    /// PCI Express (host ↔ GPU).
+    Pcie,
+    /// Inter-socket / inter-NUMA interconnect (UPI, xGMI, ...).
+    Upi,
+    /// A NUMA domain's DRAM channel; shared by all host-staged traffic
+    /// that stages in this domain.
+    HostDram,
+    /// Anything else (tests, synthetic topologies).
+    Custom,
+}
+
+impl LinkKind {
+    /// True for direct GPU↔GPU interconnect generations.
+    #[inline]
+    pub fn is_nvlink(self) -> bool {
+        matches!(self, LinkKind::NvLinkV2 | LinkKind::NvLinkV3)
+    }
+}
+
+impl fmt::Display for LinkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LinkKind::NvLinkV2 => "NVLink-V2",
+            LinkKind::NvLinkV3 => "NVLink-V3",
+            LinkKind::Pcie => "PCIe",
+            LinkKind::Upi => "UPI",
+            LinkKind::HostDram => "DRAM",
+            LinkKind::Custom => "custom",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A directed channel `src → dst`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Identifier (index into [`crate::Topology::links`]).
+    pub id: LinkId,
+    /// Source device.
+    pub src: DeviceId,
+    /// Destination device.
+    pub dst: DeviceId,
+    /// Technology, for reporting.
+    pub kind: LinkKind,
+    /// Aggregate bandwidth in bytes/second for this direction. For multi
+    /// sub-link interconnects this is `sub_links × per-sub-link bandwidth`.
+    pub bandwidth: Bandwidth,
+    /// Propagation + protocol latency of the channel in seconds.
+    pub latency: Secs,
+    /// Number of physical sub-links aggregated into this logical link
+    /// (2 NVLink bricks per V100 pair on Beluga, 4 per A100 pair on
+    /// Narval). Informational.
+    pub sub_links: u32,
+}
+
+impl Link {
+    /// Time for `bytes` to cross this link alone (Hockney on one link).
+    #[inline]
+    pub fn transfer_time(&self, bytes: usize) -> Secs {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::gb_per_s;
+
+    fn sample() -> Link {
+        Link {
+            id: LinkId(0),
+            src: DeviceId(0),
+            dst: DeviceId(1),
+            kind: LinkKind::NvLinkV2,
+            bandwidth: gb_per_s(50.0),
+            latency: 2e-6,
+            sub_links: 2,
+        }
+    }
+
+    #[test]
+    fn transfer_time_is_hockney() {
+        let l = sample();
+        let t = l.transfer_time(50_000_000_000);
+        // 50 GB over 50 GB/s = 1s, plus 2 µs latency.
+        assert!((t - 1.000002).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn transfer_time_zero_bytes_is_latency() {
+        let l = sample();
+        assert!((l.transfer_time(0) - 2e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn link_kind_nvlink_predicate() {
+        assert!(LinkKind::NvLinkV2.is_nvlink());
+        assert!(LinkKind::NvLinkV3.is_nvlink());
+        assert!(!LinkKind::Pcie.is_nvlink());
+        assert!(!LinkKind::HostDram.is_nvlink());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(LinkKind::NvLinkV3.to_string(), "NVLink-V3");
+        assert_eq!(LinkKind::Upi.to_string(), "UPI");
+        assert_eq!(LinkId(4).to_string(), "link4");
+    }
+}

@@ -1,0 +1,73 @@
+//! Software overheads of the communication stack.
+//!
+//! The analytical model folds these into the per-path `α` and `ε`
+//! parameters; the simulator charges them at the corresponding points of
+//! the pipeline (copy launch, event synchronization, rendezvous). Keeping
+//! a single definition here guarantees that "model parameters extracted
+//! once per system topology" (paper Section 4, Step 1) and the simulated
+//! hardware agree on what those costs are.
+
+use crate::units::Secs;
+use serde::{Deserialize, Serialize};
+
+/// Fixed software costs charged by the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadModel {
+    /// Cost of launching one asynchronous copy on a stream (driver ioctl,
+    /// command buffer write). Charged per chunk per leg.
+    pub copy_launch: Secs,
+    /// Cost of one inter-stream synchronization (CUDA event record+wait)
+    /// at a staging device — the paper's `ε`.
+    pub stage_sync: Secs,
+    /// One-time cost of setting up a transfer in the cuda_ipc module
+    /// (handle-cache lookup, rendezvous). Charged once per message.
+    pub rendezvous: Secs,
+}
+
+impl OverheadModel {
+    /// Values representative of CUDA 12-era drivers: ~2.5 µs copy launch,
+    /// ~4 µs event sync, ~6 µs rendezvous.
+    pub const fn default_cuda() -> Self {
+        OverheadModel {
+            copy_launch: 2.5e-6,
+            stage_sync: 4.0e-6,
+            rendezvous: 6.0e-6,
+        }
+    }
+
+    /// Zero overheads — useful in unit tests where analytic expectations
+    /// must be exact.
+    pub const fn zero() -> Self {
+        OverheadModel {
+            copy_launch: 0.0,
+            stage_sync: 0.0,
+            rendezvous: 0.0,
+        }
+    }
+}
+
+impl Default for OverheadModel {
+    fn default() -> Self {
+        Self::default_cuda()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_cuda_profile() {
+        let d = OverheadModel::default();
+        assert_eq!(d, OverheadModel::default_cuda());
+        assert!(d.copy_launch > 0.0 && d.stage_sync > 0.0 && d.rendezvous > 0.0);
+    }
+
+    #[test]
+    fn zero_profile_is_all_zero() {
+        let z = OverheadModel::zero();
+        assert_eq!(z.copy_launch, 0.0);
+        assert_eq!(z.stage_sync, 0.0);
+        assert_eq!(z.rendezvous, 0.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Extraction of per-path Hockney parameters `(αᵢ, βᵢ, α′ᵢ, β′ᵢ, εᵢ)`
+//! from a topology (paper Table 1 / Section 3.1).
+//!
+//! This is the "ground truth" extraction: parameters read directly off
+//! the hardware description. `mpx-model::calibrate` provides the
+//! alternative the paper actually uses in Step 1 of Figure 2(a) — fitting
+//! the same parameters from measured probe sweeps — and tests assert the
+//! two agree on contention-free topologies.
+
+use crate::overhead::OverheadModel;
+use crate::path::{PathKind, TransferPath};
+use crate::topology::{Topology, TopologyError};
+use crate::units::{Bandwidth, Secs};
+use serde::{Deserialize, Serialize};
+
+/// Hockney parameters of one leg (one asynchronous copy).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LegParams {
+    /// Startup latency `α`: link propagation latencies plus the software
+    /// cost of launching the copy.
+    pub alpha: Secs,
+    /// Asymptotic bandwidth `β`: the narrowest link on the route.
+    pub beta: Bandwidth,
+}
+
+impl LegParams {
+    /// Hockney time for `bytes` on this leg alone: `α + n/β`.
+    #[inline]
+    pub fn time(&self, bytes: f64) -> Secs {
+        self.alpha + bytes / self.beta
+    }
+}
+
+/// Hockney parameters of one candidate path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathParams {
+    /// Which class of path these parameters describe.
+    pub kind: PathKind,
+    /// First (or only) leg: `αᵢ`, `βᵢ`.
+    pub first: LegParams,
+    /// Second leg of a staged path: `α′ᵢ`, `β′ᵢ`.
+    pub second: Option<LegParams>,
+    /// Synchronization overhead `εᵢ` at the staging device (zero for the
+    /// direct path).
+    pub eps: Secs,
+}
+
+impl PathParams {
+    /// Direct-path constructor.
+    pub fn direct(alpha: Secs, beta: Bandwidth) -> Self {
+        PathParams {
+            kind: PathKind::Direct,
+            first: LegParams { alpha, beta },
+            second: None,
+            eps: 0.0,
+        }
+    }
+
+    /// Staged-path constructor (GPU- or host-staged depending on `kind`).
+    pub fn staged(kind: PathKind, first: LegParams, second: LegParams, eps: Secs) -> Self {
+        debug_assert!(!kind.is_direct(), "staged params need a staged kind");
+        PathParams {
+            kind,
+            first,
+            second: Some(second),
+            eps,
+        }
+    }
+
+    /// True if this path has a staging hop.
+    #[inline]
+    pub fn is_staged(&self) -> bool {
+        self.second.is_some()
+    }
+
+    /// Un-pipelined transfer time of `bytes` on this path — Eq. (2):
+    /// `αᵢ + n/βᵢ + εᵢ + α′ᵢ + n/β′ᵢ` (staged) or Eq. (1) (direct).
+    pub fn time_unpipelined(&self, bytes: f64) -> Secs {
+        match self.second {
+            None => self.first.time(bytes),
+            Some(second) => self.first.time(bytes) + self.eps + second.time(bytes),
+        }
+    }
+
+    /// `Ωᵢ = 1/βᵢ + 1/β′ᵢ` (Table 1); `1/βᵢ` for direct paths.
+    pub fn omega_unpipelined(&self) -> f64 {
+        1.0 / self.first.beta + self.second.map_or(0.0, |s| 1.0 / s.beta)
+    }
+
+    /// `Δᵢ = αᵢ + α′ᵢ + εᵢ` (Table 1); `αᵢ` for direct paths.
+    pub fn delta_unpipelined(&self) -> Secs {
+        self.first.alpha + self.eps + self.second.map_or(0.0, |s| s.alpha)
+    }
+
+    /// The sustainable pipelined bandwidth of the path: the narrowest leg.
+    pub fn bottleneck_bandwidth(&self) -> Bandwidth {
+        match self.second {
+            None => self.first.beta,
+            Some(second) => self.first.beta.min(second.beta),
+        }
+    }
+}
+
+/// Extracts the Hockney parameters of `path` from the hardware
+/// description: per-leg `α` is the sum of link latencies plus one copy
+/// launch, per-leg `β` the narrowest link, and `ε` the staging sync cost.
+pub fn extract_path_params(
+    topo: &Topology,
+    path: &TransferPath,
+) -> Result<PathParams, TopologyError> {
+    let oh: &OverheadModel = &topo.overheads;
+    let mut legs = Vec::with_capacity(path.legs.len());
+    for leg in &path.legs {
+        let mut alpha = oh.copy_launch;
+        let mut beta = f64::INFINITY;
+        for &lid in &leg.route {
+            let link = topo.link(lid)?;
+            alpha += link.latency;
+            beta = beta.min(link.bandwidth);
+        }
+        legs.push(LegParams { alpha, beta });
+    }
+    Ok(match legs.len() {
+        1 => PathParams {
+            kind: path.kind,
+            first: legs[0],
+            second: None,
+            eps: 0.0,
+        },
+        _ => PathParams {
+            kind: path.kind,
+            first: legs[0],
+            second: Some(legs[1]),
+            eps: oh.stage_sync,
+        },
+    })
+}
+
+/// [`extract_path_params`] over a whole candidate set.
+pub fn extract_all(
+    topo: &Topology,
+    paths: &[TransferPath],
+) -> Result<Vec<PathParams>, TopologyError> {
+    paths
+        .iter()
+        .map(|p| extract_path_params(topo, p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::{enumerate_paths, PathSelection};
+    use crate::presets;
+    use crate::units::gb_per_s;
+
+    fn beluga_params() -> Vec<PathParams> {
+        let t = presets::beluga();
+        let gpus = t.gpus();
+        let paths =
+            enumerate_paths(&t, gpus[0], gpus[1], PathSelection::THREE_GPUS_WITH_HOST).unwrap();
+        extract_all(&t, &paths).unwrap()
+    }
+
+    #[test]
+    fn direct_path_has_no_second_leg() {
+        let p = &beluga_params()[0];
+        assert!(p.kind.is_direct());
+        assert!(!p.is_staged());
+        assert_eq!(p.eps, 0.0);
+        assert_eq!(p.first.beta, gb_per_s(48.0));
+    }
+
+    #[test]
+    fn staged_path_parameters() {
+        let params = beluga_params();
+        let staged = &params[1];
+        assert!(staged.is_staged());
+        assert_eq!(staged.first.beta, gb_per_s(48.0));
+        assert_eq!(staged.second.unwrap().beta, gb_per_s(48.0));
+        assert!(staged.eps > 0.0, "staging sync overhead must be charged");
+    }
+
+    #[test]
+    fn host_path_bottleneck_is_pcie() {
+        let params = beluga_params();
+        let host = params.last().unwrap();
+        assert!(host.is_staged());
+        assert_eq!(host.bottleneck_bandwidth(), gb_per_s(12.0));
+    }
+
+    #[test]
+    fn alpha_includes_launch_overhead() {
+        let t = presets::beluga();
+        let gpus = t.gpus();
+        let paths = enumerate_paths(&t, gpus[0], gpus[1], PathSelection::DIRECT_ONLY).unwrap();
+        let p = extract_path_params(&t, &paths[0]).unwrap();
+        let link = t.link_between(gpus[0], gpus[1]).unwrap();
+        assert!((p.first.alpha - (link.latency + t.overheads.copy_launch)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unpipelined_time_direct_is_hockney() {
+        let p = PathParams::direct(2e-6, gb_per_s(50.0));
+        let t = p.time_unpipelined(50e9);
+        assert!((t - 1.000002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unpipelined_time_staged_sums_both_legs() {
+        let leg = LegParams {
+            alpha: 1e-6,
+            beta: gb_per_s(10.0),
+        };
+        let p = PathParams::staged(
+            PathKind::GpuStaged {
+                via: crate::DeviceId(2),
+            },
+            leg,
+            leg,
+            3e-6,
+        );
+        // 2 legs * (1µs + 1s) + 3µs.
+        let t = p.time_unpipelined(10e9);
+        assert!((t - 2.000005).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn omega_delta_match_table1() {
+        let leg1 = LegParams {
+            alpha: 1e-6,
+            beta: 2e9,
+        };
+        let leg2 = LegParams {
+            alpha: 2e-6,
+            beta: 4e9,
+        };
+        let p = PathParams::staged(
+            PathKind::GpuStaged {
+                via: crate::DeviceId(3),
+            },
+            leg1,
+            leg2,
+            5e-6,
+        );
+        assert!((p.omega_unpipelined() - (1.0 / 2e9 + 1.0 / 4e9)).abs() < 1e-20);
+        assert!((p.delta_unpipelined() - 8e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn direct_omega_delta_degenerate() {
+        let p = PathParams::direct(4e-6, 5e9);
+        assert!((p.omega_unpipelined() - 1.0 / 5e9).abs() < 1e-22);
+        assert!((p.delta_unpipelined() - 4e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn narval_host_path_slower_than_beluga_relative() {
+        // Relative to its direct link, Narval's host path is much weaker
+        // (Observation 3): direct 96 vs host bottleneck ≤ 19, while Beluga
+        // is 48 vs 12.
+        let get = |t: &crate::Topology| {
+            let gpus = t.gpus();
+            let paths =
+                enumerate_paths(t, gpus[0], gpus[1], PathSelection::THREE_GPUS_WITH_HOST).unwrap();
+            let params = extract_all(t, &paths).unwrap();
+            let host = params.last().unwrap().bottleneck_bandwidth();
+            let direct = params[0].first.beta;
+            host / direct
+        };
+        let beluga_ratio = get(&presets::beluga());
+        let narval_ratio = get(&presets::narval());
+        assert!(
+            narval_ratio < beluga_ratio,
+            "narval {narval_ratio} vs beluga {beluga_ratio}"
+        );
+    }
+}

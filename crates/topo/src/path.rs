@@ -1,0 +1,420 @@
+//! Candidate transfer paths between two GPUs (paper Section 3.1).
+//!
+//! A path is a sequence of **legs**; each leg is a route over directed
+//! links that a single asynchronous copy traverses:
+//!
+//! * **direct** — one leg over the GPU↔GPU link;
+//! * **GPU-staged** — two legs, `src → via` and `via → dst`;
+//! * **host-staged** — two legs through host memory. The device-to-host
+//!   leg lands in the *source* GPU's local NUMA domain; the host-to-device
+//!   leg then reads from that domain, crossing the DRAM channel and (on
+//!   multi-NUMA nodes like Narval) the inter-socket link — the extra hop
+//!   behind the paper's Observation 3.
+
+use crate::device::DeviceId;
+use crate::link::LinkId;
+use crate::topology::{Topology, TopologyError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which class of path this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PathKind {
+    /// Direct GPU-to-GPU transfer.
+    Direct,
+    /// Staged through an intermediate GPU.
+    GpuStaged {
+        /// The staging GPU.
+        via: DeviceId,
+    },
+    /// Staged through host memory.
+    HostStaged {
+        /// The host memory domain used for staging.
+        via: DeviceId,
+    },
+    /// An inter-node GPUDirect-RDMA rail: zero-copy through a NIC pair.
+    /// Like the direct path, rails have a single leg (no staging point).
+    Rail {
+        /// The NIC on the source's node.
+        src_nic: DeviceId,
+        /// The NIC on the destination's node.
+        dst_nic: DeviceId,
+    },
+}
+
+impl PathKind {
+    /// The staging device, if any. Rails have none: RDMA flows through
+    /// the NICs without landing.
+    pub fn staging_device(self) -> Option<DeviceId> {
+        match self {
+            PathKind::Direct | PathKind::Rail { .. } => None,
+            PathKind::GpuStaged { via } | PathKind::HostStaged { via } => Some(via),
+        }
+    }
+
+    /// True for the direct path.
+    pub fn is_direct(self) -> bool {
+        matches!(self, PathKind::Direct)
+    }
+}
+
+impl fmt::Display for PathKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathKind::Direct => write!(f, "direct"),
+            PathKind::GpuStaged { via } => write!(f, "gpu-staged({via})"),
+            PathKind::HostStaged { via } => write!(f, "host-staged({via})"),
+            PathKind::Rail { src_nic, dst_nic } => write!(f, "rail({src_nic}->{dst_nic})"),
+        }
+    }
+}
+
+/// One asynchronous copy's route: the ordered links it occupies.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Leg {
+    /// Directed links traversed, in order.
+    pub route: Vec<LinkId>,
+}
+
+impl Leg {
+    /// Creates a leg over the given route.
+    pub fn new(route: Vec<LinkId>) -> Self {
+        Leg { route }
+    }
+}
+
+/// A candidate path between a source and destination GPU.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferPath {
+    /// Path class.
+    pub kind: PathKind,
+    /// Source GPU.
+    pub src: DeviceId,
+    /// Destination GPU.
+    pub dst: DeviceId,
+    /// One leg for direct paths, two for staged paths.
+    pub legs: Vec<Leg>,
+}
+
+impl TransferPath {
+    /// True if this path stages through another device.
+    pub fn is_staged(&self) -> bool {
+        self.legs.len() > 1
+    }
+}
+
+/// Which candidate paths to enumerate. Mirrors the paper's environment
+/// variables that "selectively include or exclude paths" (Section 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathSelection {
+    /// Maximum number of GPU-staged paths (0 disables them). The paper's
+    /// `2_GPUs` label corresponds to 1, `3_GPUs` to 2.
+    pub max_gpu_staged: usize,
+    /// Include the host-staged path (`3_GPUs_w_host` when combined with
+    /// two GPU-staged paths).
+    pub host_staged: bool,
+}
+
+impl PathSelection {
+    /// Only the direct path — the single-path baseline.
+    pub const DIRECT_ONLY: PathSelection = PathSelection {
+        max_gpu_staged: 0,
+        host_staged: false,
+    };
+
+    /// Direct + 1 GPU-staged path (paper label `2_GPUs`).
+    pub const TWO_GPUS: PathSelection = PathSelection {
+        max_gpu_staged: 1,
+        host_staged: false,
+    };
+
+    /// Direct + 2 GPU-staged paths (paper label `3_GPUs`).
+    pub const THREE_GPUS: PathSelection = PathSelection {
+        max_gpu_staged: 2,
+        host_staged: false,
+    };
+
+    /// Direct + 2 GPU-staged + host-staged (paper label `3_GPUs_w_host`).
+    pub const THREE_GPUS_WITH_HOST: PathSelection = PathSelection {
+        max_gpu_staged: 2,
+        host_staged: true,
+    };
+
+    /// All selections evaluated in the paper's figures, with their labels.
+    pub fn paper_grid() -> Vec<(&'static str, PathSelection)> {
+        vec![
+            ("2_GPUs", Self::TWO_GPUS),
+            ("3_GPUs", Self::THREE_GPUS),
+            ("3_GPUs_w_host", Self::THREE_GPUS_WITH_HOST),
+        ]
+    }
+
+    /// Paper-style label for this selection.
+    pub fn label(&self) -> String {
+        match (self.max_gpu_staged, self.host_staged) {
+            (0, false) => "direct".into(),
+            (g, false) => format!("{}_GPUs", g + 1),
+            (g, true) => format!("{}_GPUs_w_host", g + 1),
+        }
+    }
+}
+
+impl Default for PathSelection {
+    fn default() -> Self {
+        Self::THREE_GPUS_WITH_HOST
+    }
+}
+
+/// Enumerates candidate paths from `src` to `dst` under `sel`.
+///
+/// The direct path always comes first (Algorithm 1 gives leftovers to the
+/// direct path, and sequential initiation order matters for the model's
+/// accumulated-`α` correction). GPU-staged paths follow in staging-GPU id
+/// order; the host-staged path, if enabled, comes last.
+/// Enumerates candidate paths, dispatching on node placement: intra-node
+/// pairs get the direct/staged candidates of [`enumerate_paths`],
+/// inter-node pairs get RDMA rails (`max_gpu_staged + 1` of them, so the
+/// paper's path-count labels carry over).
+pub fn enumerate_paths_auto(
+    topo: &Topology,
+    src: DeviceId,
+    dst: DeviceId,
+    sel: PathSelection,
+) -> Result<Vec<TransferPath>, TopologyError> {
+    if topo.same_node(src, dst)? {
+        enumerate_paths(topo, src, dst, sel)
+    } else {
+        crate::internode::enumerate_rails(topo, src, dst, sel.max_gpu_staged + 1)
+    }
+}
+
+/// Enumerates *intra-node* candidate paths from `src` to `dst` under
+/// `sel`.
+///
+/// The direct path comes first when it exists (Algorithm 1 gives
+/// leftovers to the first path, and sequential initiation order matters
+/// for the model's accumulated-`α` correction). GPU-staged paths follow
+/// in staging-GPU id order; the host-staged path, if enabled, comes
+/// last. Use [`enumerate_paths_auto`] to also handle inter-node pairs.
+pub fn enumerate_paths(
+    topo: &Topology,
+    src: DeviceId,
+    dst: DeviceId,
+    sel: PathSelection,
+) -> Result<Vec<TransferPath>, TopologyError> {
+    let sdev = topo.device(src)?;
+    let ddev = topo.device(dst)?;
+    if !sdev.is_gpu() {
+        return Err(TopologyError::NotAGpu(src));
+    }
+    if !ddev.is_gpu() {
+        return Err(TopologyError::NotAGpu(dst));
+    }
+
+    let mut paths = Vec::new();
+
+    // Direct leg — optional: PCIe-only boxes and partial meshes (DGX-1
+    // style) have GPU pairs with no direct link; they communicate through
+    // staged paths only.
+    if let Ok(direct) = topo.link_between(src, dst) {
+        paths.push(TransferPath {
+            kind: PathKind::Direct,
+            src,
+            dst,
+            legs: vec![Leg::new(vec![direct.id])],
+        });
+    }
+
+    // GPU-staged legs: any other GPU connected to both endpoints.
+    let mut staged = 0usize;
+    for via in topo.gpus() {
+        if staged >= sel.max_gpu_staged {
+            break;
+        }
+        if via == src || via == dst {
+            continue;
+        }
+        let (Ok(l1), Ok(l2)) = (topo.link_between(src, via), topo.link_between(via, dst)) else {
+            continue;
+        };
+        paths.push(TransferPath {
+            kind: PathKind::GpuStaged { via },
+            src,
+            dst,
+            legs: vec![Leg::new(vec![l1.id]), Leg::new(vec![l2.id])],
+        });
+        staged += 1;
+    }
+
+    // Host-staged leg: stage in the source GPU's local NUMA domain.
+    if sel.host_staged {
+        let hm = topo.local_host_memory(src)?;
+        // The device-to-host leg writes the staging buffer: PCIe down plus
+        // the staging domain's DRAM channel (a self-loop link on `hm`).
+        let mut down_route = vec![topo.link_between(src, hm)?.id];
+        if let Ok(dram) = topo.link_between(hm, hm) {
+            down_route.push(dram.id);
+        }
+        // The host-to-device leg reads the staged buffer: it crosses the
+        // staging domain's DRAM channel, any inter-NUMA link toward the
+        // destination's domain, and finally the destination GPU's PCIe.
+        let mut up_route = Vec::new();
+        if let Ok(dram) = topo.link_between(hm, hm) {
+            up_route.push(dram.id);
+        }
+        let dst_hm = topo.local_host_memory(dst)?;
+        if dst_hm != hm {
+            if let Ok(cross) = topo.link_between(hm, dst_hm) {
+                up_route.push(cross.id);
+            }
+            up_route.push(topo.link_between(dst_hm, dst)?.id);
+        } else {
+            up_route.push(topo.link_between(hm, dst)?.id);
+        }
+        paths.push(TransferPath {
+            kind: PathKind::HostStaged { via: hm },
+            src,
+            dst,
+            legs: vec![Leg::new(down_route), Leg::new(up_route)],
+        });
+    }
+
+    if paths.is_empty() {
+        return Err(TopologyError::NoLink(src, dst));
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn selection_labels_match_paper() {
+        assert_eq!(PathSelection::DIRECT_ONLY.label(), "direct");
+        assert_eq!(PathSelection::TWO_GPUS.label(), "2_GPUs");
+        assert_eq!(PathSelection::THREE_GPUS.label(), "3_GPUs");
+        assert_eq!(
+            PathSelection::THREE_GPUS_WITH_HOST.label(),
+            "3_GPUs_w_host"
+        );
+    }
+
+    #[test]
+    fn paper_grid_has_three_configs() {
+        let grid = PathSelection::paper_grid();
+        assert_eq!(grid.len(), 3);
+        assert_eq!(grid[0].0, "2_GPUs");
+    }
+
+    #[test]
+    fn beluga_direct_only() {
+        let t = presets::beluga();
+        let gpus = t.gpus();
+        let p = enumerate_paths(&t, gpus[0], gpus[1], PathSelection::DIRECT_ONLY).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].kind, PathKind::Direct);
+        assert_eq!(p[0].legs.len(), 1);
+        assert_eq!(p[0].legs[0].route.len(), 1);
+    }
+
+    #[test]
+    fn beluga_full_selection_yields_four_paths() {
+        let t = presets::beluga();
+        let gpus = t.gpus();
+        let p =
+            enumerate_paths(&t, gpus[0], gpus[1], PathSelection::THREE_GPUS_WITH_HOST).unwrap();
+        assert_eq!(p.len(), 4);
+        assert!(p[0].kind.is_direct());
+        assert!(matches!(p[1].kind, PathKind::GpuStaged { .. }));
+        assert!(matches!(p[2].kind, PathKind::GpuStaged { .. }));
+        assert!(matches!(p[3].kind, PathKind::HostStaged { .. }));
+    }
+
+    #[test]
+    fn staged_paths_avoid_endpoints() {
+        let t = presets::beluga();
+        let gpus = t.gpus();
+        let p = enumerate_paths(&t, gpus[0], gpus[1], PathSelection::THREE_GPUS).unwrap();
+        for path in &p[1..] {
+            let via = path.kind.staging_device().unwrap();
+            assert_ne!(via, gpus[0]);
+            assert_ne!(via, gpus[1]);
+        }
+    }
+
+    #[test]
+    fn gpu_staged_cap_respected() {
+        let t = presets::beluga();
+        let gpus = t.gpus();
+        let p = enumerate_paths(&t, gpus[0], gpus[1], PathSelection::TWO_GPUS).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn narval_host_leg_crosses_numa() {
+        let t = presets::narval();
+        let gpus = t.gpus();
+        let p =
+            enumerate_paths(&t, gpus[0], gpus[1], PathSelection::THREE_GPUS_WITH_HOST).unwrap();
+        let host = p.last().unwrap();
+        assert!(matches!(host.kind, PathKind::HostStaged { .. }));
+        // On Narval each GPU has its own NUMA domain, so the host-to-device
+        // leg must traverse more than one link (DRAM + inter-NUMA + PCIe).
+        assert!(
+            host.legs[1].route.len() >= 2,
+            "expected multi-hop host leg, got {:?}",
+            host.legs[1]
+        );
+    }
+
+    #[test]
+    fn beluga_host_leg_stays_local() {
+        let t = presets::beluga();
+        let gpus = t.gpus();
+        let p =
+            enumerate_paths(&t, gpus[0], gpus[1], PathSelection::THREE_GPUS_WITH_HOST).unwrap();
+        let host = p.last().unwrap();
+        // Single NUMA domain: DRAM channel + destination PCIe.
+        assert_eq!(host.legs[1].route.len(), 2);
+    }
+
+    #[test]
+    fn non_gpu_endpoint_rejected() {
+        let t = presets::beluga();
+        let hm = t.host_memories()[0];
+        let g0 = t.gpus()[0];
+        assert!(matches!(
+            enumerate_paths(&t, hm, g0, PathSelection::DIRECT_ONLY),
+            Err(TopologyError::NotAGpu(_))
+        ));
+        assert!(matches!(
+            enumerate_paths(&t, g0, hm, PathSelection::DIRECT_ONLY),
+            Err(TopologyError::NotAGpu(_))
+        ));
+    }
+
+    #[test]
+    fn direct_path_is_always_first() {
+        let t = presets::narval();
+        let gpus = t.gpus();
+        for sel in [
+            PathSelection::TWO_GPUS,
+            PathSelection::THREE_GPUS,
+            PathSelection::THREE_GPUS_WITH_HOST,
+        ] {
+            let p = enumerate_paths(&t, gpus[2], gpus[0], sel).unwrap();
+            assert!(p[0].kind.is_direct());
+        }
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(PathKind::Direct.to_string(), "direct");
+        assert_eq!(
+            PathKind::GpuStaged { via: DeviceId(2) }.to_string(),
+            "gpu-staged(dev2)"
+        );
+    }
+}

@@ -1,0 +1,431 @@
+//! Cluster presets: the two systems evaluated in the paper plus synthetic
+//! topologies used by tests and ablations.
+//!
+//! Bandwidths are *effective* per-direction figures (what a saturating
+//! copy achieves), not marketing peaks; since we validate shapes and
+//! ratios rather than absolute GB/s (see DESIGN.md §2), only their
+//! relative magnitudes matter.
+
+use crate::device::{GpuModel, NumaNode};
+use crate::link::LinkKind;
+use crate::overhead::OverheadModel;
+use crate::topology::{Topology, TopologyBuilder};
+use crate::units::{gb_per_s, micros, Bandwidth, Secs};
+
+/// Beluga GPU node (paper Fig. 1a): four V100s in a single NUMA domain,
+/// full NVLink-V2 mesh with **two sub-links per GPU pair** (~24 GB/s per
+/// sub-link effective → 48 GB/s per pair per direction), PCIe Gen3 x16 to
+/// host (~12 GB/s), one shared DRAM domain.
+pub fn beluga() -> Topology {
+    let mut b = TopologyBuilder::new("beluga");
+    let numa = NumaNode(0);
+    let gpus: Vec<_> = (0..4).map(|_| b.gpu(GpuModel::V100, numa)).collect();
+    let hm = b.host_memory(numa);
+
+    // NVLink-V2 full mesh, 2 sub-links per pair.
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            b.duplex_link(
+                gpus[i],
+                gpus[j],
+                LinkKind::NvLinkV2,
+                gb_per_s(48.0),
+                micros(1.8),
+                2,
+            )
+            .expect("beluga nvlink");
+        }
+    }
+    // PCIe Gen3 x16 per GPU.
+    for &g in &gpus {
+        b.duplex_link(g, hm, LinkKind::Pcie, gb_per_s(12.0), micros(4.0), 1)
+            .expect("beluga pcie");
+    }
+    // The NUMA domain's DRAM channel, shared by all host-staged traffic.
+    b.shared_link(hm, hm, LinkKind::HostDram, gb_per_s(38.0), micros(0.1), 1)
+        .expect("beluga dram");
+    b.build()
+}
+
+/// Narval GPU node (paper Fig. 3): four A100s, full NVLink-V3 mesh with
+/// **four sub-links per pair** (~96 GB/s per pair per direction), PCIe
+/// Gen4 x16 (~24 GB/s), and *eight* NUMA domains — each GPU sits in its
+/// own domain with a single memory channel, so host-staged transfers cross
+/// an inter-socket (UPI-equivalent) link that both directions share.
+pub fn narval() -> Topology {
+    let mut b = TopologyBuilder::new("narval");
+    let gpus: Vec<_> = (0..4)
+        .map(|i| b.gpu(GpuModel::A100, NumaNode(i as u16)))
+        .collect();
+    let hms: Vec<_> = (0..4).map(|i| b.host_memory(NumaNode(i as u16))).collect();
+
+    // NVLink-V3 full mesh, 4 sub-links per pair.
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            b.duplex_link(
+                gpus[i],
+                gpus[j],
+                LinkKind::NvLinkV3,
+                gb_per_s(96.0),
+                micros(1.5),
+                4,
+            )
+            .expect("narval nvlink");
+        }
+    }
+    // PCIe Gen4 x16 per GPU, to the GPU's local NUMA domain.
+    for i in 0..4 {
+        b.duplex_link(gpus[i], hms[i], LinkKind::Pcie, gb_per_s(24.0), micros(4.0), 1)
+            .expect("narval pcie");
+    }
+    // One memory channel per NUMA domain (paper: "a single memory
+    // channel"), shared by everything staging there.
+    for &hm in &hms {
+        b.shared_link(hm, hm, LinkKind::HostDram, gb_per_s(19.0), micros(0.1), 1)
+            .expect("narval dram");
+    }
+    // Inter-NUMA interconnect: shared capacity (coherent traffic contends
+    // regardless of direction), the "extra transfer through UPI or
+    // equivalent" of Observation 3. Tight enough that bidirectional
+    // host-staged traffic (two H2D legs sharing one pool) throttles below
+    // what a unidirectional probe measures — the Observation 5 effect.
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            b.shared_link(hms[i], hms[j], LinkKind::Upi, gb_per_s(16.0), micros(1.0), 1)
+                .expect("narval upi");
+        }
+    }
+    b.build()
+}
+
+/// A DGX-1V-like node: eight V100s in the hybrid cube-mesh. Each GPU has
+/// six NVLink-V2 bricks; some pairs get two bricks (50 GB/s), some one
+/// (25 GB/s), and cross-quad pairs like 0↔5 have **no direct link** and
+/// must communicate purely through staged paths. Two NUMA domains (one
+/// per quad) joined by a shared inter-socket link.
+///
+/// This preset exercises what the paper lists as future work: partial
+/// meshes with heterogeneous per-pair bandwidth.
+pub fn dgx1() -> Topology {
+    let mut b = TopologyBuilder::new("dgx1");
+    let gpus: Vec<_> = (0..8)
+        .map(|i| b.gpu(GpuModel::V100, NumaNode((i / 4) as u16)))
+        .collect();
+    let hms: Vec<_> = (0..2).map(|i| b.host_memory(NumaNode(i as u16))).collect();
+
+    // Hybrid cube-mesh brick assignment (DGX-1V):
+    let double = [(0, 3), (1, 2), (4, 7), (5, 6), (0, 4), (1, 5), (2, 6), (3, 7)];
+    let single = [(0, 1), (0, 2), (1, 3), (2, 3), (4, 5), (4, 6), (5, 7), (6, 7)];
+    for &(i, j) in &double {
+        b.duplex_link(gpus[i], gpus[j], LinkKind::NvLinkV2, gb_per_s(48.0), micros(1.8), 2)
+            .expect("dgx1 double nvlink");
+    }
+    for &(i, j) in &single {
+        b.duplex_link(gpus[i], gpus[j], LinkKind::NvLinkV2, gb_per_s(24.0), micros(1.8), 1)
+            .expect("dgx1 single nvlink");
+    }
+    for (i, &g) in gpus.iter().enumerate() {
+        b.duplex_link(g, hms[i / 4], LinkKind::Pcie, gb_per_s(12.0), micros(4.0), 1)
+            .expect("dgx1 pcie");
+    }
+    for &hm in &hms {
+        b.shared_link(hm, hm, LinkKind::HostDram, gb_per_s(38.0), micros(0.1), 1)
+            .expect("dgx1 dram");
+    }
+    b.shared_link(hms[0], hms[1], LinkKind::Upi, gb_per_s(15.0), micros(1.0), 1)
+        .expect("dgx1 qpi");
+    b.build()
+}
+
+/// Two Beluga-style nodes joined by `rails` InfiniBand rails
+/// (HDR-200-class: ~24 GB/s per direction, ~1.3 µs wire latency). Every
+/// GPU can reach every local NIC over PCIe (GPUDirect RDMA); NIC `i` of
+/// node 0 is wired to NIC `i` of node 1. The inter-node playground for
+/// multi-rail transfers — the paper's future-work direction.
+pub fn two_node_beluga(rails: usize) -> Topology {
+    assert!(rails >= 1, "need at least one rail");
+    let mut b = TopologyBuilder::new("two-node-beluga");
+    let mut all_gpus = Vec::new();
+    let mut all_nics: Vec<Vec<crate::DeviceId>> = Vec::new();
+    for node in 0..2u16 {
+        b.on_node(node);
+        let numa = NumaNode(node);
+        let gpus: Vec<_> = (0..4).map(|_| b.gpu(GpuModel::V100, numa)).collect();
+        let hm = b.host_memory(numa);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                b.duplex_link(
+                    gpus[i],
+                    gpus[j],
+                    LinkKind::NvLinkV2,
+                    gb_per_s(48.0),
+                    micros(1.8),
+                    2,
+                )
+                .expect("nvlink");
+            }
+        }
+        for &g in &gpus {
+            b.duplex_link(g, hm, LinkKind::Pcie, gb_per_s(12.0), micros(4.0), 1)
+                .expect("pcie");
+        }
+        b.shared_link(hm, hm, LinkKind::HostDram, gb_per_s(38.0), micros(0.1), 1)
+            .expect("dram");
+        // NICs: each GPU reaches each local NIC over the PCIe fabric.
+        let nics: Vec<_> = (0..rails).map(|_| b.nic(numa)).collect();
+        for &g in &gpus {
+            for &nic in &nics {
+                b.duplex_link(g, nic, LinkKind::Pcie, gb_per_s(12.0), micros(2.0), 1)
+                    .expect("gpu-nic pcie");
+            }
+        }
+        all_gpus.extend(gpus);
+        all_nics.push(nics);
+    }
+    // Wires: NIC i of node 0 <-> NIC i of node 1.
+    for (&a, &b_nic) in all_nics[0].iter().zip(&all_nics[1]) {
+        b.duplex_link(
+            a,
+            b_nic,
+            LinkKind::Custom,
+            gb_per_s(24.0),
+            micros(1.3),
+            1,
+        )
+        .expect("ib wire");
+    }
+    b.build()
+}
+
+/// A PCIe-only node: `n` GPUs hanging off one host domain with **no**
+/// direct GPU links. Direct-path enumeration fails here, which exercises
+/// the single-path fallback logic of the transport layer.
+pub fn pcie_only(n: usize) -> Topology {
+    let mut b = TopologyBuilder::new("pcie-only");
+    let numa = NumaNode(0);
+    let gpus: Vec<_> = (0..n).map(|_| b.gpu(GpuModel::Generic, numa)).collect();
+    let hm = b.host_memory(numa);
+    for &g in &gpus {
+        b.duplex_link(g, hm, LinkKind::Pcie, gb_per_s(12.0), micros(4.0), 1)
+            .expect("pcie");
+    }
+    b.shared_link(hm, hm, LinkKind::HostDram, gb_per_s(38.0), micros(0.1), 1)
+        .expect("dram");
+    b.build()
+}
+
+/// Parameters for [`synthetic`] topologies used in unit tests.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticSpec {
+    /// Number of GPUs (≥ 2; GPUs beyond the first two act as staging
+    /// devices).
+    pub gpus: usize,
+    /// GPU↔GPU link bandwidth.
+    pub nvlink_bw: Bandwidth,
+    /// GPU↔GPU link latency.
+    pub nvlink_lat: Secs,
+    /// GPU↔host bandwidth.
+    pub pcie_bw: Bandwidth,
+    /// GPU↔host latency.
+    pub pcie_lat: Secs,
+    /// DRAM channel bandwidth.
+    pub dram_bw: Bandwidth,
+    /// Software overheads.
+    pub overheads: OverheadModel,
+}
+
+impl Default for SyntheticSpec {
+    fn default() -> Self {
+        SyntheticSpec {
+            gpus: 4,
+            nvlink_bw: gb_per_s(50.0),
+            nvlink_lat: micros(2.0),
+            pcie_bw: gb_per_s(10.0),
+            pcie_lat: micros(5.0),
+            dram_bw: gb_per_s(40.0),
+            overheads: OverheadModel::zero(),
+        }
+    }
+}
+
+/// Builds a fully-connected synthetic node from `spec`. With
+/// `OverheadModel::zero()` and round-number bandwidths, analytic
+/// expectations in tests are exact.
+pub fn synthetic(spec: SyntheticSpec) -> Topology {
+    assert!(spec.gpus >= 2, "synthetic topology needs at least 2 GPUs");
+    let mut b = TopologyBuilder::new("synthetic").overheads(spec.overheads);
+    let numa = NumaNode(0);
+    let gpus: Vec<_> = (0..spec.gpus).map(|_| b.gpu(GpuModel::Generic, numa)).collect();
+    let hm = b.host_memory(numa);
+    for i in 0..spec.gpus {
+        for j in (i + 1)..spec.gpus {
+            b.duplex_link(
+                gpus[i],
+                gpus[j],
+                LinkKind::Custom,
+                spec.nvlink_bw,
+                spec.nvlink_lat,
+                1,
+            )
+            .expect("synthetic gpu link");
+        }
+    }
+    for &g in &gpus {
+        b.duplex_link(g, hm, LinkKind::Pcie, spec.pcie_bw, spec.pcie_lat, 1)
+            .expect("synthetic pcie");
+    }
+    b.shared_link(hm, hm, LinkKind::HostDram, spec.dram_bw, 0.0, 1)
+        .expect("synthetic dram");
+    b.build()
+}
+
+/// Shorthand for `synthetic(SyntheticSpec::default())`: 4 GPUs, equal
+/// 50 GB/s GPU links, zero software overheads.
+pub fn synthetic_default() -> Topology {
+    synthetic(SyntheticSpec::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::{enumerate_paths, PathSelection};
+
+    #[test]
+    fn beluga_has_four_gpus_one_host() {
+        let t = beluga();
+        assert_eq!(t.gpus().len(), 4);
+        assert_eq!(t.host_memories().len(), 1);
+        // 6 pairs * 2 directions + 4 PCIe * 2 + 1 DRAM = 12 + 8 + 1.
+        assert_eq!(t.link_count(), 21);
+    }
+
+    #[test]
+    fn beluga_nvlink_is_double_pcie_times_four() {
+        let t = beluga();
+        let gpus = t.gpus();
+        let nv = t.link_between(gpus[0], gpus[1]).unwrap();
+        let hm = t.host_memories()[0];
+        let pcie = t.link_between(gpus[0], hm).unwrap();
+        assert_eq!(nv.bandwidth, gb_per_s(48.0));
+        assert_eq!(pcie.bandwidth, gb_per_s(12.0));
+        assert_eq!(nv.sub_links, 2);
+    }
+
+    #[test]
+    fn narval_has_private_numa_domains() {
+        let t = narval();
+        assert_eq!(t.gpus().len(), 4);
+        assert_eq!(t.host_memories().len(), 4);
+        let gpus = t.gpus();
+        for (i, &g) in gpus.iter().enumerate() {
+            let hm = t.local_host_memory(g).unwrap();
+            assert_eq!(t.device(hm).unwrap().numa, t.device(g).unwrap().numa, "gpu {i}");
+        }
+    }
+
+    #[test]
+    fn narval_nvlink_four_sublinks() {
+        let t = narval();
+        let gpus = t.gpus();
+        let nv = t.link_between(gpus[2], gpus[3]).unwrap();
+        assert_eq!(nv.sub_links, 4);
+        assert_eq!(nv.bandwidth, gb_per_s(96.0));
+    }
+
+    #[test]
+    fn narval_upi_is_shared_both_directions() {
+        let t = narval();
+        let hms = t.host_memories();
+        let fwd = t.link_between(hms[0], hms[1]).unwrap().id;
+        let bwd = t.link_between(hms[1], hms[0]).unwrap().id;
+        assert_eq!(fwd, bwd, "UPI must be one shared capacity pool");
+    }
+
+    #[test]
+    fn both_paper_presets_enumerate_four_paths() {
+        for t in [beluga(), narval()] {
+            let gpus = t.gpus();
+            let p = enumerate_paths(&t, gpus[0], gpus[1], PathSelection::THREE_GPUS_WITH_HOST)
+                .unwrap();
+            assert_eq!(p.len(), 4, "topology {}", t.name);
+        }
+    }
+
+    #[test]
+    fn pcie_only_has_no_direct_path() {
+        let t = pcie_only(2);
+        let gpus = t.gpus();
+        assert!(enumerate_paths(&t, gpus[0], gpus[1], PathSelection::DIRECT_ONLY).is_err());
+    }
+
+    #[test]
+    fn pcie_only_communicates_through_host() {
+        let t = pcie_only(2);
+        let gpus = t.gpus();
+        let p =
+            enumerate_paths(&t, gpus[0], gpus[1], PathSelection::THREE_GPUS_WITH_HOST).unwrap();
+        assert_eq!(p.len(), 1);
+        assert!(matches!(p[0].kind, crate::path::PathKind::HostStaged { .. }));
+    }
+
+    #[test]
+    fn dgx1_brick_budget_is_six_per_gpu() {
+        let t = dgx1();
+        for g in t.gpus() {
+            let bricks: u32 = t
+                .links
+                .iter()
+                .filter(|l| l.src == g && l.kind.is_nvlink())
+                .map(|l| l.sub_links)
+                .sum();
+            assert_eq!(bricks, 6, "gpu {g} brick budget");
+        }
+    }
+
+    #[test]
+    fn dgx1_has_heterogeneous_pair_bandwidths() {
+        let t = dgx1();
+        let g = t.gpus();
+        assert_eq!(t.link_between(g[0], g[3]).unwrap().bandwidth, gb_per_s(48.0));
+        assert_eq!(t.link_between(g[0], g[1]).unwrap().bandwidth, gb_per_s(24.0));
+        assert!(t.link_between(g[0], g[5]).is_err(), "0-5 must be unlinked");
+    }
+
+    #[test]
+    fn dgx1_unlinked_pair_gets_staged_paths_only() {
+        let t = dgx1();
+        let g = t.gpus();
+        let p = enumerate_paths(&t, g[0], g[5], PathSelection::THREE_GPUS_WITH_HOST).unwrap();
+        assert!(!p.is_empty());
+        assert!(p.iter().all(|path| !path.kind.is_direct()));
+        // GPUs 1 and 4 neighbor both endpoints.
+        let vias: Vec<_> = p
+            .iter()
+            .filter_map(|path| path.kind.staging_device())
+            .collect();
+        assert!(vias.contains(&g[1]) || vias.contains(&g[4]));
+    }
+
+    #[test]
+    fn dgx1_direct_only_on_unlinked_pair_is_error() {
+        let t = dgx1();
+        let g = t.gpus();
+        assert!(enumerate_paths(&t, g[0], g[5], PathSelection::DIRECT_ONLY).is_err());
+    }
+
+    #[test]
+    fn synthetic_default_is_zero_overhead() {
+        let t = synthetic_default();
+        assert_eq!(t.overheads, OverheadModel::zero());
+        assert_eq!(t.gpus().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 GPUs")]
+    fn synthetic_rejects_single_gpu() {
+        synthetic(SyntheticSpec {
+            gpus: 1,
+            ..SyntheticSpec::default()
+        });
+    }
+}

@@ -1,0 +1,201 @@
+//! Sanity validation for user-constructed topologies.
+//!
+//! The builder enforces local invariants (positive bandwidth, known
+//! devices); this pass checks *global* properties that commonly go wrong
+//! when describing a new machine by hand, and that would otherwise
+//! surface as confusing model output or simulated deadlocks.
+
+use crate::device::DeviceId;
+use crate::topology::Topology;
+use std::fmt;
+
+/// One finding from [`validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidationIssue {
+    /// A GPU with no links at all — unusable as a transfer endpoint.
+    IsolatedGpu(DeviceId),
+    /// `a → b` exists but `b → a` does not; real interconnects are
+    /// bidirectional, and collectives will deadlock on echo steps.
+    AsymmetricLink(DeviceId, DeviceId),
+    /// Opposite directions of a pair differ in bandwidth by more than
+    /// 2× — legal, but almost always a typo.
+    LopsidedDuplex(DeviceId, DeviceId),
+    /// A GPU without a PCIe path to any host memory: host-staged paths
+    /// and (on a real machine) kernel launches would be impossible.
+    NoHostAttachment(DeviceId),
+    /// A host memory domain without a DRAM self-loop: staged traffic
+    /// through it would not be charged for the memory channel.
+    MissingDramChannel(DeviceId),
+    /// Latency outside [0, 1 ms] — suspicious units (seconds vs µs).
+    SuspiciousLatency(DeviceId, DeviceId, f64),
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationIssue::IsolatedGpu(g) => write!(f, "GPU {g} has no links"),
+            ValidationIssue::AsymmetricLink(a, b) => {
+                write!(f, "link {a} -> {b} has no reverse direction")
+            }
+            ValidationIssue::LopsidedDuplex(a, b) => {
+                write!(f, "duplex {a} <-> {b} bandwidths differ by more than 2x")
+            }
+            ValidationIssue::NoHostAttachment(g) => {
+                write!(f, "GPU {g} has no path to host memory")
+            }
+            ValidationIssue::MissingDramChannel(h) => {
+                write!(f, "host memory {h} has no DRAM self-loop")
+            }
+            ValidationIssue::SuspiciousLatency(a, b, l) => {
+                write!(f, "link {a} -> {b} latency {l}s looks like a unit error")
+            }
+        }
+    }
+}
+
+/// Checks `topo` for common construction mistakes. An empty result means
+/// the topology passes every lint; issues are advisory, not fatal.
+pub fn validate(topo: &Topology) -> Vec<ValidationIssue> {
+    let mut issues = Vec::new();
+
+    for gpu in topo.gpus() {
+        let has_any = topo.links.iter().any(|l| l.src == gpu || l.dst == gpu);
+        if !has_any {
+            issues.push(ValidationIssue::IsolatedGpu(gpu));
+            continue;
+        }
+        let host_attached = topo
+            .host_memories()
+            .iter()
+            .any(|&hm| topo.has_link(gpu, hm) && topo.has_link(hm, gpu));
+        if !host_attached && !topo.host_memories().is_empty() {
+            issues.push(ValidationIssue::NoHostAttachment(gpu));
+        }
+    }
+
+    for hm in topo.host_memories() {
+        if !topo.has_link(hm, hm) {
+            issues.push(ValidationIssue::MissingDramChannel(hm));
+        }
+    }
+
+    for l in &topo.links {
+        if l.src == l.dst {
+            continue; // self-loops (DRAM channels) have no reverse
+        }
+        match topo.link_between(l.dst, l.src) {
+            Err(_) => issues.push(ValidationIssue::AsymmetricLink(l.src, l.dst)),
+            Ok(rev) => {
+                let ratio = l.bandwidth / rev.bandwidth;
+                if !(0.5..=2.0).contains(&ratio) && l.src < l.dst {
+                    issues.push(ValidationIssue::LopsidedDuplex(l.src, l.dst));
+                }
+            }
+        }
+        if l.latency > 1e-3 {
+            issues.push(ValidationIssue::SuspiciousLatency(l.src, l.dst, l.latency));
+        }
+    }
+
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{GpuModel, NumaNode};
+    use crate::link::LinkKind;
+    use crate::presets;
+    use crate::topology::TopologyBuilder;
+    use crate::units::gb_per_s;
+
+    #[test]
+    fn shipped_presets_are_clean() {
+        for topo in [
+            presets::beluga(),
+            presets::narval(),
+            presets::dgx1(),
+            presets::pcie_only(4),
+            presets::synthetic_default(),
+        ] {
+            let issues = validate(&topo);
+            assert!(issues.is_empty(), "{}: {issues:?}", topo.name);
+        }
+    }
+
+    #[test]
+    fn flags_isolated_gpu() {
+        let mut b = TopologyBuilder::new("t");
+        let _g = b.gpu(GpuModel::Generic, NumaNode(0));
+        let t = b.build();
+        assert!(matches!(
+            validate(&t)[0],
+            ValidationIssue::IsolatedGpu(_)
+        ));
+    }
+
+    #[test]
+    fn flags_one_way_link() {
+        let mut b = TopologyBuilder::new("t");
+        let g0 = b.gpu(GpuModel::Generic, NumaNode(0));
+        let g1 = b.gpu(GpuModel::Generic, NumaNode(0));
+        b.directed_link(g0, g1, LinkKind::Custom, gb_per_s(10.0), 1e-6, 1)
+            .unwrap();
+        let issues = validate(&b.build());
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::AsymmetricLink(_, _))));
+    }
+
+    #[test]
+    fn flags_lopsided_duplex() {
+        let mut b = TopologyBuilder::new("t");
+        let g0 = b.gpu(GpuModel::Generic, NumaNode(0));
+        let g1 = b.gpu(GpuModel::Generic, NumaNode(0));
+        b.directed_link(g0, g1, LinkKind::Custom, gb_per_s(50.0), 1e-6, 1)
+            .unwrap();
+        b.directed_link(g1, g0, LinkKind::Custom, gb_per_s(5.0), 1e-6, 1)
+            .unwrap();
+        let issues = validate(&b.build());
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::LopsidedDuplex(_, _))));
+    }
+
+    #[test]
+    fn flags_missing_host_attachment_and_dram() {
+        let mut b = TopologyBuilder::new("t");
+        let g0 = b.gpu(GpuModel::Generic, NumaNode(0));
+        let g1 = b.gpu(GpuModel::Generic, NumaNode(0));
+        b.duplex_link(g0, g1, LinkKind::Custom, gb_per_s(10.0), 1e-6, 1)
+            .unwrap();
+        let _hm = b.host_memory(NumaNode(0));
+        let issues = validate(&b.build());
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::NoHostAttachment(_))));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::MissingDramChannel(_))));
+    }
+
+    #[test]
+    fn flags_suspicious_latency() {
+        let mut b = TopologyBuilder::new("t");
+        let g0 = b.gpu(GpuModel::Generic, NumaNode(0));
+        let g1 = b.gpu(GpuModel::Generic, NumaNode(0));
+        // 2 ms "latency" — probably meant microseconds.
+        b.duplex_link(g0, g1, LinkKind::Custom, gb_per_s(10.0), 2e-3, 1)
+            .unwrap();
+        let issues = validate(&b.build());
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::SuspiciousLatency(_, _, _))));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let msg = ValidationIssue::IsolatedGpu(DeviceId(3)).to_string();
+        assert!(msg.contains("dev3"));
+    }
+}

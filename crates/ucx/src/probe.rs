@@ -1,0 +1,217 @@
+//! Runtime parameter calibration (the paper's Dynamic Path Distribution
+//! "dynamically compute\[s\] the model's parameters").
+//!
+//! Datasheet extraction (`mpx_topo::params`) reads each leg's bandwidth
+//! off its narrowest link *in isolation*. That misses intra-path
+//! resource sharing: a pipelined host-staged transfer drives its
+//! device-to-host and host-to-device legs **simultaneously**, and both
+//! cross the staging domain's DRAM channel — so each leg sustains only a
+//! fair share of it. (This is the Narval pathology behind the paper's
+//! Observation 3.)
+//!
+//! The probe measures instead: it injects one saturating flow per leg
+//! *concurrently* on a scratch simulation and fits each leg's effective
+//! bandwidth from its steady transfer rate. Latencies (`α`) and the sync
+//! overhead (`ε`) keep their extracted values — a latency probe would
+//! return the same numbers, since tiny messages don't contend.
+
+use mpx_sim::{Engine, FlowSpec, OnComplete};
+use mpx_topo::params::{extract_path_params, LegParams, PathParams};
+use mpx_topo::path::TransferPath;
+use mpx_topo::{Topology, TopologyError};
+use std::sync::Arc;
+
+/// Bytes per probe flow. Large enough that latency is negligible against
+/// the transfer time on any realistic link.
+pub const PROBE_BYTES: usize = 256 << 20;
+
+/// Measures the effective per-leg bandwidths of `path` with all of its
+/// legs active at once. Returns datasheet parameters with the probed
+/// `β` values substituted in.
+pub fn probe_path_params(
+    topo: &Arc<Topology>,
+    path: &TransferPath,
+) -> Result<PathParams, TopologyError> {
+    probe_path_params_with(topo, None, path)
+}
+
+/// [`probe_path_params`] against explicit (possibly degraded) link
+/// capacities.
+pub fn probe_path_params_with(
+    topo: &Arc<Topology>,
+    capacities: Option<&[f64]>,
+    path: &TransferPath,
+) -> Result<PathParams, TopologyError> {
+    let mut params = extract_path_params(topo, path)?;
+    let routes: Vec<Vec<mpx_topo::LinkId>> =
+        path.legs.iter().map(|l| l.route.clone()).collect();
+    if path.legs.len() < 2 {
+        // A direct path has nothing to contend with itself, but its
+        // capacity may still have degraded.
+        if capacities.is_some() {
+            let rates = probe_concurrent_rates_with(topo, capacities, &routes);
+            params.first.beta = rates[0];
+        }
+        return Ok(params);
+    }
+    let betas = probe_concurrent_rates_with(topo, capacities, &routes);
+    params.first.beta = betas[0];
+    if let Some(second) = params.second.as_mut() {
+        second.beta = betas[1];
+    }
+    Ok(params)
+}
+
+/// Probes every path of a candidate set.
+pub fn probe_all(
+    topo: &Arc<Topology>,
+    paths: &[TransferPath],
+) -> Result<Vec<PathParams>, TopologyError> {
+    paths.iter().map(|p| probe_path_params(topo, p)).collect()
+}
+
+/// [`probe_all`] against explicit (possibly degraded) link capacities.
+pub fn probe_all_with(
+    topo: &Arc<Topology>,
+    capacities: Option<&[f64]>,
+    paths: &[TransferPath],
+) -> Result<Vec<PathParams>, TopologyError> {
+    paths
+        .iter()
+        .map(|p| probe_path_params_with(topo, capacities, p))
+        .collect()
+}
+
+/// Injects one `PROBE_BYTES` flow per route simultaneously on a fresh
+/// simulation and returns each route's mean achieved rate (bytes/s).
+pub fn probe_concurrent_rates(
+    topo: &Arc<Topology>,
+    routes: &[Vec<mpx_topo::LinkId>],
+) -> Vec<f64> {
+    probe_concurrent_rates_with(topo, None, routes)
+}
+
+/// [`probe_concurrent_rates`] against explicit link capacities — used to
+/// re-calibrate against a *live* engine whose links have degraded from
+/// their datasheet values (`Engine::set_link_capacity`).
+pub fn probe_concurrent_rates_with(
+    topo: &Arc<Topology>,
+    capacities: Option<&[f64]>,
+    routes: &[Vec<mpx_topo::LinkId>],
+) -> Vec<f64> {
+    let eng = Engine::with_tracing(topo.clone(), true);
+    if let Some(caps) = capacities {
+        for (i, &c) in caps.iter().enumerate() {
+            eng.set_link_capacity(mpx_topo::LinkId(i as u32), c);
+        }
+    }
+    for (i, route) in routes.iter().enumerate() {
+        eng.start_flow(
+            FlowSpec::new(route.clone(), PROBE_BYTES).labeled(format!("probe{i}")),
+            OnComplete::Nothing,
+        );
+    }
+    eng.run_until_idle();
+    let trace = eng.take_trace();
+    routes
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let label = format!("probe{i}");
+            let rec = trace
+                .iter()
+                .find(|r| r.label == label)
+                .expect("probe flow traced");
+            rec.bytes as f64 / rec.completed.secs_since(rec.activated)
+        })
+        .collect()
+}
+
+/// A probed [`LegParams`] for a single route in isolation (used by tests
+/// and the calibration example to cross-check `mpx_model::fit_hockney`).
+pub fn probe_leg_isolated(topo: &Arc<Topology>, route: Vec<mpx_topo::LinkId>) -> LegParams {
+    let rates = probe_concurrent_rates(topo, std::slice::from_ref(&route));
+    let mut alpha = topo.overheads.copy_launch;
+    for lid in &route {
+        alpha += topo.link(*lid).expect("route link").latency;
+    }
+    LegParams {
+        alpha,
+        beta: rates[0],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpx_topo::path::{enumerate_paths, PathSelection};
+    use mpx_topo::presets;
+    use mpx_topo::units::gb_per_s;
+
+    #[test]
+    fn direct_probe_equals_datasheet() {
+        let topo = Arc::new(presets::beluga());
+        let gpus = topo.gpus();
+        let paths = enumerate_paths(&topo, gpus[0], gpus[1], PathSelection::DIRECT_ONLY).unwrap();
+        let probed = probe_path_params(&topo, &paths[0]).unwrap();
+        assert_eq!(probed.first.beta, gb_per_s(48.0));
+    }
+
+    #[test]
+    fn gpu_staged_legs_are_disjoint_full_rate() {
+        let topo = Arc::new(presets::beluga());
+        let gpus = topo.gpus();
+        let paths = enumerate_paths(&topo, gpus[0], gpus[1], PathSelection::TWO_GPUS).unwrap();
+        let probed = probe_path_params(&topo, &paths[1]).unwrap();
+        assert!((probed.first.beta - gb_per_s(48.0)).abs() < 1e6);
+        assert!((probed.second.unwrap().beta - gb_per_s(48.0)).abs() < 1e6);
+    }
+
+    #[test]
+    fn beluga_host_legs_keep_pcie_rate() {
+        // DRAM (38 GB/s) comfortably carries two 12 GB/s PCIe legs.
+        let topo = Arc::new(presets::beluga());
+        let gpus = topo.gpus();
+        let paths =
+            enumerate_paths(&topo, gpus[0], gpus[1], PathSelection::THREE_GPUS_WITH_HOST).unwrap();
+        let host = paths.last().unwrap();
+        let probed = probe_path_params(&topo, host).unwrap();
+        assert!((probed.first.beta - gb_per_s(12.0)).abs() < 1e8);
+        assert!((probed.second.unwrap().beta - gb_per_s(12.0)).abs() < 1e8);
+    }
+
+    #[test]
+    fn narval_host_legs_halve_on_shared_dram() {
+        // The Observation-3 pathology: both legs cross the 19 GB/s DRAM
+        // channel, so each sustains ~9.5 GB/s — half the datasheet value.
+        let topo = Arc::new(presets::narval());
+        let gpus = topo.gpus();
+        let paths =
+            enumerate_paths(&topo, gpus[0], gpus[1], PathSelection::THREE_GPUS_WITH_HOST).unwrap();
+        let host = paths.last().unwrap();
+        let datasheet = extract_path_params(&topo, host).unwrap();
+        let probed = probe_path_params(&topo, host).unwrap();
+        assert!(datasheet.first.beta > gb_per_s(18.0));
+        assert!(
+            (probed.first.beta - gb_per_s(9.5)).abs() < 1e8,
+            "probed {} GB/s",
+            probed.first.beta / 1e9
+        );
+        assert!(probed.second.unwrap().beta < datasheet.second.unwrap().beta);
+    }
+
+    #[test]
+    fn isolated_leg_probe_matches_bottleneck() {
+        let topo = Arc::new(presets::narval());
+        let gpus = topo.gpus();
+        let hm = topo.local_host_memory(gpus[0]).unwrap();
+        let route = vec![
+            topo.link_between(gpus[0], hm).unwrap().id,
+            topo.link_between(hm, hm).unwrap().id,
+        ];
+        let leg = probe_leg_isolated(&topo, route);
+        // Alone, the leg runs at min(PCIe 24, DRAM 19) = 19 GB/s.
+        assert!((leg.beta - gb_per_s(19.0)).abs() < 1e8, "{}", leg.beta);
+        assert!(leg.alpha > 0.0);
+    }
+}

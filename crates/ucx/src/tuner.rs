@@ -1,0 +1,362 @@
+//! Static (offline, exhaustive) path-distribution tuning — the baseline
+//! the paper compares its model against (Section 5: "Static Path
+//! Distribution ... extracted by exhaustive search, similar to \[35\]").
+//!
+//! The tuner sweeps share splits over a simplex grid, executes each
+//! candidate on a *fresh* simulation of the same topology, and keeps the
+//! fastest. Chunk counts per candidate come from the model's chunk
+//! formula (validated near-optimal in `mpx-model::pipeline` tests), which
+//! keeps the grid one-dimensional per path. The best measured
+//! configuration doubles as the **observed optimum** against which
+//! model-prediction error is reported (Figures 5/6's error metric).
+
+use crate::pipeline::execute_plan;
+use mpx_gpu::GpuRuntime;
+use mpx_model::{chunk_count, PipelineMode, PlannedPath, PlannerConfig, TransferPlan};
+use mpx_sim::Engine;
+use mpx_topo::params::extract_all;
+use mpx_topo::path::{enumerate_paths_auto, PathSelection, TransferPath};
+use mpx_topo::units::Bandwidth;
+use mpx_topo::{DeviceId, Topology, TopologyError};
+use std::sync::Arc;
+
+/// One evaluated grid candidate: shares, plan, measured bandwidth.
+type Candidate = (Vec<f64>, Arc<TransferPlan>, Bandwidth);
+
+/// Builds a [`TransferPlan`] from explicit share fractions (summing to 1)
+/// using the model's chunk-count formula. Predicted fields are filled
+/// from the un-pipelined bound (they are informational for manual plans).
+pub fn manual_plan(
+    topo: &Topology,
+    paths: &[TransferPath],
+    n: usize,
+    shares: &[f64],
+    cfg: &PlannerConfig,
+) -> Result<TransferPlan, TopologyError> {
+    assert_eq!(paths.len(), shares.len(), "one share per path");
+    let sum: f64 = shares.iter().sum();
+    assert!(
+        (sum - 1.0).abs() < 1e-6,
+        "shares must sum to 1, got {sum}"
+    );
+    let params = extract_all(topo, paths)?;
+    let nf = n as f64;
+    let align = cfg.alignment.max(1);
+    let mut bytes: Vec<usize> = shares
+        .iter()
+        .map(|&t| ((t * nf) as usize / align) * align)
+        .collect();
+    let assigned: usize = bytes.iter().sum();
+    bytes[0] += n - assigned;
+
+    let mut planned = Vec::with_capacity(paths.len());
+    let mut worst = 0.0f64;
+    for (i, ((path, p), share)) in paths.iter().zip(&params).zip(&bytes).enumerate() {
+        let theta = *share as f64 / nf;
+        let chunks = if *share == 0 || !p.is_staged() || cfg.mode == PipelineMode::Unpipelined {
+            1
+        } else {
+            let by_overhead = chunk_count(p, theta, nf, cfg.max_chunks);
+            let by_size = (*share / cfg.min_chunk_bytes.max(1)).max(1) as u32;
+            by_overhead.min(by_size)
+        };
+        let predicted_time = if *share == 0 {
+            0.0
+        } else {
+            p.time_unpipelined(*share as f64)
+        };
+        worst = worst.max(predicted_time);
+        planned.push(PlannedPath {
+            index: i,
+            kind: path.kind,
+            params: *p,
+            theta,
+            share_bytes: *share,
+            chunks,
+            predicted_time,
+        });
+    }
+    Ok(TransferPlan {
+        n,
+        paths: planned,
+        predicted_time: worst,
+        predicted_bandwidth: nf / worst,
+    })
+}
+
+/// All share vectors on the `parts`-dimensional simplex with granularity
+/// `1/grid`, direct path first. `grid = 8` gives 165 candidates for four
+/// paths.
+pub fn share_grid(parts: usize, grid: u32) -> Vec<Vec<f64>> {
+    assert!(parts >= 1 && grid >= 1);
+    let mut out = Vec::new();
+    let mut current = vec![0u32; parts];
+    fn rec(out: &mut Vec<Vec<f64>>, current: &mut Vec<u32>, idx: usize, left: u32, grid: u32) {
+        if idx + 1 == current.len() {
+            current[idx] = left;
+            out.push(current.iter().map(|&c| c as f64 / grid as f64).collect());
+            return;
+        }
+        for c in 0..=left {
+            current[idx] = c;
+            rec(out, current, idx + 1, left - c, grid);
+        }
+    }
+    rec(&mut out, &mut current, 0, grid, grid);
+    out
+}
+
+/// Result of an exhaustive tuning run.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// The fastest configuration found.
+    pub plan: Arc<TransferPlan>,
+    /// Its measured single-shot bandwidth (bytes/s).
+    pub bandwidth: Bandwidth,
+    /// Candidates evaluated.
+    pub evaluated: usize,
+}
+
+/// Measures one candidate plan: one warmup transfer (absorbing one-time
+/// IPC-handle costs, as OMB's warmup iterations do) followed by one timed
+/// `src → dst` transfer on a fresh simulation of `topo`. Returns
+/// bandwidth in bytes/s.
+pub fn measure_plan(
+    topo: &Arc<Topology>,
+    plan: &TransferPlan,
+    paths: &[TransferPath],
+    src_dev: DeviceId,
+    dst_dev: DeviceId,
+) -> Bandwidth {
+    let rt = GpuRuntime::new(Engine::new(topo.clone()));
+    let src = rt.alloc(src_dev, plan.n);
+    let dst = rt.alloc(dst_dev, plan.n);
+    execute_plan(&rt, plan, paths, &src, &dst, 0);
+    rt.engine().run_until_idle();
+    let t0 = rt.engine().now();
+    let h = execute_plan(&rt, plan, paths, &src, &dst, 1);
+    rt.engine().run_until_idle();
+    debug_assert!(h.is_complete());
+    plan.n as f64 / rt.engine().now().secs_since(t0)
+}
+
+/// Exhaustive offline tuning for an `n`-byte transfer `src → dst` over
+/// the paths selected by `sel`.
+///
+/// Two stages, as practical offline tuners do: a coarse sweep of the
+/// whole share simplex at granularity `1/grid`, then local refinement —
+/// repeatedly moving small fractions (down to 1/128) between path pairs
+/// while it helps. The refined best stands in for the paper's "observed
+/// optimal performance".
+pub fn tune_exhaustive(
+    topo: &Arc<Topology>,
+    src: DeviceId,
+    dst: DeviceId,
+    n: usize,
+    sel: PathSelection,
+    cfg: &PlannerConfig,
+    grid: u32,
+) -> Result<TuneResult, TopologyError> {
+    let paths = enumerate_paths_auto(topo, src, dst, sel)?;
+    let mut evaluated = 0usize;
+
+    // Stage 1: coarse grid — every candidate runs on its own private
+    // simulation, so they evaluate in parallel across worker threads.
+    let candidates = share_grid(paths.len(), grid);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(candidates.len().max(1));
+    let chunk = candidates.len().div_ceil(workers);
+    let results: Vec<Result<Candidate, TopologyError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = candidates
+                .chunks(chunk)
+                .map(|batch| {
+                    let paths = &paths;
+                    scope.spawn(move || {
+                        batch
+                            .iter()
+                            .map(|shares| {
+                                let plan = manual_plan(topo, paths, n, shares, cfg)?;
+                                let bw = measure_plan(topo, &plan, paths, src, dst);
+                                Ok((shares.clone(), Arc::new(plan), bw))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("tuner worker panicked"))
+                .collect()
+        });
+    evaluated += candidates.len();
+    let mut best_shares = vec![1.0];
+    let mut best: Option<(Arc<TransferPlan>, Bandwidth)> = None;
+    for r in results {
+        let (shares, plan, bw) = r?;
+        if best.as_ref().is_none_or(|(_, b)| bw > *b) {
+            best = Some((plan, bw));
+            best_shares = shares;
+        }
+    }
+
+    // Stage 2: local refinement — move `delta` between every ordered
+    // path pair; restart from the finest step after any improvement.
+    let mut eval = |shares: &[f64]| -> Result<(Arc<TransferPlan>, Bandwidth), TopologyError> {
+        let plan = manual_plan(topo, &paths, n, shares, cfg)?;
+        let bw = measure_plan(topo, &plan, &paths, src, dst);
+        evaluated += 1;
+        Ok((Arc::new(plan), bw))
+    };
+    let deltas = [
+        1.0 / grid as f64 / 2.0,
+        1.0 / grid as f64 / 4.0,
+        1.0 / 64.0,
+        1.0 / 128.0,
+    ];
+    let mut rounds = 0;
+    'refine: loop {
+        rounds += 1;
+        if rounds > 64 {
+            break; // safety bound; never reached in practice
+        }
+        for &delta in &deltas {
+            for i in 0..paths.len() {
+                for j in 0..paths.len() {
+                    if i == j || best_shares[i] < delta {
+                        continue;
+                    }
+                    let mut candidate = best_shares.clone();
+                    candidate[i] -= delta;
+                    candidate[j] += delta;
+                    let (plan, bw) = eval(&candidate)?;
+                    if bw > best.as_ref().expect("stage 1 ran").1 * (1.0 + 1e-9) {
+                        best = Some((plan, bw));
+                        best_shares = candidate;
+                        continue 'refine;
+                    }
+                }
+            }
+        }
+        break;
+    }
+
+    let (plan, bandwidth) = best.expect("grid is never empty");
+    Ok(TuneResult {
+        plan,
+        bandwidth,
+        evaluated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpx_topo::path::enumerate_paths;
+    use mpx_topo::presets;
+    use mpx_topo::units::MIB;
+
+    #[test]
+    fn share_grid_covers_simplex() {
+        let g = share_grid(3, 4);
+        // C(4+2, 2) = 15 compositions.
+        assert_eq!(g.len(), 15);
+        for shares in &g {
+            let sum: f64 = shares.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+        assert!(g.contains(&vec![1.0, 0.0, 0.0]));
+        assert!(g.contains(&vec![0.0, 0.0, 1.0]));
+        assert!(g.contains(&vec![0.5, 0.25, 0.25]));
+    }
+
+    #[test]
+    fn share_grid_single_path() {
+        assert_eq!(share_grid(1, 8), vec![vec![1.0]]);
+    }
+
+    #[test]
+    fn manual_plan_assigns_all_bytes() {
+        let topo = presets::beluga();
+        let gpus = topo.gpus();
+        let paths =
+            enumerate_paths(&topo, gpus[0], gpus[1], PathSelection::THREE_GPUS).unwrap();
+        let plan = manual_plan(
+            &topo,
+            &paths,
+            MIB + 5,
+            &[0.5, 0.25, 0.25],
+            &PlannerConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(plan.paths.iter().map(|p| p.share_bytes).sum::<usize>(), MIB + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn manual_plan_rejects_bad_shares() {
+        let topo = presets::beluga();
+        let gpus = topo.gpus();
+        let paths =
+            enumerate_paths(&topo, gpus[0], gpus[1], PathSelection::TWO_GPUS).unwrap();
+        let _ = manual_plan(&topo, &paths, MIB, &[0.9, 0.3], &PlannerConfig::default());
+    }
+
+    #[test]
+    fn exhaustive_tuning_beats_direct_only() {
+        let topo = Arc::new(presets::beluga());
+        let gpus = topo.gpus();
+        let n = 64 * MIB;
+        let cfg = PlannerConfig::default();
+        let result = tune_exhaustive(
+            &topo,
+            gpus[0],
+            gpus[1],
+            n,
+            PathSelection::THREE_GPUS,
+            &cfg,
+            6,
+        )
+        .unwrap();
+        assert!(result.evaluated >= 28, "coarse stage alone is C(6+2,2)=28"); // + refinement
+        // Direct-only candidate bandwidth:
+        let paths =
+            enumerate_paths(&topo, gpus[0], gpus[1], PathSelection::THREE_GPUS).unwrap();
+        let direct = manual_plan(&topo, &paths, n, &[1.0, 0.0, 0.0], &cfg).unwrap();
+        let direct_bw = measure_plan(&topo, &direct, &paths, gpus[0], gpus[1]);
+        assert!(
+            result.bandwidth > 2.0 * direct_bw,
+            "tuned {} vs direct {}",
+            result.bandwidth,
+            direct_bw
+        );
+        // The tuned best spreads load across all three paths.
+        assert_eq!(result.plan.active_path_count(), 3);
+    }
+
+    #[test]
+    fn model_plan_close_to_exhaustive_optimum() {
+        // The paper's headline: the model picks a configuration within a
+        // few percent of the exhaustively-found optimum for large n.
+        let topo = Arc::new(presets::beluga());
+        let gpus = topo.gpus();
+        let n = 128 * MIB;
+        let sel = PathSelection::THREE_GPUS;
+        let cfg = PlannerConfig::default();
+        let tuned = tune_exhaustive(&topo, gpus[0], gpus[1], n, sel, &cfg, 8).unwrap();
+        let planner = mpx_model::Planner::new(topo.clone());
+        let model_plan = planner.plan(gpus[0], gpus[1], n, sel).unwrap();
+        let paths = enumerate_paths(&topo, gpus[0], gpus[1], sel).unwrap();
+        let model_bw = measure_plan(&topo, &model_plan, &paths, gpus[0], gpus[1]);
+        let gap = (tuned.bandwidth - model_bw) / tuned.bandwidth;
+        assert!(
+            gap < 0.06,
+            "model config {:.1} GB/s trails exhaustive {:.1} GB/s by {:.1}%",
+            model_bw / 1e9,
+            tuned.bandwidth / 1e9,
+            gap * 100.0
+        );
+    }
+}

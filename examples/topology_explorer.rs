@@ -1,0 +1,72 @@
+//! Prints a preset topology (Figs. 1 and 3 of the paper), the candidate
+//! paths between two GPUs, and the Hockney parameters the model extracts
+//! for each.
+//!
+//! ```text
+//! cargo run --example topology_explorer -- [beluga|narval|pcie|synthetic]
+//! ```
+
+use multipath_gpu::prelude::*;
+use mpx_topo::params::extract_path_params;
+use mpx_topo::path::enumerate_paths;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "beluga".into());
+    let topo = match which.as_str() {
+        "beluga" => presets::beluga(),
+        "narval" => presets::narval(),
+        "pcie" => presets::pcie_only(4),
+        "synthetic" => presets::synthetic_default(),
+        other => {
+            eprintln!("unknown preset `{other}` (try beluga|narval|pcie|synthetic)");
+            std::process::exit(1);
+        }
+    };
+
+    println!("{}", topo.describe());
+
+    let gpus = topo.gpus();
+    if gpus.len() < 2 {
+        return;
+    }
+    let (src, dst) = (gpus[0], gpus[1]);
+    println!("candidate paths {src} -> {dst}:");
+    match enumerate_paths(&topo, src, dst, PathSelection::THREE_GPUS_WITH_HOST) {
+        Ok(paths) => {
+            for p in &paths {
+                let params = extract_path_params(&topo, p).expect("extract");
+                print!("  {:<18}", p.kind.to_string());
+                print!(
+                    " leg1: alpha {:>6.2} us, beta {:>6.1} GB/s",
+                    params.first.alpha * 1e6,
+                    params.first.beta / 1e9
+                );
+                if let Some(second) = params.second {
+                    print!(
+                        " | eps {:>4.1} us | leg2: alpha {:>6.2} us, beta {:>6.1} GB/s",
+                        params.eps * 1e6,
+                        second.alpha * 1e6,
+                        second.beta / 1e9
+                    );
+                }
+                println!();
+            }
+            let total: f64 = paths
+                .iter()
+                .map(|p| {
+                    extract_path_params(&topo, p)
+                        .expect("extract")
+                        .bottleneck_bandwidth()
+                })
+                .sum();
+            let direct = topo.link_between(src, dst).expect("direct").bandwidth;
+            println!(
+                "\naggregate ceiling {:.1} GB/s vs direct {:.1} GB/s -> ideal speedup {:.2}x",
+                total / 1e9,
+                direct / 1e9,
+                total / direct
+            );
+        }
+        Err(e) => println!("  (no multi-path candidates: {e})"),
+    }
+}

@@ -1,0 +1,201 @@
+//! `mpx` — command-line front end.
+//!
+//! ```text
+//! mpx topo  --topo beluga                         # describe a preset node
+//! mpx export --topo narval > narval.json          # dump a preset as JSON
+//! mpx export --topo dgx1 --format dot | dot -Tsvg   # render the graph
+//! mpx plan  --topo-file my_node.json --size 64M   # plan on a custom node
+//! mpx plan  --topo narval --size 64M [--paths 3_GPUs_w_host] [--src 0 --dst 1]
+//! mpx bw    --topo beluga --size 64M [--window 16] [--mode single|dynamic]
+//! mpx bibw  --topo beluga --size 64M [--window 16] [--mode single|dynamic]
+//! mpx collective --op allreduce|alltoall --size 64M [--topo T] [--paths P]
+//! ```
+
+use multipath_gpu::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn parse_size(s: &str) -> usize {
+    let (num, mult) = match s.as_bytes().last() {
+        Some(b'K') | Some(b'k') => (&s[..s.len() - 1], 1usize << 10),
+        Some(b'M') | Some(b'm') => (&s[..s.len() - 1], 1usize << 20),
+        Some(b'G') | Some(b'g') => (&s[..s.len() - 1], 1usize << 30),
+        _ => (s, 1),
+    };
+    num.parse::<usize>()
+        .unwrap_or_else(|_| die(&format!("bad size `{s}`")))
+        * mult
+}
+
+fn topology(name: &str) -> Topology {
+    match name {
+        "beluga" => presets::beluga(),
+        "narval" => presets::narval(),
+        "dgx1" => presets::dgx1(),
+        "pcie" => presets::pcie_only(4),
+        "synthetic" => presets::synthetic_default(),
+        "two-node" => presets::two_node_beluga(2),
+        other => die(&format!(
+            "unknown topology `{other}` (beluga|narval|dgx1|pcie|synthetic|two-node)"
+        )),
+    }
+}
+
+fn selection(name: &str) -> PathSelection {
+    match name {
+        "direct" => PathSelection::DIRECT_ONLY,
+        "2_GPUs" => PathSelection::TWO_GPUS,
+        "3_GPUs" => PathSelection::THREE_GPUS,
+        "3_GPUs_w_host" => PathSelection::THREE_GPUS_WITH_HOST,
+        other => die(&format!(
+            "unknown path selection `{other}` (direct|2_GPUs|3_GPUs|3_GPUs_w_host)"
+        )),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: mpx <topo|export|plan|bw|bibw|collective> [--topo T | --topo-file F] [--size N] [--window W] [--mode M] [--paths P] [--src I] [--dst J] [--op C]");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        die("missing command");
+    };
+    let mut opts: HashMap<String, String> = HashMap::new();
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let Some(key) = flag.strip_prefix("--") else {
+            die(&format!("unexpected argument `{flag}`"));
+        };
+        let Some(value) = it.next() else {
+            die(&format!("flag --{key} needs a value"));
+        };
+        opts.insert(key.to_string(), value.clone());
+    }
+    let get = |k: &str, default: &str| opts.get(k).cloned().unwrap_or_else(|| default.into());
+
+    let topo = Arc::new(match opts.get("topo-file") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+            let t: Topology = serde_json::from_str(&text)
+                .unwrap_or_else(|e| die(&format!("bad topology JSON in {path}: {e}")));
+            for issue in mpx_topo::validate(&t) {
+                eprintln!("warning: {issue}");
+            }
+            t
+        }
+        None => topology(&get("topo", "beluga")),
+    });
+    let n = parse_size(&get("size", "64M"));
+    let sel = selection(&get("paths", "3_GPUs_w_host"));
+    let gpus = topo.gpus();
+    let src = gpus[get("src", "0").parse::<usize>().unwrap_or_else(|_| die("bad --src"))];
+    let dst = gpus[get("dst", "1").parse::<usize>().unwrap_or_else(|_| die("bad --dst"))];
+    let window = get("window", "1").parse::<usize>().unwrap_or_else(|_| die("bad --window"));
+    let mode = match get("mode", "dynamic").as_str() {
+        "single" => TuningMode::SinglePath,
+        "dynamic" => TuningMode::Dynamic,
+        "static" => TuningMode::Static,
+        other => die(&format!("unknown mode `{other}` (single|dynamic|static)")),
+    };
+
+    match cmd.as_str() {
+        "export" => match get("format", "json").as_str() {
+            "json" => println!(
+                "{}",
+                serde_json::to_string_pretty(topo.as_ref()).expect("topology serializes")
+            ),
+            "dot" => print!("{}", mpx_topo::to_dot(&topo)),
+            other => die(&format!("unknown format `{other}` (json|dot)")),
+        },
+        "topo" => {
+            print!("{}", topo.describe());
+            let issues = mpx_topo::validate(&topo);
+            if issues.is_empty() {
+                println!("validation: clean");
+            } else {
+                for i in &issues {
+                    println!("validation: {i}");
+                }
+            }
+        }
+        "plan" => {
+            let planner = Planner::new(topo.clone());
+            let plan = planner.plan(src, dst, n, sel).unwrap_or_else(|e| die(&e.to_string()));
+            println!("{src} -> {dst} ({}):", sel.label());
+            print!("{}", plan.describe());
+        }
+        "collective" => {
+            use mpx_model::{predict_allreduce_knomial, predict_alltoall_bruck};
+            use mpx_omb::{osu_allreduce, osu_alltoall, AllreduceAlgo, AlltoallAlgo, CollectiveConfig};
+            let op = get("op", "allreduce");
+            let planner = Planner::new(topo.clone());
+            let gpus = topo.gpus();
+            let kernel = mpx_gpu::KernelCostModel::default_gpu();
+            let coll = CollectiveConfig {
+                ranks: gpus.len().min(4),
+                iterations: 2,
+                warmup: 1,
+            };
+            let cfg = UcxConfig {
+                mode,
+                selection: sel,
+                ..UcxConfig::default()
+            };
+            let (pred, meas) = match op.as_str() {
+                "allreduce" => {
+                    let n = n - n % (4 * coll.ranks);
+                    let p = predict_allreduce_knomial(&planner, &gpus[..coll.ranks], n, sel, &|b| {
+                        kernel.cost(b)
+                    })
+                    .unwrap_or_else(|e| die(&e.to_string()));
+                    let m = osu_allreduce(&topo, cfg, n, AllreduceAlgo::Rabenseifner, coll);
+                    (p, m)
+                }
+                "alltoall" => {
+                    let block = (n / coll.ranks).max(4);
+                    let p = predict_alltoall_bruck(&planner, &gpus[..coll.ranks], block, sel, &|b| {
+                        kernel.cost_copy(b)
+                    })
+                    .unwrap_or_else(|e| die(&e.to_string()));
+                    let m = osu_alltoall(&topo, cfg, block, AlltoallAlgo::Bruck, coll);
+                    (p, m)
+                }
+                other => die(&format!("unknown collective `{other}` (allreduce|alltoall)")),
+            };
+            println!(
+                "{op} {} mode={mode:?} paths={}: predicted {:.0} us (comm {:.0}, compute {:.0}), measured {:.0} us ({:+.1}%)",
+                mpx_topo::units::format_bytes(n),
+                sel.label(),
+                pred.total * 1e6,
+                pred.comm * 1e6,
+                pred.compute * 1e6,
+                meas * 1e6,
+                (pred.total - meas) / meas * 100.0
+            );
+        }
+        "bw" | "bibw" => {
+            let cfg = UcxConfig {
+                mode,
+                selection: sel,
+                ..UcxConfig::default()
+            };
+            let p2p = P2pConfig::with_window(window);
+            let bw = if cmd == "bw" {
+                osu_bw(&topo, cfg, n, p2p)
+            } else {
+                osu_bibw(&topo, cfg, n, p2p)
+            };
+            println!(
+                "{cmd} {} window={window} mode={mode:?}: {:.2} GB/s",
+                mpx_topo::units::format_bytes(n),
+                bw / 1e9
+            );
+        }
+        other => die(&format!("unknown command `{other}`")),
+    }
+}

@@ -1,0 +1,92 @@
+//! End-to-end tests of the `mpx` CLI binary (cargo builds it for us;
+//! `CARGO_BIN_EXE_mpx` points at it).
+
+use std::process::Command;
+
+fn mpx(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mpx"))
+        .args(args)
+        .output()
+        .expect("run mpx");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn topo_describes_and_validates() {
+    let (stdout, _, ok) = mpx(&["topo", "--topo", "narval"]);
+    assert!(ok);
+    assert!(stdout.contains("narval"));
+    assert!(stdout.contains("NVLink-V3"));
+    assert!(stdout.contains("validation: clean"));
+}
+
+#[test]
+fn plan_prints_shares_and_prediction() {
+    let (stdout, _, ok) = mpx(&["plan", "--topo", "beluga", "--size", "64M"]);
+    assert!(ok);
+    assert!(stdout.contains("direct"));
+    assert!(stdout.contains("gpu-staged"));
+    assert!(stdout.contains("predicted:"));
+}
+
+#[test]
+fn bw_reports_bandwidth() {
+    let (stdout, _, ok) = mpx(&["bw", "--size", "16M", "--mode", "single"]);
+    assert!(ok);
+    assert!(stdout.contains("GB/s"), "{stdout}");
+}
+
+#[test]
+fn export_then_plan_via_file_roundtrips() {
+    let dir = std::env::temp_dir().join("mpx-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("beluga.json");
+    let (json, _, ok) = mpx(&["export", "--topo", "beluga"]);
+    assert!(ok);
+    std::fs::write(&path, &json).unwrap();
+    let (stdout, _, ok) = mpx(&[
+        "plan",
+        "--topo-file",
+        path.to_str().unwrap(),
+        "--size",
+        "32M",
+        "--paths",
+        "3_GPUs",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("predicted:"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (_, stderr, ok) = mpx(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn bad_size_fails_cleanly() {
+    let (_, stderr, ok) = mpx(&["plan", "--size", "lots"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad size"));
+}
+
+#[test]
+fn collective_command_predicts_and_measures() {
+    let (stdout, _, ok) = mpx(&[
+        "collective",
+        "--op",
+        "alltoall",
+        "--size",
+        "16M",
+        "--paths",
+        "3_GPUs",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("predicted"));
+    assert!(stdout.contains("measured"));
+}

@@ -1,0 +1,118 @@
+//! Reproducibility of the simulation substrate.
+//!
+//! Callback-structured runs are exactly deterministic: the event queue
+//! orders ties by insertion sequence and nothing depends on OS thread
+//! scheduling. Thread-structured runs admit bounded nondeterminism (two
+//! ranks can reach the matching table in either OS order within the same
+//! virtual instant), so their *virtual-time results* are asserted equal
+//! across runs, not their event orders.
+
+use multipath_gpu::prelude::*;
+use std::sync::Arc;
+
+fn run_callback_transfer() -> (u64, u64) {
+    let topo = Arc::new(presets::beluga());
+    let rt = GpuRuntime::new(Engine::new(topo));
+    let ctx = UcxContext::new(rt, UcxConfig::default());
+    let gpus = ctx.runtime().engine().topology().gpus();
+    let n = 48 << 20;
+    let src = ctx.runtime().alloc(gpus[0], n);
+    let dst = ctx.runtime().alloc(gpus[1], n);
+    ctx.put_async(&src, &dst, n).unwrap();
+    ctx.runtime().engine().run_until_idle();
+    let stats = ctx.runtime().engine().stats();
+    (stats.now.as_nanos(), stats.events_processed)
+}
+
+#[test]
+fn callback_driven_runs_are_bit_identical() {
+    let first = run_callback_transfer();
+    for _ in 0..3 {
+        assert_eq!(run_callback_transfer(), first);
+    }
+}
+
+fn run_threaded_bw() -> f64 {
+    let topo = Arc::new(presets::beluga());
+    osu_bw(
+        &topo,
+        UcxConfig::default(),
+        16 << 20,
+        P2pConfig::with_window(4),
+    )
+}
+
+#[test]
+fn threaded_runs_agree_in_virtual_time() {
+    let first = run_threaded_bw();
+    for i in 0..3 {
+        let next = run_threaded_bw();
+        let rel = (next - first).abs() / first;
+        assert!(
+            rel < 1e-6,
+            "run {i}: {next} vs {first} ({rel:.2e} relative drift)"
+        );
+    }
+}
+
+#[test]
+fn collective_results_stable_across_runs() {
+    let run = || {
+        let world = World::new(Arc::new(presets::narval()), UcxConfig::default());
+        
+        world.run(4, |r| {
+            let buf = r.alloc(8 << 20);
+            mpx_mpi::allreduce_rabenseifner(&r, &buf, 8 << 20, ReduceOp::Sum);
+            r.now().as_nanos()
+        })
+    };
+    let a = run();
+    let b = run();
+    for (x, y) in a.iter().zip(&b) {
+        let rel = (*x as f64 - *y as f64).abs() / *x as f64;
+        assert!(rel < 1e-6, "{a:?} vs {b:?}");
+    }
+}
+
+/// The simulator's flow accounting conserves bytes: per-link counters
+/// equal exactly what the transfer plan routed over each link.
+#[test]
+fn link_byte_accounting_conserves_message() {
+    let topo = Arc::new(presets::beluga());
+    let rt = GpuRuntime::new(Engine::new(topo.clone()));
+    let ctx = UcxContext::new(rt, UcxConfig::default());
+    let gpus = topo.gpus();
+    let n = 32 << 20;
+    let plan = ctx.plan_for(gpus[0], gpus[1], n).unwrap();
+    let src = ctx.runtime().alloc(gpus[0], n);
+    let dst = ctx.runtime().alloc(gpus[1], n);
+    ctx.put_async(&src, &dst, n).unwrap();
+    ctx.runtime().engine().run_until_idle();
+    let stats = ctx.runtime().engine().stats();
+
+    // The direct link must carry exactly the direct share.
+    let direct_link = topo.link_between(gpus[0], gpus[1]).unwrap().id;
+    let direct_share = plan.paths[0].share_bytes as f64;
+    let carried = stats.links[direct_link.index()].bytes;
+    assert!(
+        (carried - direct_share).abs() < 1.0,
+        "direct link carried {carried}, plan said {direct_share}"
+    );
+
+    // Total bytes over all links ≥ n (staged bytes cross two links), and
+    // every staged byte is accounted exactly twice per leg count.
+    let expected_total: f64 = plan
+        .paths
+        .iter()
+        .zip(ctx.paths_for(gpus[0], gpus[1], ctx.config().selection).unwrap().iter())
+        .map(|(pp, path)| {
+            let hops: usize = path.legs.iter().map(|l| l.route.len()).sum();
+            (pp.share_bytes * hops.max(1)) as f64
+        })
+        .sum();
+    let total: f64 = stats.links.iter().map(|l| l.bytes).sum();
+    assert!(
+        (total - expected_total).abs() < 1.0,
+        "links carried {total}, expected {expected_total}"
+    );
+}

@@ -1,0 +1,279 @@
+//! The five observations of the paper's Section 5.2 and the four of
+//! Section 5.3, as executable assertions over the reproduced stack.
+
+use multipath_gpu::prelude::*;
+use mpx_omb::{collective_panel, p2p_panel, CollectiveConfig, CollectiveKind, P2pKind};
+use std::sync::Arc;
+
+const MIB: usize = 1 << 20;
+
+fn sizes() -> Vec<usize> {
+    vec![2 * MIB, 8 * MIB, 32 * MIB, 64 * MIB]
+}
+
+/// Observation 1 (§5.2): for messages above 8 MB the model's prediction
+/// closely matches the observed optimum in the BW test.
+#[test]
+fn obs1_prediction_matches_optimum_for_large_bw() {
+    for topo in [Arc::new(presets::beluga()), Arc::new(presets::narval())] {
+        for (label, sel) in PathSelection::paper_grid() {
+            let panel = p2p_panel(&topo, P2pKind::Bw, sel, 1, &sizes(), 6);
+            let mut observed = panel[1].clone();
+            for (p, d) in observed.points.iter_mut().zip(&panel[2].points) {
+                p.value = p.value.max(d.value);
+            }
+            let err = mpx_omb::mean_relative_error(&observed, &panel[3], 8 * MIB);
+            assert!(
+                err < 0.06,
+                "{} {label}: BW prediction error {:.1}% >= 6%",
+                topo.name,
+                err * 100.0
+            );
+        }
+    }
+}
+
+/// Observation 1, second half: BIBW prediction errors are higher than BW
+/// errors (the model is direction-agnostic).
+#[test]
+fn obs1_bibw_errors_exceed_bw_errors() {
+    let topo = Arc::new(presets::beluga());
+    let sel = PathSelection::THREE_GPUS_WITH_HOST;
+    let err_of = |kind| {
+        let panel = p2p_panel(&topo, kind, sel, 1, &sizes(), 6);
+        let mut observed = panel[1].clone();
+        for (p, d) in observed.points.iter_mut().zip(&panel[2].points) {
+            p.value = p.value.max(d.value);
+        }
+        mpx_omb::mean_relative_error(&observed, &panel[3], 4 * MIB)
+    };
+    let bw = err_of(P2pKind::Bw);
+    let bibw = err_of(P2pKind::Bibw);
+    assert!(
+        bibw > bw,
+        "BIBW error {:.1}% should exceed BW error {:.1}%",
+        bibw * 100.0,
+        bw * 100.0
+    );
+}
+
+/// Observation 2 (§5.2): larger window sizes allow more concurrent
+/// transfers, reducing the impact of latency — bandwidth at small
+/// message sizes improves markedly from window 1 to window 16, and the
+/// improvement fades for large messages where latency is already
+/// amortized.
+#[test]
+fn obs2_windows_hide_latency_for_small_messages() {
+    let topo = Arc::new(presets::beluga());
+    let sel = PathSelection::TWO_GPUS;
+    let ratio_at = |n: usize| {
+        let w1 = p2p_panel(&topo, P2pKind::Bw, sel, 1, &[n], 4)[2].at(n).unwrap();
+        let w16 = p2p_panel(&topo, P2pKind::Bw, sel, 16, &[n], 4)[2].at(n).unwrap();
+        w16 / w1
+    };
+    let small = ratio_at(2 * MIB);
+    let large = ratio_at(64 * MIB);
+    assert!(small > 1.15, "win16 should lift 2 MB bandwidth: {small:.2}x");
+    assert!(
+        large < small,
+        "the window benefit must fade with size: {large:.2}x vs {small:.2}x"
+    );
+}
+
+/// Observation 3 (§5.2): host-staged prediction errors are higher on
+/// Narval than on Beluga (extra inter-NUMA hop, single memory channel) —
+/// checked with datasheet parameters, where the effect is purest.
+#[test]
+fn obs3_host_staged_error_worse_on_narval() {
+    let err_of = |topo: Arc<Topology>| {
+        let gpus = topo.gpus();
+        let sel = PathSelection::THREE_GPUS_WITH_HOST;
+        let cfg = UcxConfig {
+            mode: TuningMode::Dynamic,
+            params: mpx_ucx::ParamSource::Datasheet,
+            selection: sel,
+            ..UcxConfig::default()
+        };
+        let n = 64 * MIB;
+        let measured = osu_bw(&topo, cfg, n, P2pConfig::default());
+        let predicted = Planner::new(topo.clone())
+            .plan(gpus[0], gpus[1], n, sel)
+            .unwrap()
+            .predicted_bandwidth;
+        (predicted - measured).abs() / measured
+    };
+    let beluga = err_of(Arc::new(presets::beluga()));
+    let narval = err_of(Arc::new(presets::narval()));
+    assert!(
+        narval > beluga,
+        "narval host-staged error {:.1}% should exceed beluga {:.1}%",
+        narval * 100.0,
+        beluga * 100.0
+    );
+}
+
+/// Observation 4 (§5.2): the model over-estimates bandwidth for small
+/// messages (linear Hockney misses per-chunk and launch overheads).
+#[test]
+fn obs4_model_overestimates_small_messages() {
+    let topo = Arc::new(presets::beluga());
+    let sel = PathSelection::THREE_GPUS;
+    let panel = p2p_panel(&topo, P2pKind::Bw, sel, 1, &[2 * MIB, 64 * MIB], 6);
+    let measured_small = panel[2].at(2 * MIB).unwrap();
+    let predicted_small = panel[3].at(2 * MIB).unwrap();
+    assert!(
+        predicted_small > measured_small,
+        "at 2 MB the model should overestimate: pred {:.1} vs meas {:.1} GB/s",
+        predicted_small / 1e9,
+        measured_small / 1e9
+    );
+    // And the relative error shrinks with size.
+    let rel_small = (predicted_small - measured_small).abs() / measured_small;
+    let measured_large = panel[2].at(64 * MIB).unwrap();
+    let predicted_large = panel[3].at(64 * MIB).unwrap();
+    let rel_large = (predicted_large - measured_large).abs() / measured_large;
+    assert!(rel_large < rel_small);
+}
+
+/// Observation 5 (§5.2): under BIBW, adding the host-staged path *hurts*
+/// relative to the same configuration without it — bidirectional staging
+/// contends on the shared host resources.
+#[test]
+fn obs5_host_staging_degrades_bibw() {
+    for topo in [Arc::new(presets::beluga()), Arc::new(presets::narval())] {
+        let bw_of = |sel| {
+            let cfg = UcxConfig {
+                mode: TuningMode::Dynamic,
+                selection: sel,
+                ..UcxConfig::default()
+            };
+            osu_bibw(&topo, cfg, 64 * MIB, P2pConfig::default())
+        };
+        let without = bw_of(PathSelection::THREE_GPUS);
+        let with_host = bw_of(PathSelection::THREE_GPUS_WITH_HOST);
+        assert!(
+            with_host < without * 1.02,
+            "{}: BIBW with host {:.1} should not beat without {:.1} GB/s",
+            topo.name,
+            with_host / 1e9,
+            without / 1e9
+        );
+    }
+}
+
+/// §5.3 Observation 1: collective improvements are larger on Beluga than
+/// on Narval.
+#[test]
+fn coll_obs1_beluga_gains_more() {
+    let best = |topo: Arc<Topology>| {
+        let panel = collective_panel(
+            &topo,
+            CollectiveKind::Alltoall,
+            PathSelection::THREE_GPUS,
+            &[64 * MIB],
+            CollectiveConfig {
+                ranks: 4,
+                iterations: 2,
+                warmup: 1,
+            },
+        );
+        panel[1].at(64 * MIB).unwrap()
+    };
+    let beluga = best(Arc::new(presets::beluga()));
+    let narval = best(Arc::new(presets::narval()));
+    assert!(
+        beluga > narval,
+        "beluga {beluga:.2}x should exceed narval {narval:.2}x"
+    );
+}
+
+/// §5.3 Observation 3: MPI_Alltoall gains more than MPI_Allreduce (the
+/// reduction compute dilutes Allreduce's communication speedup).
+#[test]
+fn coll_obs3_alltoall_gains_more_than_allreduce() {
+    let topo = Arc::new(presets::beluga());
+    let coll = CollectiveConfig {
+        ranks: 4,
+        iterations: 2,
+        warmup: 1,
+    };
+    let speedup = |kind| {
+        let panel = collective_panel(&topo, kind, PathSelection::THREE_GPUS, &[32 * MIB], coll);
+        panel[1].at(32 * MIB).unwrap()
+    };
+    let a2a = speedup(CollectiveKind::Alltoall);
+    let ar = speedup(CollectiveKind::Allreduce);
+    assert!(
+        a2a > ar,
+        "alltoall {a2a:.2}x should exceed allreduce {ar:.2}x"
+    );
+}
+
+/// §5.3 Observation 4: Allreduce improves more when going from 2 to 3
+/// GPU paths.
+#[test]
+fn coll_obs4_allreduce_scales_with_paths() {
+    let topo = Arc::new(presets::beluga());
+    let coll = CollectiveConfig {
+        ranks: 4,
+        iterations: 2,
+        warmup: 1,
+    };
+    let speedup = |sel| {
+        let panel = collective_panel(&topo, CollectiveKind::Allreduce, sel, &[32 * MIB], coll);
+        panel[1].at(32 * MIB).unwrap()
+    };
+    let two = speedup(PathSelection::TWO_GPUS);
+    let three = speedup(PathSelection::THREE_GPUS);
+    assert!(
+        three > two,
+        "3-path allreduce {three:.2}x should exceed 2-path {two:.2}x"
+    );
+}
+
+/// Observation 2, variance half: with timing jitter enabled, window 16
+/// shows a smaller coefficient of variation across runs than window 1 —
+/// "larger window sizes allow for more concurrent transfers, reducing
+/// the impact of latency and bandwidth variations".
+#[test]
+fn obs2_windows_smooth_timing_variations() {
+    use mpx_omb::osu_bw_on;
+    use mpx_sim::JitterModel;
+
+    let topo = Arc::new(presets::beluga());
+    let cv = |window: usize| {
+        let samples: Vec<f64> = (0..10u64)
+            .map(|seed| {
+                let world = World::new(
+                    topo.clone(),
+                    UcxConfig {
+                        selection: PathSelection::THREE_GPUS,
+                        ..UcxConfig::default()
+                    },
+                );
+                world.engine().set_jitter(JitterModel { seed, spread: 0.4 });
+                osu_bw_on(
+                    &world,
+                    2 * MIB,
+                    mpx_omb::P2pConfig {
+                        window,
+                        iterations: 1,
+                        warmup: 1,
+                    },
+                )
+            })
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64;
+        var.sqrt() / mean
+    };
+    let cv1 = cv(1);
+    let cv16 = cv(16);
+    assert!(
+        cv16 < cv1,
+        "window 16 CV {:.4} should be below window 1 CV {:.4}",
+        cv16,
+        cv1
+    );
+}

@@ -1,0 +1,77 @@
+//! Custom-topology workflow: serialize a node description to JSON,
+//! reload it, and verify the whole stack produces identical results —
+//! the path a downstream user takes to model their own machine.
+
+use multipath_gpu::prelude::*;
+use std::sync::Arc;
+
+fn roundtrip(topo: &Topology) -> Topology {
+    let json = serde_json::to_string(topo).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn presets_roundtrip_exactly() {
+    for topo in [
+        presets::beluga(),
+        presets::narval(),
+        presets::dgx1(),
+        presets::pcie_only(3),
+    ] {
+        let back = roundtrip(&topo);
+        assert_eq!(topo, back, "{} JSON roundtrip", topo.name);
+    }
+}
+
+#[test]
+fn reloaded_topology_preserves_link_resolution() {
+    let topo = presets::narval();
+    let back = roundtrip(&topo);
+    let gpus = topo.gpus();
+    // Shared UPI aliases must survive (they live in the adjacency map).
+    let hms = topo.host_memories();
+    assert_eq!(
+        back.link_between(hms[0], hms[1]).unwrap().id,
+        back.link_between(hms[1], hms[0]).unwrap().id,
+    );
+    for &a in &gpus {
+        for &b in &gpus {
+            if a == b {
+                continue;
+            }
+            assert_eq!(
+                topo.link_between(a, b).unwrap().id,
+                back.link_between(a, b).unwrap().id
+            );
+        }
+    }
+}
+
+#[test]
+fn reloaded_topology_plans_identically() {
+    let original = Arc::new(presets::beluga());
+    let reloaded = Arc::new(roundtrip(&original));
+    let gpus = original.gpus();
+    let n = 64 << 20;
+    let a = Planner::new(original)
+        .plan(gpus[0], gpus[1], n, PathSelection::THREE_GPUS_WITH_HOST)
+        .unwrap();
+    let b = Planner::new(reloaded)
+        .plan(gpus[0], gpus[1], n, PathSelection::THREE_GPUS_WITH_HOST)
+        .unwrap();
+    for (x, y) in a.paths.iter().zip(&b.paths) {
+        assert_eq!(x.share_bytes, y.share_bytes);
+        assert_eq!(x.chunks, y.chunks);
+    }
+    assert_eq!(a.predicted_time, b.predicted_time);
+}
+
+#[test]
+fn reloaded_topology_simulates_identically() {
+    let original = Arc::new(presets::beluga());
+    let reloaded = Arc::new(roundtrip(&original));
+    let run = |topo: Arc<Topology>| {
+        osu_bw(&topo, UcxConfig::default(), 16 << 20, P2pConfig::default())
+    };
+    assert_eq!(run(original), run(reloaded));
+}
