@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, lint, format. Run from the repo root;
+# everything must pass before a change lands (see CONTRIBUTING.md).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check

@@ -1,0 +1,200 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface this workspace's benches use —
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion`],
+//! benchmark groups with `bench_function` / `bench_with_input`,
+//! [`BenchmarkId`], and `Bencher::iter` — backed by a simple wall-clock
+//! harness instead of criterion's statistical machinery. Each benchmark
+//! is warmed up once, then timed for a bounded number of batches; the
+//! mean ns/iter and iters/sec are printed to stdout.
+//!
+//! The measured numbers are honest monotonic-clock timings, just without
+//! outlier rejection or confidence intervals. Benches also accept (and
+//! ignore) the CLI flags cargo passes to `harness = false` targets.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Upper bound on total measurement time per benchmark.
+const MAX_MEASURE_TIME: Duration = Duration::from_secs(3);
+
+/// Re-exported for convenience; criterion 0.5 re-exports it too.
+pub use std::hint::black_box;
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group `{name}`");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 100,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_one(&id.to_string(), 100, &mut f);
+    }
+}
+
+/// A named benchmark within a group, as `group/function/input`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and an input parameter label.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id from an input parameter label only.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of timed iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), self.sample_size, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (the stub needs no finalization).
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    // Warm-up / calibration pass.
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    // Aim for `sample_size` iterations but never more than the time cap.
+    let iters = (MAX_MEASURE_TIME.as_secs_f64() / per_iter.as_secs_f64())
+        .min(sample_size as f64)
+        .max(1.0) as u64;
+    b.iters = iters;
+    b.elapsed = Duration::ZERO;
+    f(&mut b);
+    let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    println!(
+        "{label:<50} {:>14.1} ns/iter  ({:.1} iters/s)",
+        ns,
+        1e9 / ns
+    );
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` for the harness-chosen number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes flags like `--bench`; nothing to parse
+            // in this stub.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(10);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("with_input", 3), &3u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, trivial);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,444 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
+//! the sibling `serde` stub's `Value`-based traits, without `syn`/`quote`
+//! (unavailable offline): the input item is parsed at token level and
+//! the impl is emitted as a source string.
+//!
+//! Supported shapes (everything this workspace derives):
+//! * non-generic structs with named fields (+ `#[serde(default)]`),
+//! * tuple structs (newtype structs serialize transparently),
+//! * enums with unit, tuple, and struct variants (externally tagged).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    default: bool,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// The parsed shape of the derive input item.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` (stub data model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize` (stub data model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility up to the `struct`/`enum`
+    // keyword.
+    let kind = loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break s;
+                }
+                i += 1; // `pub`, `crate`, ...
+            }
+            _ => i += 1, // e.g. the group in `pub(crate)`
+        }
+    };
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    // Generics are not supported (and not used by this workspace).
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive: generic type `{name}` not supported");
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream()),
+                }
+            } else {
+                Item::Enum {
+                    name,
+                    variants: parse_variants(g.stream()),
+                }
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::TupleStruct {
+            name,
+            arity: count_top_level_fields(g.stream()),
+        },
+        other => panic!("unsupported item body for `{name}`: {other:?}"),
+    }
+}
+
+/// Parses `attr* vis? name : type` fields, recording `#[serde(default)]`.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default = false;
+        // Attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                let text = g.to_string().replace(' ', "");
+                if text.starts_with("[serde(") && text.contains("default") {
+                    default = true;
+                }
+            }
+            i += 2;
+        }
+        // Visibility.
+        while matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(
+                &tokens.get(i),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                i += 1;
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break; // trailing comma
+        };
+        fields.push(Field {
+            name: id.to_string(),
+            default,
+        });
+        i += 1;
+        // `:` then the type, up to a comma at angle-depth 0.
+        debug_assert!(
+            matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "expected `:` after field name"
+        );
+        i += 1;
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts comma-separated fields of a tuple struct / tuple variant.
+fn count_top_level_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut saw_tokens_since_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_tokens_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes (doc comments).
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip `= discriminant` (unused here) and the separating comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation (string-built, parsed back into a TokenStream)
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__o.push((\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})));\n",
+                    f = f.name
+                ));
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                 let mut __o: Vec<(String, serde::Value)> = Vec::new();\n\
+                 {pushes}serde::Value::Object(__o)\n}}\n}}\n"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ serde::Serialize::to_value(&self.0) }}\n}}\n"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{ serde::Value::Array(vec![{}]) }}\n}}\n",
+                elems.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__x0) => serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                         serde::Serialize::to_value(__x0))]),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                             serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), serde::Serialize::to_value({f}))",
+                                    f = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                             serde::Value::Object(vec![{}]))]),\n",
+                            binds.join(", "),
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.default {
+                    inits.push_str(&format!(
+                        "{f}: serde::__field_or_default(__o, \"{f}\")?,\n",
+                        f = f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{f}: serde::__field(__o, \"{f}\", \"{name}\")?,\n",
+                        f = f.name
+                    ));
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &serde::Value) -> Result<Self, serde::ValueError> {{\n\
+                 let __o = __v.as_object().ok_or_else(|| serde::ValueError::expected(\"object for {name}\"))?;\n\
+                 Ok({name} {{\n{inits}}})\n}}\n}}\n"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &serde::Value) -> Result<Self, serde::ValueError> {{\n\
+             Ok({name}(serde::Deserialize::from_value(__v)?))\n}}\n}}\n"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &serde::Value) -> Result<Self, serde::ValueError> {{\n\
+                 let __a = __v.as_array().ok_or_else(|| serde::ValueError::expected(\"array for {name}\"))?;\n\
+                 if __a.len() != {arity} {{ return Err(serde::ValueError::expected(\"array of length {arity}\")); }}\n\
+                 Ok({name}({}))\n}}\n}}\n",
+                elems.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}),\n"
+                    )),
+                    VariantShape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}(serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __a = __inner.as_array().ok_or_else(|| serde::ValueError::expected(\"array for {name}::{vn}\"))?;\n\
+                             if __a.len() != {n} {{ return Err(serde::ValueError::expected(\"array of length {n}\")); }}\n\
+                             return Ok({name}::{vn}({}));\n}}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.default {
+                                    format!(
+                                        "{f}: serde::__field_or_default(__fo, \"{f}\")?",
+                                        f = f.name
+                                    )
+                                } else {
+                                    format!(
+                                        "{f}: serde::__field(__fo, \"{f}\", \"{name}::{vn}\")?",
+                                        f = f.name
+                                    )
+                                }
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __fo = __inner.as_object().ok_or_else(|| serde::ValueError::expected(\"object for {name}::{vn}\"))?;\n\
+                             return Ok({name}::{vn} {{ {} }});\n}}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &serde::Value) -> Result<Self, serde::ValueError> {{\n\
+                 if let Some(__s) = __v.as_str() {{\n\
+                 match __s {{\n{unit_arms}_ => {{}}\n}}\n}}\n\
+                 if let Some(__o) = __v.as_object() {{\n\
+                 if __o.len() == 1 {{\n\
+                 let (__tag, __inner) = &__o[0];\n\
+                 match __tag.as_str() {{\n{tagged_arms}_ => {{}}\n}}\n}}\n}}\n\
+                 Err(serde::ValueError::expected(\"valid variant of {name}\"))\n}}\n}}\n"
+            )
+        }
+    }
+}

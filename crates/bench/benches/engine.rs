@@ -13,7 +13,7 @@ fn bench_flows(c: &mut Criterion) {
     let gpus = topo.gpus();
     let mut g = c.benchmark_group("engine");
 
-    for flows in [1usize, 8, 64] {
+    for flows in [1usize, 8, 64, 512] {
         g.bench_with_input(
             BenchmarkId::new("contending_flows", flows),
             &flows,
@@ -22,10 +22,7 @@ fn bench_flows(c: &mut Criterion) {
                     let eng = Engine::new(topo.clone());
                     let link = topo.link_between(gpus[0], gpus[1]).unwrap().id;
                     for _ in 0..flows {
-                        eng.start_flow(
-                            FlowSpec::new(vec![link], 1 << 20),
-                            OnComplete::Nothing,
-                        );
+                        eng.start_flow(FlowSpec::new(vec![link], 1 << 20), OnComplete::Nothing);
                     }
                     eng.run_until_idle();
                     black_box(eng.now())

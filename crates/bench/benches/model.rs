@@ -34,12 +34,22 @@ fn bench_algorithm1(c: &mut Criterion) {
     g.bench_function("plan_cached_4paths_64M", |b| {
         let planner = Planner::new(topo.clone());
         let _ = planner
-            .plan(gpus[0], gpus[1], 64 << 20, PathSelection::THREE_GPUS_WITH_HOST)
+            .plan(
+                gpus[0],
+                gpus[1],
+                64 << 20,
+                PathSelection::THREE_GPUS_WITH_HOST,
+            )
             .unwrap();
         b.iter(|| {
             black_box(
                 planner
-                    .plan(gpus[0], gpus[1], 64 << 20, PathSelection::THREE_GPUS_WITH_HOST)
+                    .plan(
+                        gpus[0],
+                        gpus[1],
+                        64 << 20,
+                        PathSelection::THREE_GPUS_WITH_HOST,
+                    )
                     .unwrap(),
             )
         })
@@ -79,9 +89,7 @@ fn bench_optimizer(c: &mut Criterion) {
 }
 
 fn bench_extensions(c: &mut Criterion) {
-    use mpx_model::{
-        plan_concurrent, predict_allreduce_knomial, ConcurrentTransfer,
-    };
+    use mpx_model::{plan_concurrent, predict_allreduce_knomial, ConcurrentTransfer};
     use mpx_topo::params::extract_all;
     use mpx_topo::path::enumerate_paths;
 

@@ -27,20 +27,16 @@ fn bench_transfer(c: &mut Criterion) {
         let planner = Planner::new(topo.clone());
         let plan = planner.plan(gpus[0], gpus[1], n, sel).unwrap();
         let paths = enumerate_paths(&topo, gpus[0], gpus[1], sel).unwrap();
-        g.bench_with_input(
-            BenchmarkId::new("execute_64M", label),
-            &(),
-            |b, _| {
-                b.iter(|| {
-                    let rt = GpuRuntime::new(Engine::new(topo.clone()));
-                    let src = rt.alloc(gpus[0], n);
-                    let dst = rt.alloc(gpus[1], n);
-                    execute_plan(&rt, &plan, &paths, &src, &dst, 0);
-                    rt.engine().run_until_idle();
-                    black_box(rt.engine().now())
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("execute_64M", label), &(), |b, _| {
+            b.iter(|| {
+                let rt = GpuRuntime::new(Engine::new(topo.clone()));
+                let src = rt.alloc(gpus[0], n);
+                let dst = rt.alloc(gpus[1], n);
+                execute_plan(&rt, &plan, &paths, &src, &dst, 0);
+                rt.engine().run_until_idle();
+                black_box(rt.engine().now())
+            })
+        });
     }
 
     // Ablation: virtual completion time, pipelined vs monolithic legs.

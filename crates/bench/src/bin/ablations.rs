@@ -9,17 +9,15 @@
 //! 5. OMB window-size sweep.
 
 use mpx_bench::emit_json;
-use mpx_model::{
-    chunk_count, optimal_chunks_exact, time_pipelined, PipelineMode, PlannerConfig,
-};
+use mpx_model::{chunk_count, optimal_chunks_exact, time_pipelined, PipelineMode, PlannerConfig};
 use mpx_omb::{
     osu_allreduce, osu_alltoall, osu_bw, ring_pairs, run_pattern, AllreduceAlgo, AlltoallAlgo,
     CollectiveConfig, P2pConfig, PatternPlanning,
 };
 use mpx_topo::params::extract_all;
 use mpx_topo::path::{enumerate_paths, PathSelection};
-use mpx_topo::units::MIB;
 use mpx_topo::presets;
+use mpx_topo::units::MIB;
 use mpx_ucx::{TuningMode, UcxConfig};
 use serde_json::json;
 use std::sync::Arc;
@@ -31,13 +29,18 @@ fn main() {
 
     // ---- 1. φ-linear vs exact chunk counts -----------------------------
     println!("== ablation 1: chunk-count law (staged path, theta = 0.3) ==");
-    println!("{:>10} {:>10} {:>10} {:>12} {:>12} {:>8}", "size", "k_exact", "k_linear", "T(k_ex) us", "T(k_lin) us", "loss");
+    println!(
+        "{:>10} {:>10} {:>10} {:>12} {:>12} {:>8}",
+        "size", "k_exact", "k_linear", "T(k_ex) us", "T(k_lin) us", "loss"
+    );
     let paths = enumerate_paths(&topo, gpus[0], gpus[1], PathSelection::TWO_GPUS).unwrap();
     let params = extract_all(&topo, &paths).unwrap();
     let staged = &params[1];
     for n in [2 * MIB, 8 * MIB, 32 * MIB, 128 * MIB, 512 * MIB] {
         let theta = 0.3;
-        let k_exact = optimal_chunks_exact(staged, theta, n as f64).round().max(1.0) as u32;
+        let k_exact = optimal_chunks_exact(staged, theta, n as f64)
+            .round()
+            .max(1.0) as u32;
         let k_linear = chunk_count(staged, theta, n as f64, 1 << 20);
         let t_exact = time_pipelined(staged, theta, n as f64, k_exact);
         let t_linear = time_pipelined(staged, theta, n as f64, k_linear);
@@ -57,7 +60,10 @@ fn main() {
 
     // ---- 2. pipelined vs un-pipelined -----------------------------------
     println!("\n== ablation 2: pipelining (3_GPUs, dynamic) ==");
-    println!("{:>10} {:>14} {:>14} {:>8}", "size", "piped GB/s", "unpiped GB/s", "gain");
+    println!(
+        "{:>10} {:>14} {:>14} {:>8}",
+        "size", "piped GB/s", "unpiped GB/s", "gain"
+    );
     for n in [8 * MIB, 64 * MIB, 256 * MIB] {
         let bw_of = |mode: PipelineMode| {
             let cfg = UcxConfig {
@@ -86,7 +92,10 @@ fn main() {
 
     // ---- 3. contention-blind vs joint planning -------------------------
     println!("\n== ablation 3: loaded-pattern planning (4-GPU ring) ==");
-    println!("{:>10} {:>14} {:>14} {:>14}", "size", "single GB/s", "blind GB/s", "joint GB/s");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "size", "single GB/s", "blind GB/s", "joint GB/s"
+    );
     for n in [16 * MIB, 64 * MIB, 256 * MIB] {
         let pairs = ring_pairs(4);
         let sel = PathSelection::THREE_GPUS;
@@ -131,9 +140,11 @@ fn main() {
             bruck * 1e3,
             pairwise * 1e3
         );
-        out.push(json!({"ablation": "collective_algos", "mode": format!("{mode:?}"),
+        out.push(
+            json!({"ablation": "collective_algos", "mode": format!("{mode:?}"),
                         "allreduce_knomial": knomial, "allreduce_ring": ring,
-                        "alltoall_bruck": bruck, "alltoall_pairwise": pairwise}));
+                        "alltoall_bruck": bruck, "alltoall_pairwise": pairwise}),
+        );
     }
 
     // ---- 5. window sweep -------------------------------------------------
@@ -184,8 +195,12 @@ fn main() {
             println!(
                 "{:>6}: radix2 {:.2}/{:.2} ms (x{:.2}) | radix4 {:.2}/{:.2} ms (x{:.2})",
                 mpx_topo::units::format_bytes(n),
-                r2s * 1e3, r2d * 1e3, r2s / r2d,
-                r4s * 1e3, r4d * 1e3, r4s / r4d,
+                r2s * 1e3,
+                r2d * 1e3,
+                r2s / r2d,
+                r4s * 1e3,
+                r4d * 1e3,
+                r4s / r4d,
             );
             out.push(json!({"ablation": "knomial_radix", "n": n,
                             "radix2_single": r2s, "radix2_dynamic": r2d,
@@ -209,11 +224,8 @@ fn main() {
     let true_laws = to_laws(&true_params);
     print!("second-leg beta error:");
     for delta in [-0.5, -0.25, -0.1, 0.1, 0.25, 0.5] {
-        let perturbed = mpx_model::perturb(
-            &true_params,
-            mpx_model::Perturb::SecondLegBandwidth,
-            delta,
-        );
+        let perturbed =
+            mpx_model::perturb(&true_params, mpx_model::Perturb::SecondLegBandwidth, delta);
         let r = mpx_model::regret(&true_laws, &to_laws(&perturbed), (64 * MIB) as f64);
         print!("  {:+.0}%:{:.2}%", delta * 100.0, r * 100.0);
         out.push(json!({"ablation": "sensitivity", "delta": delta, "regret": r}));

@@ -1,0 +1,143 @@
+//! Engine throughput tracker: events/sec for batches of contending flows
+//! on the paper's three machine presets. Writes `results/BENCH_sim.json`
+//! so the simulator's perf trajectory is visible PR over PR.
+//!
+//! Usage:
+//!   bench_sim                 # measure, write BENCH_sim.json
+//!   MPX_BENCH_SAVE_BASELINE=1 bench_sim
+//!                             # additionally snapshot the numbers as
+//!                             # BENCH_sim_baseline.json ("before")
+//!
+//! If `results/BENCH_sim_baseline.json` exists, its runs are embedded in
+//! BENCH_sim.json under `"before"` with per-cell speedups, so a single
+//! artifact records the before/after comparison.
+
+use mpx_sim::{Engine, FlowSpec, OnComplete};
+use mpx_topo::presets;
+use mpx_topo::Topology;
+use serde_json::{json, Value};
+use std::sync::Arc;
+use std::time::Instant;
+
+const FLOW_COUNTS: [usize; 3] = [8, 64, 512];
+const REPEATS: usize = 3;
+
+fn main() {
+    let machines: Vec<(&str, Arc<Topology>)> = vec![
+        ("beluga", Arc::new(presets::beluga())),
+        ("narval", Arc::new(presets::narval())),
+        ("dgx1", Arc::new(presets::dgx1())),
+    ];
+
+    println!(
+        "{:>8} {:>8} {:>12} {:>12} {:>14}",
+        "preset", "flows", "events", "ms", "events/s"
+    );
+    let mut runs: Vec<Value> = Vec::new();
+    for (name, topo) in &machines {
+        for &flows in &FLOW_COUNTS {
+            let (events, secs) = measure(topo, flows);
+            let rate = events as f64 / secs;
+            println!(
+                "{name:>8} {flows:>8} {events:>12} {:>12.2} {rate:>14.0}",
+                secs * 1e3
+            );
+            runs.push(json!({
+                "preset": *name,
+                "flows": flows,
+                "events": events,
+                "seconds": secs,
+                "events_per_sec": rate
+            }));
+        }
+    }
+
+    let baseline = read_baseline();
+    let report = match &baseline {
+        Some(before) => {
+            print_speedups(before, &runs);
+            json!({
+                "flow_counts": FLOW_COUNTS.to_vec(),
+                "before": before.clone(),
+                "after": runs
+            })
+        }
+        None => json!({
+            "flow_counts": FLOW_COUNTS.to_vec(),
+            "after": runs
+        }),
+    };
+    mpx_bench::emit_json("BENCH_sim", &report);
+
+    if std::env::var("MPX_BENCH_SAVE_BASELINE").is_ok_and(|v| v == "1") {
+        let after = &report["after"];
+        mpx_bench::emit_json("BENCH_sim_baseline", after);
+    }
+}
+
+/// Times one batch of `flows` contending flows; returns
+/// (events processed, best-of-`REPEATS` wall seconds).
+fn measure(topo: &Arc<Topology>, flows: usize) -> (u64, f64) {
+    // Spread flows round-robin over every directly linked GPU pair so
+    // the fairness core sees real contention, and stagger sizes so each
+    // completion triggers a recompute while many flows are still live.
+    let gpus = topo.gpus();
+    let mut pairs = Vec::new();
+    for (i, &a) in gpus.iter().enumerate() {
+        for &b in &gpus[i + 1..] {
+            if let Ok(l) = topo.link_between(a, b) {
+                pairs.push(l.id);
+            }
+        }
+    }
+    assert!(!pairs.is_empty(), "preset has no linked GPU pair");
+
+    let mut best = f64::INFINITY;
+    let mut events = 0;
+    for rep in 0..=REPEATS {
+        let eng = Engine::new(topo.clone());
+        for i in 0..flows {
+            let link = pairs[i % pairs.len()];
+            let bytes = (1 << 20) + 4096 * i;
+            eng.start_flow(FlowSpec::new(vec![link], bytes), OnComplete::Nothing);
+        }
+        let start = Instant::now();
+        eng.run_until_idle();
+        let secs = start.elapsed().as_secs_f64();
+        events = eng.stats().events_processed;
+        // First pass is warm-up.
+        if rep > 0 && secs < best {
+            best = secs;
+        }
+    }
+    (events, best)
+}
+
+fn read_baseline() -> Option<Vec<Value>> {
+    let path = mpx_bench::results_dir().join("BENCH_sim_baseline.json");
+    let text = std::fs::read_to_string(path).ok()?;
+    let v: Value = serde_json::from_str(&text).ok()?;
+    v.as_array().cloned()
+}
+
+fn print_speedups(before: &[Value], after: &[Value]) {
+    println!("\n{:>8} {:>8} {:>10}", "preset", "flows", "speedup");
+    for b in before {
+        let matching = after
+            .iter()
+            .find(|a| a["preset"] == b["preset"] && a["flows"].as_u64() == b["flows"].as_u64());
+        if let (Some(a), Some(rb), Some(ra)) = (
+            matching,
+            b["events_per_sec"].as_f64(),
+            matching.and_then(|a| a["events_per_sec"].as_f64()),
+        ) {
+            let _ = a;
+            println!(
+                "{:>8} {:>8} {:>9.2}x",
+                b["preset"].as_str().unwrap_or("?"),
+                b["flows"].as_u64().unwrap_or(0),
+                ra / rb
+            );
+        }
+    }
+}

@@ -87,8 +87,7 @@ fn main() {
             ("alltoall", CollectiveKind::Alltoall),
             ("allreduce", CollectiveKind::Allreduce),
         ] {
-            let panel =
-                collective_panel(&topo, kind, PathSelection::THREE_GPUS, &sizes, coll_cfg);
+            let panel = collective_panel(&topo, kind, PathSelection::THREE_GPUS, &sizes, coll_cfg);
             let best = panel[1]
                 .points
                 .iter()
@@ -110,7 +109,12 @@ fn main() {
         // Vary n slightly to defeat the cache: every call is a miss.
         let planner = Planner::new(topo.clone());
         let _ = planner
-            .plan(gpus[0], gpus[1], n + i * 4, PathSelection::THREE_GPUS_WITH_HOST)
+            .plan(
+                gpus[0],
+                gpus[1],
+                n + i * 4,
+                PathSelection::THREE_GPUS_WITH_HOST,
+            )
             .unwrap();
     }
     let plan_cost = t0.elapsed().as_secs_f64() / reps as f64;
@@ -121,7 +125,10 @@ fn main() {
     let overhead_pct = plan_cost / plan.predicted_time * 100.0;
 
     println!("\n---- headline summary ----");
-    println!("worst mean BW prediction error (n>4MB): {:.1}%  (paper: <6%)", worst_bw_error * 100.0);
+    println!(
+        "worst mean BW prediction error (n>4MB): {:.1}%  (paper: <6%)",
+        worst_bw_error * 100.0
+    );
     println!("max P2P speedup over direct path:       {best_p2p:.2}x (paper: up to 2.9x)");
     println!("max collective speedup:                 {best_coll:.2}x (paper: up to 1.4x)");
     println!(

@@ -109,8 +109,7 @@ fn step_time(
                 .iter()
                 .flat_map(|l| &l.route)
                 .any(|lid| users[lid.index()] > 1.0);
-            let t = if !params.is_staged() || planner.config().mode != PipelineMode::Pipelined
-            {
+            let t = if !params.is_staged() || planner.config().mode != PipelineMode::Pipelined {
                 params.time_unpipelined(pp.share_bytes as f64)
             } else if contended {
                 // Under contention the competing pipelines fill each
@@ -118,8 +117,7 @@ fn step_time(
                 // fair share, so the affine law with the deflated
                 // bottleneck bandwidth is the right estimate — adding
                 // per-chunk exposure on top would double-count.
-                pp.theta * nf / params.bottleneck_bandwidth()
-                    + params.delta_unpipelined()
+                pp.theta * nf / params.bottleneck_bandwidth() + params.delta_unpipelined()
             } else {
                 time_pipelined(&params, pp.theta, nf, pp.chunks)
             };
@@ -402,22 +400,12 @@ mod tests {
     fn allreduce_prediction_scales_with_n() {
         let (planner, gpus) = setup();
         let zero = |_: usize| 0.0;
-        let small = predict_allreduce_knomial(
-            &planner,
-            &gpus,
-            4 << 20,
-            PathSelection::THREE_GPUS,
-            &zero,
-        )
-        .unwrap();
-        let large = predict_allreduce_knomial(
-            &planner,
-            &gpus,
-            64 << 20,
-            PathSelection::THREE_GPUS,
-            &zero,
-        )
-        .unwrap();
+        let small =
+            predict_allreduce_knomial(&planner, &gpus, 4 << 20, PathSelection::THREE_GPUS, &zero)
+                .unwrap();
+        let large =
+            predict_allreduce_knomial(&planner, &gpus, 64 << 20, PathSelection::THREE_GPUS, &zero)
+                .unwrap();
         assert!(large.total > 8.0 * small.total, "{large:?} vs {small:?}");
         assert_eq!(small.steps, 4);
     }
@@ -426,21 +414,12 @@ mod tests {
     fn compute_term_reflects_reduce_cost() {
         let (planner, gpus) = setup();
         let n = 16 << 20;
-        let free = predict_allreduce_knomial(
-            &planner,
-            &gpus,
-            n,
-            PathSelection::THREE_GPUS,
-            &|_| 0.0,
-        )
-        .unwrap();
-        let slow = predict_allreduce_knomial(
-            &planner,
-            &gpus,
-            n,
-            PathSelection::THREE_GPUS,
-            &|b| b as f64 / 250e9 + 3e-6,
-        )
+        let free =
+            predict_allreduce_knomial(&planner, &gpus, n, PathSelection::THREE_GPUS, &|_| 0.0)
+                .unwrap();
+        let slow = predict_allreduce_knomial(&planner, &gpus, n, PathSelection::THREE_GPUS, &|b| {
+            b as f64 / 250e9 + 3e-6
+        })
         .unwrap();
         assert_eq!(free.compute, 0.0);
         assert!(slow.compute > 0.0);
@@ -452,17 +431,11 @@ mod tests {
         let (planner, gpus) = setup();
         let n = 64 << 20;
         let zero = |_: usize| 0.0;
-        let single = predict_allreduce_knomial(
-            &planner,
-            &gpus,
-            n,
-            PathSelection::DIRECT_ONLY,
-            &zero,
-        )
-        .unwrap();
-        let multi =
-            predict_allreduce_knomial(&planner, &gpus, n, PathSelection::THREE_GPUS, &zero)
+        let single =
+            predict_allreduce_knomial(&planner, &gpus, n, PathSelection::DIRECT_ONLY, &zero)
                 .unwrap();
+        let multi = predict_allreduce_knomial(&planner, &gpus, n, PathSelection::THREE_GPUS, &zero)
+            .unwrap();
         let speedup = single.total / multi.total;
         assert!(
             (1.1..2.5).contains(&speedup),
@@ -473,14 +446,11 @@ mod tests {
     #[test]
     fn bruck_prediction_counts_rounds_and_packs() {
         let (planner, gpus) = setup();
-        let pred = predict_alltoall_bruck(
-            &planner,
-            &gpus,
-            4 << 20,
-            PathSelection::THREE_GPUS,
-            &|b| b as f64 / 1000e9,
-        )
-        .unwrap();
+        let pred =
+            predict_alltoall_bruck(&planner, &gpus, 4 << 20, PathSelection::THREE_GPUS, &|b| {
+                b as f64 / 1000e9
+            })
+            .unwrap();
         assert_eq!(pred.steps, 2, "log2(4) rounds");
         assert!(pred.comm > 0.0 && pred.compute > 0.0);
     }
@@ -513,14 +483,9 @@ mod tests {
     fn single_rank_collectives_are_trivial() {
         let (planner, gpus) = setup();
         let one = &gpus[..1];
-        let ar = predict_allreduce_knomial(
-            &planner,
-            one,
-            1 << 20,
-            PathSelection::THREE_GPUS,
-            &|_| 0.0,
-        )
-        .unwrap();
+        let ar =
+            predict_allreduce_knomial(&planner, one, 1 << 20, PathSelection::THREE_GPUS, &|_| 0.0)
+                .unwrap();
         assert_eq!(ar.total, 0.0);
     }
 }

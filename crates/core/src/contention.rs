@@ -235,11 +235,8 @@ mod tests {
             .iter()
             .map(|&(s, d)| transfer(&topo, s, d, n, PathSelection::THREE_GPUS))
             .collect();
-        let blind = planner.compute_with_params(
-            pattern[0].n,
-            &pattern[0].paths,
-            pattern[0].params.clone(),
-        );
+        let blind =
+            planner.compute_with_params(pattern[0].n, &pattern[0].paths, pattern[0].params.clone());
         let joint = plan_concurrent(&planner, &topo, &pattern, 8);
         assert!(
             joint.plans[0].predicted_bandwidth < blind.predicted_bandwidth,

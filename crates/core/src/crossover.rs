@@ -32,12 +32,7 @@ pub fn entry_size(direct: &OmegaDelta, path: &OmegaDelta) -> Option<f64> {
 /// The smallest size in `[lo, hi]` where the optimizer assigns every
 /// path of `paths` a share above `min_share`, by bisection over the
 /// monotone entry behaviour. Returns `None` if even `hi` doesn't.
-pub fn full_activation_size(
-    paths: &[OmegaDelta],
-    min_share: f64,
-    lo: f64,
-    hi: f64,
-) -> Option<f64> {
+pub fn full_activation_size(paths: &[OmegaDelta], min_share: f64, lo: f64, hi: f64) -> Option<f64> {
     let all_active = |n: f64| -> bool {
         optimal_shares(paths, n)
             .shares
@@ -65,10 +60,10 @@ pub fn full_activation_size(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::omega_delta_unpipelined;
     use mpx_topo::params::extract_all;
     use mpx_topo::path::{enumerate_paths, PathSelection};
     use mpx_topo::presets;
-    use crate::pipeline::omega_delta_unpipelined;
 
     fn beluga_laws() -> Vec<OmegaDelta> {
         let topo = presets::beluga();

@@ -45,18 +45,16 @@ pub mod planner;
 pub mod sensitivity;
 
 pub use calibrate::{fit_hockney, fit_hockney_from_bandwidth, CalibrationError};
-pub use contention::{plan_concurrent, ConcurrentPlan, ConcurrentTransfer};
 pub use collectives::{
     predict_allgather_rd, predict_allreduce_knomial, predict_allreduce_knomial_radix,
     predict_alltoall_bruck, predict_bcast_binomial, CollectivePrediction,
 };
+pub use contention::{plan_concurrent, ConcurrentPlan, ConcurrentTransfer};
 pub use crossover::{entry_size, full_activation_size};
 pub use optimizer::{optimal_shares, optimal_shares_bisection, OmegaDelta, ShareSolution};
 pub use pipeline::{
     chunk_count, omega_delta_pipelined, omega_delta_unpipelined, optimal_chunks_exact,
     time_pipelined, time_pipelined_opt, topology_constant,
 };
-pub use planner::{
-    PipelineMode, PlannedPath, Planner, PlannerConfig, PlannerStats, TransferPlan,
-};
+pub use planner::{PipelineMode, PlannedPath, Planner, PlannerConfig, PlannerStats, TransferPlan};
 pub use sensitivity::{bandwidth_regret_curve, perturb, regret, Perturb, SensitivityPoint};

@@ -331,7 +331,12 @@ mod tests {
                     b.time
                 );
                 for (x, y) in a.shares.iter().zip(&b.shares) {
-                    assert!((x - y).abs() < 1e-6, "shares {:?} vs {:?}", a.shares, b.shares);
+                    assert!(
+                        (x - y).abs() < 1e-6,
+                        "shares {:?} vs {:?}",
+                        a.shares,
+                        b.shares
+                    );
                 }
             }
         }

@@ -165,8 +165,14 @@ mod tests {
     fn staged(a1: f64, b1: f64, eps: f64, a2: f64, b2: f64) -> PathParams {
         PathParams::staged(
             PathKind::GpuStaged { via: DeviceId(2) },
-            LegParams { alpha: a1, beta: b1 },
-            LegParams { alpha: a2, beta: b2 },
+            LegParams {
+                alpha: a1,
+                beta: b1,
+            },
+            LegParams {
+                alpha: a2,
+                beta: b2,
+            },
             eps,
         )
     }

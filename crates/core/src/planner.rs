@@ -17,8 +17,7 @@
 
 use crate::optimizer::{optimal_shares, OmegaDelta};
 use crate::pipeline::{
-    chunk_count, omega_delta_pipelined, omega_delta_unpipelined, time_pipelined,
-    topology_constant,
+    chunk_count, omega_delta_pipelined, omega_delta_unpipelined, time_pipelined, topology_constant,
 };
 use mpx_topo::params::{extract_all, PathParams};
 use mpx_topo::path::{enumerate_paths_auto, PathKind, PathSelection, TransferPath};
@@ -387,15 +386,12 @@ impl Planner {
                 .map(|pp| pp.index);
             // Only re-solve if the straggler came from *this* round's
             // plan (otherwise we already improved past it).
-            let this_round_straggler = if (candidate_time
-                - best.as_ref().expect("set").predicted_time)
-                .abs()
-                < 1e-18
-            {
-                straggler
-            } else {
-                None
-            };
+            let this_round_straggler =
+                if (candidate_time - best.as_ref().expect("set").predicted_time).abs() < 1e-18 {
+                    straggler
+                } else {
+                    None
+                };
             match this_round_straggler {
                 Some(idx) => {
                     ods[idx] = OmegaDelta {
@@ -577,7 +573,12 @@ mod tests {
             let p = planner(topo);
             let gpus = p.topology().gpus();
             let plan = p
-                .plan(gpus[0], gpus[1], 256 * MIB, PathSelection::THREE_GPUS_WITH_HOST)
+                .plan(
+                    gpus[0],
+                    gpus[1],
+                    256 * MIB,
+                    PathSelection::THREE_GPUS_WITH_HOST,
+                )
                 .unwrap();
             plan.paths.last().unwrap().theta
         };

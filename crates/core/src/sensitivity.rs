@@ -206,12 +206,7 @@ mod tests {
             alpha: 1e-6,
             beta: 10e9,
         };
-        let staged = PathParams::staged(
-            PathKind::GpuStaged { via: DeviceId(2) },
-            leg,
-            leg,
-            2e-6,
-        );
+        let staged = PathParams::staged(PathKind::GpuStaged { via: DeviceId(2) }, leg, leg, 2e-6);
         let params = vec![PathParams::direct(2e-6, 48e9), staged];
 
         let b = perturb(&params, Perturb::Bandwidth, 0.5);
@@ -242,8 +237,7 @@ mod tests {
         // it, evaluate the analytic regret on the true laws.
         let topo = presets::beluga();
         let gpus = topo.gpus();
-        let paths =
-            enumerate_paths(&topo, gpus[0], gpus[1], PathSelection::THREE_GPUS).unwrap();
+        let paths = enumerate_paths(&topo, gpus[0], gpus[1], PathSelection::THREE_GPUS).unwrap();
         let true_params = extract_all(&topo, &paths).unwrap();
         let true_laws: Vec<OmegaDelta> = true_params
             .iter()

@@ -107,7 +107,8 @@ impl Buffer {
     /// Panics if the range is out of bounds.
     pub fn read(&self, off: usize, len: usize) -> Option<Vec<u8>> {
         assert!(
-            off.checked_add(len).is_some_and(|end| end <= self.inner.len),
+            off.checked_add(len)
+                .is_some_and(|end| end <= self.inner.len),
             "read [{off}, {off}+{len}) out of bounds (len {})",
             self.inner.len
         );

@@ -136,17 +136,18 @@ impl GpuRuntime {
 
     /// Allocates a zero-filled real buffer on `device`.
     pub fn alloc_zeroed(&self, device: DeviceId, len: usize) -> Buffer {
-        Buffer::build(device, len, Some(vec![0; len]), Some(self.inner.memory.clone()))
+        Buffer::build(
+            device,
+            len,
+            Some(vec![0; len]),
+            Some(self.inner.memory.clone()),
+        )
     }
 
     /// Creates a stream on `device`.
     pub fn stream(&self, device: DeviceId) -> Stream {
         let n = self.inner.next_stream.fetch_add(1, Ordering::Relaxed);
-        Stream::new(
-            self.inner.engine.clone(),
-            device,
-            format!("{device}.s{n}"),
-        )
+        Stream::new(self.inner.engine.clone(), device, format!("{device}.s{n}"))
     }
 
     /// Creates a one-shot event.
@@ -157,12 +158,9 @@ impl GpuRuntime {
     /// The single-link route between two devices, if one exists — the
     /// route of a direct peer copy.
     pub fn direct_route(&self, src: DeviceId, dst: DeviceId) -> Result<Vec<LinkId>, TopologyError> {
-        Ok(vec![self
-            .inner
-            .engine
-            .topology()
-            .link_between(src, dst)?
-            .id])
+        Ok(vec![
+            self.inner.engine.topology().link_between(src, dst)?.id,
+        ])
     }
 
     /// Convenience: enqueue a whole-buffer direct peer copy on `stream`,

@@ -379,7 +379,10 @@ mod tests {
             waiters.push(s);
         }
         eng.run_until_idle();
-        assert!(log.lock().is_empty(), "no waiter may pass an unrecorded event");
+        assert!(
+            log.lock().is_empty(),
+            "no waiter may pass an unrecorded event"
+        );
         let producer = Stream::new(eng.clone(), gpus[0], "producer");
         let src = Buffer::synthetic(gpus[0], 1 << 20);
         let dst = Buffer::synthetic(gpus[1], 1 << 20);
@@ -426,7 +429,16 @@ mod tests {
         for i in 0..4 {
             let src = Buffer::synthetic(gpus[0], 1 << 12);
             let dst = Buffer::synthetic(gpus[1], 1 << 12);
-            s.copy(&src, 0, &dst, 0, 1 << 12, route(&eng, 0, 1), 0.0, format!("c{i}"));
+            s.copy(
+                &src,
+                0,
+                &dst,
+                0,
+                1 << 12,
+                route(&eng, 0, 1),
+                0.0,
+                format!("c{i}"),
+            );
             let log = log.clone();
             s.callback(Box::new(move |_| log.lock().push(i)));
         }

@@ -20,7 +20,10 @@ const TAG: u64 = 1 << 52;
 /// aligned.
 pub fn allreduce_rabenseifner(r: &Rank, buf: &Buffer, n: usize, op: ReduceOp) {
     let p = r.size;
-    assert!(p.is_power_of_two(), "scatter-reduce allreduce needs 2^k ranks");
+    assert!(
+        p.is_power_of_two(),
+        "scatter-reduce allreduce needs 2^k ranks"
+    );
     if p == 1 {
         return;
     }
@@ -139,7 +142,9 @@ mod tests {
     ) -> Vec<Vec<f32>> {
         let w = World::new(Arc::new(presets::beluga()), UcxConfig::default());
         w.run(ranks, move |r| {
-            let vals: Vec<f32> = (0..elems).map(|i| (r.rank + 1) as f32 * (i + 1) as f32).collect();
+            let vals: Vec<f32> = (0..elems)
+                .map(|i| (r.rank + 1) as f32 * (i + 1) as f32)
+                .collect();
             let buf = r.alloc_bytes(f32_bytes(&vals));
             f(&r, &buf, elems * 4, ReduceOp::Sum);
             bytes_f32(&buf.to_vec().unwrap())

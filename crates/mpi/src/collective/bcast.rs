@@ -58,12 +58,23 @@ pub fn scatter_linear(r: &Rank, sendbuf: &Buffer, recvbuf: &Buffer, block: usize
             if dst == root {
                 r.local_copy(sendbuf, root * block, recvbuf, 0, block);
             } else {
-                reqs.push(r.isend_at(sendbuf, dst * block, block, dst, TAG + (1 << 8) + dst as u64));
+                reqs.push(r.isend_at(
+                    sendbuf,
+                    dst * block,
+                    block,
+                    dst,
+                    TAG + (1 << 8) + dst as u64,
+                ));
             }
         }
         crate::p2p::waitall(r.thread(), &reqs);
     } else {
-        r.recv(recvbuf, block, Some(root), Some(TAG + (1 << 8) + r.rank as u64));
+        r.recv(
+            recvbuf,
+            block,
+            Some(root),
+            Some(TAG + (1 << 8) + r.rank as u64),
+        );
     }
 }
 
@@ -85,8 +96,14 @@ pub fn scatter_linear_inplace(r: &Rank, buf: &Buffer, block: usize, root: usize)
         }
         crate::p2p::waitall(r.thread(), &reqs);
     } else {
-        r.irecv_at(buf, r.rank * block, block, Some(root), Some(STAG + r.rank as u64))
-            .wait(r.thread());
+        r.irecv_at(
+            buf,
+            r.rank * block,
+            block,
+            Some(root),
+            Some(STAG + r.rank as u64),
+        )
+        .wait(r.thread());
     }
 }
 

@@ -40,8 +40,7 @@ pub fn allreduce_knomial(r: &Rank, buf: &Buffer, n: usize, op: ReduceOp, k: usiz
     if p == 1 {
         return;
     }
-    let m = log_base(p, k)
-        .unwrap_or_else(|| panic!("world size {p} is not a power of radix {k}"));
+    let m = log_base(p, k).unwrap_or_else(|| panic!("world size {p} is not a power of radix {k}"));
     assert_eq!(n % (4 * p), 0, "n must be a multiple of 4*size");
 
     // Scratch: one receive slot per peer (k−1 of them), each up to n/k.

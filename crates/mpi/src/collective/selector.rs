@@ -172,9 +172,7 @@ mod tests {
                 r.barrier();
                 let t0 = r.now();
                 match choice {
-                    BcastChoice::Binomial => {
-                        crate::collective::bcast_binomial(&r, &buf, n, 0)
-                    }
+                    BcastChoice::Binomial => crate::collective::bcast_binomial(&r, &buf, n, 0),
                     BcastChoice::ScatterAllgather => {
                         crate::collective::bcast_scatter_allgather(&r, &buf, n, 0)
                     }

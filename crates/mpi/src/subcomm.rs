@@ -37,9 +37,7 @@ impl<'a> SubComm<'a> {
     pub fn split(world: &'a Rank, colors: &[u32]) -> SubComm<'a> {
         assert_eq!(colors.len(), world.size, "one color per world rank");
         let my_color = colors[world.rank];
-        let members: Vec<usize> = (0..world.size)
-            .filter(|&r| colors[r] == my_color)
-            .collect();
+        let members: Vec<usize> = (0..world.size).filter(|&r| colors[r] == my_color).collect();
         let local_rank = members
             .iter()
             .position(|&r| r == world.rank)
@@ -142,7 +140,8 @@ impl<'a> SubComm<'a> {
                 left,
                 TAG + s as u64,
             );
-            self.world.reduce_local(op, &tmp, 0, buf, recv_block * block, block);
+            self.world
+                .reduce_local(op, &tmp, 0, buf, recv_block * block, block);
         }
         for s in 0..p - 1 {
             let send_block = (self.local_rank + 1 + p - s) % p;
@@ -214,7 +213,11 @@ mod tests {
         });
         // Each 2-rank group sums 1 + 2 = 3 in every element.
         for (rank, got) in out.iter().enumerate() {
-            assert!(got.iter().all(|&v| v == 3.0), "rank {rank}: {:?}", &got[..2]);
+            assert!(
+                got.iter().all(|&v| v == 3.0),
+                "rank {rank}: {:?}",
+                &got[..2]
+            );
         }
     }
 

@@ -349,7 +349,10 @@ mod tests {
         });
         let received = results[1].as_ref().unwrap();
         assert_eq!(received.len(), MIB);
-        assert!(received.iter().enumerate().all(|(i, &b)| b == (i % 256) as u8));
+        assert!(received
+            .iter()
+            .enumerate()
+            .all(|(i, &b)| b == (i % 256) as u8));
         assert_eq!(w.pending_messages(), (0, 0));
     }
 

@@ -133,7 +133,11 @@ pub fn osu_mbw_mr(
     let world = World::new(topo.clone(), ucx);
     let results = world.run(2 * pairs, move |r| {
         let sender = r.rank < pairs;
-        let peer = if sender { r.rank + pairs } else { r.rank - pairs };
+        let peer = if sender {
+            r.rank + pairs
+        } else {
+            r.rank - pairs
+        };
         let bufs: Vec<_> = (0..cfg.window).map(|_| r.alloc(n)).collect();
         let mut t0 = r.now();
         for it in 0..cfg.warmup + cfg.iterations {
@@ -201,19 +205,30 @@ mod tests {
     #[test]
     fn single_path_bw_approaches_link_rate() {
         let topo = Arc::new(presets::beluga());
-        let bw = osu_bw(&topo, cfg(TuningMode::SinglePath), 64 * MIB, P2pConfig::default());
-        assert!(
-            bw > 0.9 * 48e9 && bw <= 48e9,
-            "bw = {:.1} GB/s",
-            bw / 1e9
+        let bw = osu_bw(
+            &topo,
+            cfg(TuningMode::SinglePath),
+            64 * MIB,
+            P2pConfig::default(),
         );
+        assert!(bw > 0.9 * 48e9 && bw <= 48e9, "bw = {:.1} GB/s", bw / 1e9);
     }
 
     #[test]
     fn dynamic_bw_beats_single_path() {
         let topo = Arc::new(presets::beluga());
-        let single = osu_bw(&topo, cfg(TuningMode::SinglePath), 64 * MIB, P2pConfig::default());
-        let multi = osu_bw(&topo, cfg(TuningMode::Dynamic), 64 * MIB, P2pConfig::default());
+        let single = osu_bw(
+            &topo,
+            cfg(TuningMode::SinglePath),
+            64 * MIB,
+            P2pConfig::default(),
+        );
+        let multi = osu_bw(
+            &topo,
+            cfg(TuningMode::Dynamic),
+            64 * MIB,
+            P2pConfig::default(),
+        );
         let speedup = multi / single;
         assert!(
             (2.0..3.6).contains(&speedup),
@@ -224,8 +239,18 @@ mod tests {
     #[test]
     fn window_16_at_least_as_fast_as_window_1() {
         let topo = Arc::new(presets::beluga());
-        let w1 = osu_bw(&topo, cfg(TuningMode::Dynamic), 8 * MIB, P2pConfig::with_window(1));
-        let w16 = osu_bw(&topo, cfg(TuningMode::Dynamic), 8 * MIB, P2pConfig::with_window(16));
+        let w1 = osu_bw(
+            &topo,
+            cfg(TuningMode::Dynamic),
+            8 * MIB,
+            P2pConfig::with_window(1),
+        );
+        let w16 = osu_bw(
+            &topo,
+            cfg(TuningMode::Dynamic),
+            8 * MIB,
+            P2pConfig::with_window(16),
+        );
         assert!(
             w16 > 0.99 * w1,
             "w16 {:.1} vs w1 {:.1} GB/s",
@@ -237,8 +262,18 @@ mod tests {
     #[test]
     fn bibw_roughly_doubles_bw_on_duplex_links() {
         let topo = Arc::new(presets::beluga());
-        let bw = osu_bw(&topo, cfg(TuningMode::SinglePath), 64 * MIB, P2pConfig::default());
-        let bibw = osu_bibw(&topo, cfg(TuningMode::SinglePath), 64 * MIB, P2pConfig::default());
+        let bw = osu_bw(
+            &topo,
+            cfg(TuningMode::SinglePath),
+            64 * MIB,
+            P2pConfig::default(),
+        );
+        let bibw = osu_bibw(
+            &topo,
+            cfg(TuningMode::SinglePath),
+            64 * MIB,
+            P2pConfig::default(),
+        );
         let ratio = bibw / bw;
         assert!(
             (1.8..2.05).contains(&ratio),
@@ -298,10 +333,6 @@ mod tests {
     fn latency_small_message_is_microseconds() {
         let topo = Arc::new(presets::beluga());
         let lat = osu_latency(&topo, cfg(TuningMode::SinglePath), 4096, 4);
-        assert!(
-            lat > 1e-6 && lat < 100e-6,
-            "latency {:.2} us",
-            lat * 1e6
-        );
+        assert!(lat > 1e-6 && lat < 100e-6, "latency {:.2} us", lat * 1e6);
     }
 }

@@ -74,9 +74,7 @@ pub fn allreduce_on(world: &World, n: usize, algo: AllreduceAlgo, cfg: Collectiv
                 t0 = r.now();
             }
             match algo {
-                AllreduceAlgo::Rabenseifner => {
-                    allreduce_rabenseifner(&r, &buf, n, ReduceOp::Sum)
-                }
+                AllreduceAlgo::Rabenseifner => allreduce_rabenseifner(&r, &buf, n, ReduceOp::Sum),
                 AllreduceAlgo::Ring => allreduce_ring(&r, &buf, n, ReduceOp::Sum),
             }
         }
@@ -170,9 +168,7 @@ pub fn osu_allgather(
                 t0 = r.now();
             }
             match algo {
-                AllgatherAlgo::RecursiveDoubling => {
-                    allgather_recursive_doubling(&r, &buf, n)
-                }
+                AllgatherAlgo::RecursiveDoubling => allgather_recursive_doubling(&r, &buf, n),
                 AllgatherAlgo::Ring => allgather_ring(&r, &buf, n),
             }
         }
@@ -271,7 +267,13 @@ mod tests {
             AlltoallAlgo::Bruck,
             coll,
         );
-        let a2a_multi = osu_alltoall(&topo, cfg(TuningMode::Dynamic), n, AlltoallAlgo::Bruck, coll);
+        let a2a_multi = osu_alltoall(
+            &topo,
+            cfg(TuningMode::Dynamic),
+            n,
+            AlltoallAlgo::Bruck,
+            coll,
+        );
         let ar_speedup = ar_single / ar_multi;
         let a2a_speedup = a2a_single / a2a_multi;
         assert!(
@@ -328,7 +330,13 @@ mod tests {
         let topo = Arc::new(presets::beluga());
         let n = 4 * MIB;
         let coll = CollectiveConfig::default();
-        let bruck = osu_alltoall(&topo, cfg(TuningMode::Dynamic), n, AlltoallAlgo::Bruck, coll);
+        let bruck = osu_alltoall(
+            &topo,
+            cfg(TuningMode::Dynamic),
+            n,
+            AlltoallAlgo::Bruck,
+            coll,
+        );
         let pairwise = osu_alltoall(
             &topo,
             cfg(TuningMode::Dynamic),

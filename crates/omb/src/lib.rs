@@ -38,8 +38,8 @@ pub use collective_bench::{
     allreduce_on, alltoall_on, bcast_on, osu_allgather, osu_allreduce, osu_alltoall, osu_bcast,
     AllgatherAlgo, AllreduceAlgo, AlltoallAlgo, CollectiveConfig,
 };
+pub use loaded::{osu_bw_loaded, LoadedConfig};
 pub use panels::{collective_panel, p2p_panel, CollectiveKind, P2pKind};
 pub use pattern::{ring_pairs, run_pattern, PatternPlanning, PatternResult};
-pub use loaded::{osu_bw_loaded, LoadedConfig};
 pub use report::{mean_relative_error, size_ladder, Series, SeriesPoint};
 pub use tenants::{two_tenant_allreduce, TenantResult};

@@ -75,8 +75,7 @@ pub fn osu_bw_loaded(topo: &Arc<Topology>, ucx: UcxConfig, cfg: LoadedConfig) ->
                         .collect();
                     waitall(r.thread(), &reqs);
                 }
-                let bw = (cfg.iterations * cfg.window * cfg.n) as f64
-                    / r.now().secs_since(t0);
+                let bw = (cfg.iterations * cfg.window * cfg.n) as f64 / r.now().secs_since(t0);
                 stop.store(true, Ordering::Release);
                 Some(bw)
             }
@@ -167,8 +166,7 @@ mod tests {
         );
         let loaded_single =
             osu_bw_loaded(&topo, cfg(TuningMode::SinglePath), LoadedConfig::default());
-        let loaded_multi =
-            osu_bw_loaded(&topo, cfg(TuningMode::Dynamic), LoadedConfig::default());
+        let loaded_multi = osu_bw_loaded(&topo, cfg(TuningMode::Dynamic), LoadedConfig::default());
         let idle_gain = idle_multi / idle_single;
         let loaded_gain = loaded_multi / loaded_single;
         assert!(

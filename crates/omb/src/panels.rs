@@ -153,7 +153,12 @@ fn run_collective(world: &World, kind: CollectiveKind, n: usize, coll: Collectiv
         CollectiveKind::Allreduce => {
             // Align to 4·ranks for f32 block boundaries.
             let n = n - n % (4 * coll.ranks).max(4);
-            osu_allreduce_on(world, n.max(4 * coll.ranks), AllreduceAlgo::Rabenseifner, coll)
+            osu_allreduce_on(
+                world,
+                n.max(4 * coll.ranks),
+                AllreduceAlgo::Rabenseifner,
+                coll,
+            )
         }
         CollectiveKind::Alltoall => {
             // Per-rank total of `n` bytes spread over `ranks` blocks.

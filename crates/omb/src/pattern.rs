@@ -57,17 +57,15 @@ pub fn run_pattern(
                 PatternPlanning::SinglePath => PathSelection::DIRECT_ONLY,
                 _ => sel,
             };
-            let paths = enumerate_paths(topo, gpus[s], gpus[d], effective_sel)
-                .expect("pattern paths");
+            let paths =
+                enumerate_paths(topo, gpus[s], gpus[d], effective_sel).expect("pattern paths");
             let params = extract_all(topo, &paths).expect("pattern params");
             ConcurrentTransfer { paths, params, n }
         })
         .collect();
 
     let plans: Vec<TransferPlan> = match planning {
-        PatternPlanning::Joint => {
-            plan_concurrent(&planner, topo, &transfers, 8).plans
-        }
+        PatternPlanning::Joint => plan_concurrent(&planner, topo, &transfers, 8).plans,
         _ => transfers
             .iter()
             .map(|t| planner.compute_with_params(t.n, &t.paths, t.params.clone()))
@@ -149,10 +147,27 @@ mod tests {
         let topo = Arc::new(presets::narval());
         let pairs = [(0usize, 1usize)];
         let n = 32 * MIB;
-        let blind = run_pattern(&topo, &pairs, n, PathSelection::THREE_GPUS, PatternPlanning::Blind);
-        let joint = run_pattern(&topo, &pairs, n, PathSelection::THREE_GPUS, PatternPlanning::Joint);
+        let blind = run_pattern(
+            &topo,
+            &pairs,
+            n,
+            PathSelection::THREE_GPUS,
+            PatternPlanning::Blind,
+        );
+        let joint = run_pattern(
+            &topo,
+            &pairs,
+            n,
+            PathSelection::THREE_GPUS,
+            PatternPlanning::Joint,
+        );
         let rel = (blind.makespan - joint.makespan).abs() / blind.makespan;
-        assert!(rel < 1e-6, "blind {} vs joint {}", blind.makespan, joint.makespan);
+        assert!(
+            rel < 1e-6,
+            "blind {} vs joint {}",
+            blind.makespan,
+            joint.makespan
+        );
     }
 
     #[test]
@@ -161,7 +176,13 @@ mod tests {
         // (0,1) and (2,3): direct links disjoint; staged paths contend.
         let pairs = [(0usize, 1usize), (2usize, 3usize)];
         let n = 64 * MIB;
-        let joint = run_pattern(&topo, &pairs, n, PathSelection::THREE_GPUS, PatternPlanning::Joint);
+        let joint = run_pattern(
+            &topo,
+            &pairs,
+            n,
+            PathSelection::THREE_GPUS,
+            PatternPlanning::Joint,
+        );
         let single = run_pattern(
             &topo,
             &pairs,

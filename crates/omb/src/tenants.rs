@@ -88,10 +88,8 @@ mod tests {
         // Each tenant's ring uses only its own direct links: a busy
         // neighbour costs nothing.
         let topo = Arc::new(presets::beluga());
-        let alone =
-            two_tenant_allreduce(&topo, cfg(TuningMode::SinglePath), N, 2, false).tenant_a;
-        let shared =
-            two_tenant_allreduce(&topo, cfg(TuningMode::SinglePath), N, 2, true).tenant_a;
+        let alone = two_tenant_allreduce(&topo, cfg(TuningMode::SinglePath), N, 2, false).tenant_a;
+        let shared = two_tenant_allreduce(&topo, cfg(TuningMode::SinglePath), N, 2, true).tenant_a;
         let slowdown = shared / alone;
         assert!(
             slowdown < 1.02,
@@ -105,10 +103,8 @@ mod tests {
         // now costs something — the noisy-neighbour effect — but each
         // tenant still beats its own single-path configuration.
         let topo = Arc::new(presets::beluga());
-        let mp_alone =
-            two_tenant_allreduce(&topo, cfg(TuningMode::Dynamic), N, 2, false).tenant_a;
-        let mp_shared =
-            two_tenant_allreduce(&topo, cfg(TuningMode::Dynamic), N, 2, true).tenant_a;
+        let mp_alone = two_tenant_allreduce(&topo, cfg(TuningMode::Dynamic), N, 2, false).tenant_a;
+        let mp_shared = two_tenant_allreduce(&topo, cfg(TuningMode::Dynamic), N, 2, true).tenant_a;
         let sp_shared =
             two_tenant_allreduce(&topo, cfg(TuningMode::SinglePath), N, 2, true).tenant_a;
         let noisy_neighbour = mp_shared / mp_alone;

@@ -26,14 +26,14 @@
 //! lock and receive a [`Ctx`] with non-blocking operations only. They
 //! must never touch the public blocking API — doing so would deadlock.
 
-use crate::fairness::{max_min_rates, FlowDemand};
+use crate::fairness::{FairShareScratch, FlowDemand};
 use crate::time::SimTime;
 use crate::waker::Waker;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use mpx_topo::units::Secs;
 use mpx_topo::{LinkId, Topology};
 use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
@@ -112,7 +112,10 @@ impl FlowSpec {
 
     /// Sets the QoS weight (must be positive).
     pub fn with_weight(mut self, weight: f64) -> FlowSpec {
-        assert!(weight > 0.0 && weight.is_finite(), "invalid weight {weight}");
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "invalid weight {weight}"
+        );
         self.weight = weight;
         self
     }
@@ -171,6 +174,10 @@ pub struct StatsSnapshot {
     pub flows_completed: u64,
     /// Events processed so far.
     pub events_processed: u64,
+    /// Events ever pushed onto the queue (processed, pending, or
+    /// superseded). The gap to `events_processed` measures completion
+    /// reschedule churn from rate changes.
+    pub events_scheduled: u64,
 }
 
 struct FlowState {
@@ -181,6 +188,8 @@ struct FlowState {
     last_update: SimTime,
     generation: u64,
     active: bool,
+    /// Visit stamp for connected-component discovery (`State::comp_epoch`).
+    comp_mark: u64,
     done: OnComplete,
     bytes: usize,
     issued: SimTime,
@@ -235,6 +244,21 @@ struct State {
     events_processed: u64,
     trace: Option<Vec<TraceRecord>>,
     jitter: Option<(JitterModel, StdRng)>,
+    /// Active flows per link (by link index); maintained on activation
+    /// and completion, and the adjacency for component discovery.
+    link_flows: Vec<Vec<FlowId>>,
+    /// Persistent allocator scratch: recomputation allocates nothing in
+    /// steady state.
+    fair: FairShareScratch,
+    /// Component scratch: links found (doubles as the BFS worklist).
+    comp_links: Vec<usize>,
+    /// Component scratch: member flows, sorted for canonical float order.
+    comp_flows: Vec<FlowId>,
+    /// Link visit stamps for component discovery.
+    link_mark: Vec<u64>,
+    comp_epoch: u64,
+    /// Output buffer for the allocator.
+    rates_scratch: Vec<f64>,
 }
 
 struct Shared {
@@ -312,6 +336,13 @@ impl Engine {
                     events_processed: 0,
                     trace: trace.then(Vec::new),
                     jitter: None,
+                    link_flows: vec![Vec::new(); nlinks],
+                    fair: FairShareScratch::default(),
+                    comp_links: Vec::new(),
+                    comp_flows: Vec::new(),
+                    link_mark: vec![0; nlinks],
+                    comp_epoch: 0,
+                    rates_scratch: Vec::new(),
                 }),
                 cv: Condvar::new(),
             }),
@@ -337,12 +368,11 @@ impl Engine {
             "invalid capacity {bytes_per_sec}"
         );
         let mut st = self.shared.state.lock();
-        assert!(
-            link.index() < st.capacities.len(),
-            "unknown link {link}"
-        );
+        assert!(link.index() < st.capacities.len(), "unknown link {link}");
         st.capacities[link.index()] = bytes_per_sec;
-        recompute_rates(&mut st, &self.shared.topo);
+        // Only flows sharing a link (transitively) with the changed one
+        // can see a different fair share.
+        recompute_component(&mut st, [link.index()]);
         self.shared.cv.notify_all();
     }
 
@@ -351,9 +381,18 @@ impl Engine {
         self.shared.state.lock().capacities[link.index()]
     }
 
-    /// Snapshot of every link's current capacity.
-    pub fn capacities(&self) -> Vec<f64> {
-        self.shared.state.lock().capacities.clone()
+    /// Runs `f` against every link's current capacity, without copying.
+    /// Keep `f` short: it runs under the engine lock.
+    pub fn with_capacities<R>(&self, f: impl FnOnce(&[f64]) -> R) -> R {
+        f(&self.shared.state.lock().capacities)
+    }
+
+    /// Copies every link's current capacity into `buf` (cleared first) —
+    /// the reusable-buffer alternative to allocating a fresh snapshot
+    /// per call in probe sweeps.
+    pub fn copy_capacities_into(&self, buf: &mut Vec<f64>) {
+        buf.clear();
+        buf.extend_from_slice(&self.shared.state.lock().capacities);
     }
 
     /// Enables deterministic latency jitter for flows issued from now on.
@@ -478,6 +517,7 @@ impl Engine {
             flows_issued: st.flows_issued,
             flows_completed: st.flows_completed,
             events_processed: st.events_processed,
+            events_scheduled: st.seq,
         }
     }
 
@@ -649,6 +689,7 @@ fn start_flow_locked(st: &mut State, topo: &Topology, spec: FlowSpec, done: OnCo
             last_update: now,
             generation: 0,
             active: false,
+            comp_mark: 0,
             done,
             bytes: spec.bytes,
             issued: now,
@@ -661,16 +702,63 @@ fn start_flow_locked(st: &mut State, topo: &Topology, spec: FlowSpec, done: OnCo
     id
 }
 
-/// Drains progress for all active flows up to `st.now` and recomputes
-/// max-min fair rates; reschedules completion events.
-fn recompute_rates(st: &mut State, topo: &Topology) {
-    debug_assert_eq!(st.capacities.len(), topo.link_count());
-    let now = st.now;
-    // 1. Account elapsed progress.
-    for fs in st.flows.values_mut() {
-        if !fs.active {
-            continue;
+/// Recomputes fair-share rates for the connected component of active
+/// flows reachable — via shared links — from the `seeds` link indices.
+///
+/// Flows on links disjoint from the component are untouched: their rates
+/// and queued completion events stay valid, and their byte accounting
+/// keeps accruing linearly at the unchanged rate. Within the component,
+/// progress is drained to `st.now` first, then rates are recomputed with
+/// the persistent [`FairShareScratch`] (no allocation in steady state).
+/// Only flows whose rate *actually changed* get a generation bump and a
+/// fresh completion event; a flow whose fair share came out identical
+/// keeps its already-queued event, so steady traffic does not churn the
+/// queue.
+fn recompute_component(st: &mut State, seeds: impl IntoIterator<Item = usize>) {
+    st.comp_epoch += 1;
+    let epoch = st.comp_epoch;
+    st.comp_links.clear();
+    st.comp_flows.clear();
+    for l in seeds {
+        if st.link_mark[l] != epoch {
+            st.link_mark[l] = epoch;
+            st.comp_links.push(l);
         }
+    }
+    // Breadth-first walk of the flow–link bipartite graph; `comp_links`
+    // doubles as the worklist.
+    let mut cursor = 0;
+    while cursor < st.comp_links.len() {
+        let l = st.comp_links[cursor];
+        cursor += 1;
+        for i in 0..st.link_flows[l].len() {
+            let id = st.link_flows[l][i];
+            let fs = st.flows.get_mut(&id).expect("link lists a missing flow");
+            if fs.comp_mark == epoch {
+                continue;
+            }
+            fs.comp_mark = epoch;
+            st.comp_flows.push(id);
+            for &(l2, _) in &fs.demand.links {
+                if st.link_mark[l2] != epoch {
+                    st.link_mark[l2] = epoch;
+                    st.comp_links.push(l2);
+                }
+            }
+        }
+    }
+    if st.comp_flows.is_empty() {
+        return;
+    }
+    // Canonical flow order, so float accumulation is reproducible no
+    // matter how the component was discovered.
+    st.comp_flows.sort_unstable();
+
+    let now = st.now;
+    // 1. Drain elapsed progress for component members.
+    for i in 0..st.comp_flows.len() {
+        let id = st.comp_flows[i];
+        let fs = st.flows.get_mut(&id).expect("flow disappeared");
         let dt = now.secs_since(fs.last_update);
         if dt > 0.0 && fs.rate > 0.0 {
             let drained = (fs.rate * dt).min(fs.remaining);
@@ -681,42 +769,53 @@ fn recompute_rates(st: &mut State, topo: &Topology) {
         }
         fs.last_update = now;
     }
-    // 2. Fair-share rates for active flows.
-    let caps: Vec<f64> = st.capacities.clone();
-    let ids: Vec<FlowId> = st
-        .flows
-        .iter()
-        .filter(|(_, f)| f.active)
-        .map(|(id, _)| *id)
-        .collect();
-    // Sorted for determinism (HashMap iteration order is arbitrary).
-    let mut ids = ids;
-    ids.sort_unstable();
-    let demands: Vec<FlowDemand> = ids
-        .iter()
-        .map(|id| st.flows[id].demand.clone())
-        .collect();
-    let rates = max_min_rates(&caps, &demands);
-    // 3. Apply and reschedule completions.
-    let mut to_schedule = Vec::with_capacity(ids.len());
-    for (id, rate) in ids.iter().zip(rates) {
-        let fs = st.flows.get_mut(id).expect("flow disappeared");
+    // 2. Fair-share rates for the component, straight out of the
+    // persistent scratch — no capacity clone, no demand clones.
+    {
+        let State {
+            flows,
+            fair,
+            comp_flows,
+            capacities,
+            rates_scratch,
+            ..
+        } = st;
+        fair.compute_with(
+            capacities,
+            comp_flows.len(),
+            |i| &flows[&comp_flows[i]].demand,
+            rates_scratch,
+        );
+    }
+    // 3. Apply; reschedule only where the rate moved.
+    for i in 0..st.comp_flows.len() {
+        let id = st.comp_flows[i];
+        let rate = st.rates_scratch[i];
+        let fs = st.flows.get_mut(&id).expect("flow disappeared");
+        if rate == fs.rate {
+            continue; // queued completion event is still exact
+        }
         fs.rate = rate;
         fs.generation += 1;
+        let gen = fs.generation;
         let eta = if fs.remaining <= 0.0 {
             0.0
         } else {
             fs.remaining / rate
         };
-        to_schedule.push((*id, fs.generation, now.after(eta)));
-    }
-    for (id, gen, at) in to_schedule {
-        push_event(st, at, Event::FlowComplete(id, gen));
+        push_event(st, now.after(eta), Event::FlowComplete(id, gen));
     }
 }
 
 fn complete_flow(st: &mut State, topo: &Topology, id: FlowId) {
     let mut fs = st.flows.remove(&id).expect("completing unknown flow");
+    // Leave the fabric. Zero-byte flows complete without ever having
+    // registered on their links, so absence is tolerated.
+    for &(l, _) in &fs.demand.links {
+        if let Some(pos) = st.link_flows[l].iter().position(|&f| f == id) {
+            st.link_flows[l].swap_remove(pos);
+        }
+    }
     // Account the final drain exactly: whatever was left is delivered now.
     for &(l, m) in &fs.demand.links {
         st.link_stats[l].bytes += fs.remaining * m;
@@ -736,7 +835,9 @@ fn complete_flow(st: &mut State, topo: &Topology, id: FlowId) {
     }
     let done = std::mem::replace(&mut fs.done, OnComplete::Nothing);
     run_on_complete(st, topo, done);
-    recompute_rates(st, topo);
+    // The departed flow's links may now span several components; seed
+    // with all of them so each gets re-shared.
+    recompute_component(st, fs.demand.links.iter().map(|&(l, _)| l));
 }
 
 /// Pops and handles the earliest event. Returns `false` on an empty queue.
@@ -771,7 +872,15 @@ fn process_next_event(st: &mut State, topo: &Topology) -> bool {
             if fs.remaining <= 0.0 {
                 complete_flow(st, topo, id);
             } else {
-                recompute_rates(st, topo);
+                // Join the fabric. One seed link suffices: component
+                // discovery reaches the rest of the route through the
+                // flow itself.
+                let seed = fs.demand.links[0].0;
+                for li in 0..fs.demand.links.len() {
+                    let l = fs.demand.links[li].0;
+                    st.link_flows[l].push(id);
+                }
+                recompute_component(st, [seed]);
             }
         }
         Event::FlowComplete(id, _gen) => complete_flow(st, topo, id),
@@ -900,10 +1009,7 @@ mod tests {
     fn stats_count_bytes_and_flows() {
         let eng = engine();
         let route = direct_route(&eng);
-        eng.start_flow(
-            FlowSpec::new(route.clone(), 1_000_000),
-            OnComplete::Nothing,
-        );
+        eng.start_flow(FlowSpec::new(route.clone(), 1_000_000), OnComplete::Nothing);
         eng.run_until_idle();
         let stats = eng.stats();
         assert_eq!(stats.flows_issued, 1);
@@ -973,7 +1079,10 @@ mod tests {
         let times: Vec<_> = order.iter().map(|&(_, t)| t).collect();
         let mut sorted = times.clone();
         sorted.sort_unstable();
-        assert_eq!(times, sorted, "wakeups must be in virtual-time order: {order:?}");
+        assert_eq!(
+            times, sorted,
+            "wakeups must be in virtual-time order: {order:?}"
+        );
         assert_eq!(order[0].0, "b"); // b wakes first (1 ms)
         assert_eq!(order.last().unwrap().0, "b"); // b finishes last (4 ms)
     }
@@ -1202,7 +1311,10 @@ mod jitter_tests {
         let gpus = topo.gpus();
         let link = topo.link_between(gpus[0], gpus[1]).unwrap().id;
         // 50 GB at 50 GB/s: completes at ~1 s.
-        eng.start_flow(FlowSpec::new(vec![link], 50_000_000_000), OnComplete::Nothing);
+        eng.start_flow(
+            FlowSpec::new(vec![link], 50_000_000_000),
+            OnComplete::Nothing,
+        );
         let processed = eng.run_until(SimTime::from_secs(0.5));
         assert_eq!(eng.now(), SimTime::from_secs(0.5));
         assert!(processed >= 1, "activation fired");
@@ -1240,7 +1352,9 @@ mod weight_tests {
         let link = topo.link_between(gpus[0], gpus[1]).unwrap().id;
         let n = 12_000_000_000usize; // 12 GB over a 50 GB/s link
         eng.start_flow(
-            FlowSpec::new(vec![link], n).with_weight(3.0).labeled("prio"),
+            FlowSpec::new(vec![link], n)
+                .with_weight(3.0)
+                .labeled("prio"),
             OnComplete::Nothing,
         );
         eng.start_flow(

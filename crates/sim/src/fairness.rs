@@ -37,15 +37,21 @@ impl Default for FlowDemand {
 
 impl FlowDemand {
     /// Builds a demand from a raw route, merging repeated links into
-    /// multiplicities.
+    /// multiplicities. Sort-and-fold, so the cost is O(n log n) rather
+    /// than the quadratic scan-per-hop this used to do; the resulting
+    /// link list is sorted by link index (a canonical order downstream
+    /// consumers may rely on for reproducible float accumulation).
     pub fn from_route(route: &[usize]) -> FlowDemand {
-        let mut links: Vec<(usize, f64)> = Vec::with_capacity(route.len());
-        for &l in route {
-            match links.iter_mut().find(|(id, _)| *id == l) {
-                Some((_, m)) => *m += 1.0,
-                None => links.push((l, 1.0)),
+        let mut links: Vec<(usize, f64)> = route.iter().map(|&l| (l, 1.0)).collect();
+        links.sort_unstable_by_key(|&(l, _)| l);
+        links.dedup_by(|cur, kept| {
+            if cur.0 == kept.0 {
+                kept.1 += cur.1;
+                true
+            } else {
+                false
             }
-        }
+        });
         FlowDemand { links, weight: 1.0 }
     }
 
@@ -56,7 +62,10 @@ impl FlowDemand {
     /// # Panics
     /// Panics unless `weight > 0`.
     pub fn from_route_weighted(route: &[usize], weight: f64) -> FlowDemand {
-        assert!(weight > 0.0 && weight.is_finite(), "invalid weight {weight}");
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "invalid weight {weight}"
+        );
         let mut d = FlowDemand::from_route(route);
         d.weight = weight;
         d
@@ -93,7 +102,10 @@ pub fn max_min_rates(capacities: &[f64], flows: &[FlowDemand]) -> Vec<f64> {
             continue;
         }
         for &(l, m) in &f.links {
-            assert!(l < capacities.len(), "flow {fi} references unknown link {l}");
+            assert!(
+                l < capacities.len(),
+                "flow {fi} references unknown link {l}"
+            );
             load[l] += f.weight * m;
         }
     }
@@ -131,6 +143,189 @@ pub fn max_min_rates(capacities: &[f64], flows: &[FlowDemand]) -> Vec<f64> {
         // Numerical safety: the bottleneck must now be unloaded.
         load[bottleneck] = 0.0;
     }
+    rates
+}
+
+/// Heap entry: a link's fair share per unit weight at the time it was
+/// (re)inserted. Ordered ascending by share, ties broken by link index so
+/// the heap selects the same bottleneck as `max_min_rates`' linear scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LinkShare {
+    share: f64,
+    link: usize,
+}
+
+impl Eq for LinkShare {}
+
+impl PartialOrd for LinkShare {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for LinkShare {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.share
+            .total_cmp(&other.share)
+            .then(self.link.cmp(&other.link))
+    }
+}
+
+/// Reusable state for the fast progressive-filling allocator
+/// ([`FairShareScratch::compute_with`]). All buffers persist between
+/// calls, so steady-state recomputation allocates nothing; per-link
+/// state is epoch-stamped and lazily reset, so a call touching `k` links
+/// costs O(k + flows), not O(total links).
+#[derive(Debug, Default)]
+pub struct FairShareScratch {
+    /// Residual capacity per link (valid where `mark == epoch`).
+    residual: Vec<f64>,
+    /// Total weighted multiplicity of unfrozen flows per link.
+    load: Vec<f64>,
+    /// Flow indices crossing each link (this call's flows).
+    link_flows: Vec<Vec<u32>>,
+    /// Epoch stamp marking which per-link entries are current.
+    mark: Vec<u64>,
+    epoch: u64,
+    /// Links referenced by this call's flows, in first-seen order.
+    touched: Vec<usize>,
+    /// Lazy min-heap over links keyed by `residual / load`.
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<LinkShare>>,
+    frozen: Vec<bool>,
+}
+
+impl FairShareScratch {
+    /// Computes max-min fair rates for `n` flows (accessed through
+    /// `flow`, indexed `0..n`) into `rates`, clearing it first.
+    ///
+    /// Produces the same allocation as [`max_min_rates`] (verified by
+    /// proptest against that oracle): each freeze round picks the
+    /// bottleneck from a lazily-rebuilt min-heap over links — near
+    /// O(log L) per round — instead of rescanning every link and flow.
+    /// Freeze order within a round follows flow index order, matching
+    /// the oracle's float-operation order, so agreement is exact up to
+    /// bottleneck-selection rounding.
+    ///
+    /// Only links actually referenced by the flows are touched or
+    /// validated; `capacities` entries for untouched links are ignored.
+    ///
+    /// # Panics
+    /// Panics on referenced links out of range or with non-positive
+    /// capacity, and on non-positive flow weights.
+    pub fn compute_with<'a, F>(
+        &mut self,
+        capacities: &[f64],
+        n: usize,
+        flow: F,
+        rates: &mut Vec<f64>,
+    ) where
+        F: Fn(usize) -> &'a FlowDemand,
+    {
+        rates.clear();
+        rates.resize(n, f64::INFINITY);
+        self.frozen.clear();
+        self.frozen.resize(n, false);
+        self.heap.clear();
+        if self.residual.len() < capacities.len() {
+            self.residual.resize(capacities.len(), 0.0);
+            self.load.resize(capacities.len(), 0.0);
+            self.link_flows.resize_with(capacities.len(), Vec::new);
+            self.mark.resize(capacities.len(), 0);
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.touched.clear();
+
+        // Build per-link loads and flow lists (flow-index order, so the
+        // freeze pass below replays the oracle's float ops exactly).
+        for fi in 0..n {
+            let f = flow(fi);
+            assert!(
+                f.weight > 0.0 && f.weight.is_finite(),
+                "flow {fi} has invalid weight {}",
+                f.weight
+            );
+            if f.links.is_empty() {
+                self.frozen[fi] = true; // unconstrained
+                continue;
+            }
+            for &(l, m) in &f.links {
+                assert!(
+                    l < capacities.len(),
+                    "flow {fi} references unknown link {l}"
+                );
+                if self.mark[l] != epoch {
+                    self.mark[l] = epoch;
+                    let c = capacities[l];
+                    assert!(c > 0.0 && c.is_finite(), "link {l} capacity {c} invalid");
+                    self.residual[l] = c;
+                    self.load[l] = 0.0;
+                    self.link_flows[l].clear();
+                    self.touched.push(l);
+                }
+                self.load[l] += f.weight * m;
+                self.link_flows[l].push(fi as u32);
+            }
+        }
+        // Seed the heap: one entry per loaded link.
+        for &l in &self.touched {
+            if self.load[l] > 0.0 {
+                self.heap.push(std::cmp::Reverse(LinkShare {
+                    share: self.residual[l] / self.load[l],
+                    link: l,
+                }));
+            }
+        }
+
+        // Freeze rounds: pop the minimal-share link, validating lazily.
+        while let Some(std::cmp::Reverse(entry)) = self.heap.pop() {
+            let l = entry.link;
+            if self.load[l] <= 0.0 {
+                continue; // fully frozen link; stale entry
+            }
+            let current = self.residual[l] / self.load[l];
+            if current != entry.share {
+                // Stale (flows froze since insertion): shares only grow,
+                // so reinsert at the current value and keep popping.
+                self.heap.push(std::cmp::Reverse(LinkShare {
+                    share: current,
+                    link: l,
+                }));
+                continue;
+            }
+            let share_unit = current;
+            // Freeze every unfrozen flow crossing the bottleneck, in
+            // flow-index order (the lists are built in that order).
+            let flows_here = std::mem::take(&mut self.link_flows[l]);
+            for &fi in &flows_here {
+                let fi = fi as usize;
+                if self.frozen[fi] {
+                    continue;
+                }
+                let f = flow(fi);
+                self.frozen[fi] = true;
+                let rate = share_unit * f.weight;
+                rates[fi] = rate;
+                for &(l2, m) in &f.links {
+                    self.residual[l2] = (self.residual[l2] - rate * m).max(0.0);
+                    self.load[l2] -= f.weight * m;
+                }
+            }
+            self.link_flows[l] = flows_here;
+            // Numerical safety, mirroring the oracle: the bottleneck is
+            // now fully frozen.
+            self.load[l] = 0.0;
+        }
+    }
+}
+
+/// [`max_min_rates`] semantics via the fast per-link-list + heap
+/// allocator. One-shot convenience over [`FairShareScratch::compute_with`];
+/// hot paths should hold a scratch and reuse it.
+pub fn max_min_rates_fast(capacities: &[f64], flows: &[FlowDemand]) -> Vec<f64> {
+    let mut scratch = FairShareScratch::default();
+    let mut rates = Vec::new();
+    scratch.compute_with(capacities, flows.len(), |i| &flows[i], &mut rates);
     rates
 }
 

@@ -46,7 +46,7 @@ pub use engine::{
     Ctx, Engine, EventFn, FlowId, FlowSpec, JitterModel, LinkStats, OnComplete, SimThread,
     StatsSnapshot, TraceRecord,
 };
-pub use fairness::{max_min_rates, FlowDemand};
+pub use fairness::{max_min_rates, max_min_rates_fast, FairShareScratch, FlowDemand};
 pub use stats::{
     bottleneck_link, link_utilization, summarize_trace, trace_to_chrome_json, LinkUtilization,
     TraceSummary,

@@ -1,0 +1,134 @@
+//! Oracle equivalence for the incremental fair-share allocator.
+//!
+//! [`mpx_sim::FairShareScratch`] is the engine's fast path; the original
+//! [`mpx_sim::max_min_rates`] linear-scan implementation is kept as the
+//! reference oracle. This suite drives both over random topologies,
+//! weights, and add/remove sequences — reusing one scratch across every
+//! step, exactly as the engine does — and requires agreement to 1e-9
+//! relative on every flow.
+
+use mpx_sim::{max_min_rates, max_min_rates_fast, FairShareScratch, FlowDemand};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One mutation of the live-flow set.
+#[derive(Debug, Clone)]
+struct Op {
+    /// Add a flow (or, when `false`, remove one if any are live).
+    add: bool,
+    /// Route for an added flow; may be empty (unconstrained flow) and may
+    /// repeat links (multiplicity).
+    route: Vec<usize>,
+    /// QoS weight for an added flow.
+    weight: f64,
+    /// Pick which live flow a removal takes (mod the live count).
+    victim: usize,
+}
+
+fn arb_scenario() -> impl Strategy<Value = (Vec<f64>, Vec<Op>)> {
+    (1usize..10).prop_flat_map(|nlinks| {
+        let caps = vec(0.5f64..400.0, nlinks);
+        let ops = vec(
+            (
+                proptest::bool::ANY,
+                vec(0usize..nlinks, 0..5),
+                0.5f64..4.0,
+                0usize..64,
+            )
+                .prop_map(|(add, route, weight, victim)| Op {
+                    add,
+                    route,
+                    weight,
+                    victim,
+                }),
+            1..20,
+        );
+        (caps, ops)
+    })
+}
+
+fn assert_close(oracle: &[f64], fast: &[f64]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(oracle.len(), fast.len());
+    for (i, (&a, &b)) in oracle.iter().zip(fast).enumerate() {
+        if a.is_infinite() || b.is_infinite() {
+            prop_assert!(a == b, "flow {i}: oracle {a}, fast {b}");
+            continue;
+        }
+        let tol = 1e-9 * a.abs().max(b.abs()).max(1.0);
+        prop_assert!(
+            (a - b).abs() <= tol,
+            "flow {i}: oracle {a}, fast {b}, |diff| {}",
+            (a - b).abs()
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    /// The engine's usage pattern: one persistent scratch, live set
+    /// mutated by adds and removes, rates recomputed after every step.
+    #[test]
+    fn incremental_allocator_matches_oracle((caps, ops) in arb_scenario()) {
+        let mut live: Vec<FlowDemand> = Vec::new();
+        let mut scratch = FairShareScratch::default();
+        let mut rates = Vec::new();
+        for op in &ops {
+            if op.add || live.is_empty() {
+                live.push(FlowDemand::from_route_weighted(&op.route, op.weight));
+            } else {
+                live.remove(op.victim % live.len());
+            }
+            let oracle = max_min_rates(&caps, &live);
+            scratch.compute_with(&caps, live.len(), |i| &live[i], &mut rates);
+            assert_close(&oracle, &rates)?;
+        }
+    }
+
+    /// The one-shot wrapper agrees too (fresh scratch per call).
+    #[test]
+    fn one_shot_wrapper_matches_oracle((caps, ops) in arb_scenario()) {
+        let flows: Vec<FlowDemand> = ops
+            .iter()
+            .map(|op| FlowDemand::from_route_weighted(&op.route, op.weight))
+            .collect();
+        let oracle = max_min_rates(&caps, &flows);
+        let fast = max_min_rates_fast(&caps, &flows);
+        assert_close(&oracle, &fast)?;
+    }
+}
+
+/// Non-random spot checks of the fast path against hand-computed values,
+/// mirroring the oracle's own unit tests.
+#[test]
+fn fast_path_spot_checks() {
+    let d = |r: &[usize]| FlowDemand::from_route(r);
+    assert_eq!(
+        max_min_rates_fast(&[10.0, 4.0, 8.0], &[d(&[0, 1, 2])]),
+        vec![4.0]
+    );
+    assert_eq!(
+        max_min_rates_fast(&[10.0], &[d(&[0]), d(&[0])]),
+        vec![5.0, 5.0]
+    );
+    assert_eq!(
+        max_min_rates_fast(&[2.0, 10.0], &[d(&[0, 1]), d(&[1])]),
+        vec![2.0, 8.0]
+    );
+    // Weighted 3:1 split of a 12-unit link.
+    let w = max_min_rates_fast(
+        &[12.0],
+        &[
+            FlowDemand::from_route_weighted(&[0], 3.0),
+            FlowDemand::from_route_weighted(&[0], 1.0),
+        ],
+    );
+    assert!(
+        (w[0] - 9.0).abs() < 1e-12 && (w[1] - 3.0).abs() < 1e-12,
+        "{w:?}"
+    );
+    // Unconstrained flows stay unconstrained.
+    let u = max_min_rates_fast(&[10.0], &[FlowDemand::default(), d(&[0])]);
+    assert_eq!(u, vec![f64::INFINITY, 10.0]);
+}

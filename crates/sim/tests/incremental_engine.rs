@@ -1,0 +1,120 @@
+//! Component-scoped recomputation: flows on disjoint links must not
+//! perturb each other — no rate change, no generation bump, and no
+//! rescheduled completion events.
+
+use mpx_sim::{Engine, FlowSpec, OnComplete};
+use mpx_topo::{LinkId, Topology};
+use std::sync::Arc;
+
+/// Two GPU-pair links sharing no endpoint (and hence, in these presets,
+/// no underlying channel).
+fn disjoint_links(topo: &Topology) -> (LinkId, LinkId) {
+    let gpus = topo.gpus();
+    for (i, &a) in gpus.iter().enumerate() {
+        for &b in &gpus[i + 1..] {
+            let Ok(l1) = topo.link_between(a, b) else {
+                continue;
+            };
+            for (j, &c) in gpus.iter().enumerate() {
+                for &d in &gpus[j + 1..] {
+                    if c == a || c == b || d == a || d == b {
+                        continue;
+                    }
+                    if let Ok(l2) = topo.link_between(c, d) {
+                        return (l1.id, l2.id);
+                    }
+                }
+            }
+        }
+    }
+    panic!("preset has no two endpoint-disjoint GPU links");
+}
+
+/// Link-disjoint flows schedule exactly one completion event each: the
+/// second flow's arrival and departure must not touch the first flow's
+/// component, so nothing is ever rescheduled.
+#[test]
+fn disjoint_flows_schedule_zero_reschedules() {
+    let topo = Arc::new(mpx_topo::presets::beluga());
+    let eng = Engine::new(topo.clone());
+    let (l1, l2) = disjoint_links(&topo);
+    eng.start_flow(FlowSpec::new(vec![l1], 1 << 30), OnComplete::Nothing);
+    eng.start_flow(FlowSpec::new(vec![l2], 3 << 30), OnComplete::Nothing);
+    eng.run_until_idle();
+    let stats = eng.stats();
+    assert_eq!(stats.flows_completed, 2);
+    // 2 activations + 2 completions; any rescheduling would push more.
+    assert_eq!(stats.events_scheduled, 4, "disjoint flows were rescheduled");
+    assert_eq!(stats.events_processed, 4);
+}
+
+/// Contrast case: flows *sharing* a link do reschedule each other.
+#[test]
+fn contending_flows_do_reschedule() {
+    let topo = Arc::new(mpx_topo::presets::beluga());
+    let eng = Engine::new(topo.clone());
+    let (l1, _) = disjoint_links(&topo);
+    eng.start_flow(FlowSpec::new(vec![l1], 1 << 30), OnComplete::Nothing);
+    eng.start_flow(FlowSpec::new(vec![l1], 3 << 30), OnComplete::Nothing);
+    eng.run_until_idle();
+    let stats = eng.stats();
+    assert_eq!(stats.flows_completed, 2);
+    assert!(
+        stats.events_scheduled > 4,
+        "expected reschedules on a shared link, got {}",
+        stats.events_scheduled
+    );
+}
+
+/// A disjoint latecomer leaves the first flow's completion time bit-exact
+/// versus running it alone.
+#[test]
+fn disjoint_latecomer_does_not_shift_completion() {
+    let topo = Arc::new(mpx_topo::presets::beluga());
+    let (l1, l2) = disjoint_links(&topo);
+
+    let solo = Engine::with_tracing(topo.clone(), true);
+    solo.start_flow(
+        FlowSpec::new(vec![l1], 1 << 30).labeled("a"),
+        OnComplete::Nothing,
+    );
+    solo.run_until_idle();
+    let solo_done = solo.take_trace()[0].completed;
+
+    let both = Engine::with_tracing(topo.clone(), true);
+    both.start_flow(
+        FlowSpec::new(vec![l1], 1 << 30).labeled("a"),
+        OnComplete::Nothing,
+    );
+    // Injected mid-flight, on links flow `a` never crosses.
+    both.schedule_in(
+        1e-3,
+        OnComplete::Call(Box::new(move |ctx| {
+            ctx.start_flow(FlowSpec::new(vec![l2], 2 << 30), OnComplete::Nothing);
+        })),
+    );
+    both.run_until_idle();
+    let done = both
+        .take_trace()
+        .iter()
+        .find(|r| r.label == "a")
+        .unwrap()
+        .completed;
+    assert_eq!(done, solo_done, "latecomer on disjoint links shifted `a`");
+}
+
+/// Byte accounting stays exact even though disjoint components drain
+/// lazily: every flow's full payload lands on its links by idle time.
+#[test]
+fn lazy_drain_conserves_bytes() {
+    let topo = Arc::new(mpx_topo::presets::beluga());
+    let eng = Engine::new(topo.clone());
+    let (l1, l2) = disjoint_links(&topo);
+    let (n1, n2) = (123_456_789usize, 987_654_321usize);
+    eng.start_flow(FlowSpec::new(vec![l1], n1), OnComplete::Nothing);
+    eng.start_flow(FlowSpec::new(vec![l2], n2), OnComplete::Nothing);
+    eng.run_until_idle();
+    let stats = eng.stats();
+    assert!((stats.links[l1.index()].bytes - n1 as f64).abs() < 1.0);
+    assert!((stats.links[l2.index()].bytes - n2 as f64).abs() < 1.0);
+}

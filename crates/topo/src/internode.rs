@@ -41,9 +41,7 @@ pub fn enumerate_rails(
     let mut local_nics: Vec<DeviceId> = topo
         .nics()
         .into_iter()
-        .filter(|&nic| {
-            topo.device(nic).map(|d| d.node) == Ok(sdev.node) && topo.has_link(src, nic)
-        })
+        .filter(|&nic| topo.device(nic).map(|d| d.node) == Ok(sdev.node) && topo.has_link(src, nic))
         .collect();
     local_nics.sort_by_key(|&nic| {
         let affine = topo.device(nic).map(|d| d.numa) == Ok(sdev.numa);
@@ -61,8 +59,10 @@ pub fn enumerate_rails(
             if topo.device(remote).map(|d| d.node) != Ok(ddev.node) {
                 continue;
             }
-            let (Ok(wire), Ok(down)) = (topo.link_between(nic, remote), topo.link_between(remote, dst))
-            else {
+            let (Ok(wire), Ok(down)) = (
+                topo.link_between(nic, remote),
+                topo.link_between(remote, dst),
+            ) else {
                 continue;
             };
             let up = topo.link_between(src, nic)?;

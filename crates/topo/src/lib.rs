@@ -37,10 +37,10 @@ pub mod validate;
 
 pub use device::{Device, DeviceId, DeviceKind, GpuModel, NumaNode};
 pub use dot::to_dot;
+pub use internode::enumerate_rails;
 pub use link::{Link, LinkId, LinkKind};
 pub use overhead::OverheadModel;
 pub use params::{LegParams, PathParams};
-pub use internode::enumerate_rails;
 pub use path::{enumerate_paths_auto, Leg, PathKind, PathSelection, TransferPath};
 pub use topology::{Topology, TopologyBuilder, TopologyError};
 pub use units::{Bandwidth, Secs};

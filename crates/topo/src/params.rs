@@ -141,10 +141,7 @@ pub fn extract_all(
     topo: &Topology,
     paths: &[TransferPath],
 ) -> Result<Vec<PathParams>, TopologyError> {
-    paths
-        .iter()
-        .map(|p| extract_path_params(topo, p))
-        .collect()
+    paths.iter().map(|p| extract_path_params(topo, p)).collect()
 }
 
 #[cfg(test)]

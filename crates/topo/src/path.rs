@@ -295,10 +295,7 @@ mod tests {
         assert_eq!(PathSelection::DIRECT_ONLY.label(), "direct");
         assert_eq!(PathSelection::TWO_GPUS.label(), "2_GPUs");
         assert_eq!(PathSelection::THREE_GPUS.label(), "3_GPUs");
-        assert_eq!(
-            PathSelection::THREE_GPUS_WITH_HOST.label(),
-            "3_GPUs_w_host"
-        );
+        assert_eq!(PathSelection::THREE_GPUS_WITH_HOST.label(), "3_GPUs_w_host");
     }
 
     #[test]
@@ -323,8 +320,7 @@ mod tests {
     fn beluga_full_selection_yields_four_paths() {
         let t = presets::beluga();
         let gpus = t.gpus();
-        let p =
-            enumerate_paths(&t, gpus[0], gpus[1], PathSelection::THREE_GPUS_WITH_HOST).unwrap();
+        let p = enumerate_paths(&t, gpus[0], gpus[1], PathSelection::THREE_GPUS_WITH_HOST).unwrap();
         assert_eq!(p.len(), 4);
         assert!(p[0].kind.is_direct());
         assert!(matches!(p[1].kind, PathKind::GpuStaged { .. }));
@@ -356,8 +352,7 @@ mod tests {
     fn narval_host_leg_crosses_numa() {
         let t = presets::narval();
         let gpus = t.gpus();
-        let p =
-            enumerate_paths(&t, gpus[0], gpus[1], PathSelection::THREE_GPUS_WITH_HOST).unwrap();
+        let p = enumerate_paths(&t, gpus[0], gpus[1], PathSelection::THREE_GPUS_WITH_HOST).unwrap();
         let host = p.last().unwrap();
         assert!(matches!(host.kind, PathKind::HostStaged { .. }));
         // On Narval each GPU has its own NUMA domain, so the host-to-device
@@ -373,8 +368,7 @@ mod tests {
     fn beluga_host_leg_stays_local() {
         let t = presets::beluga();
         let gpus = t.gpus();
-        let p =
-            enumerate_paths(&t, gpus[0], gpus[1], PathSelection::THREE_GPUS_WITH_HOST).unwrap();
+        let p = enumerate_paths(&t, gpus[0], gpus[1], PathSelection::THREE_GPUS_WITH_HOST).unwrap();
         let host = p.last().unwrap();
         // Single NUMA domain: DRAM channel + destination PCIe.
         assert_eq!(host.legs[1].route.len(), 2);

@@ -75,8 +75,15 @@ pub fn narval() -> Topology {
     }
     // PCIe Gen4 x16 per GPU, to the GPU's local NUMA domain.
     for i in 0..4 {
-        b.duplex_link(gpus[i], hms[i], LinkKind::Pcie, gb_per_s(24.0), micros(4.0), 1)
-            .expect("narval pcie");
+        b.duplex_link(
+            gpus[i],
+            hms[i],
+            LinkKind::Pcie,
+            gb_per_s(24.0),
+            micros(4.0),
+            1,
+        )
+        .expect("narval pcie");
     }
     // One memory channel per NUMA domain (paper: "a single memory
     // channel"), shared by everything staging there.
@@ -91,8 +98,15 @@ pub fn narval() -> Topology {
     // what a unidirectional probe measures — the Observation 5 effect.
     for i in 0..4 {
         for j in (i + 1)..4 {
-            b.shared_link(hms[i], hms[j], LinkKind::Upi, gb_per_s(16.0), micros(1.0), 1)
-                .expect("narval upi");
+            b.shared_link(
+                hms[i],
+                hms[j],
+                LinkKind::Upi,
+                gb_per_s(16.0),
+                micros(1.0),
+                1,
+            )
+            .expect("narval upi");
         }
     }
     b.build()
@@ -114,26 +128,72 @@ pub fn dgx1() -> Topology {
     let hms: Vec<_> = (0..2).map(|i| b.host_memory(NumaNode(i as u16))).collect();
 
     // Hybrid cube-mesh brick assignment (DGX-1V):
-    let double = [(0, 3), (1, 2), (4, 7), (5, 6), (0, 4), (1, 5), (2, 6), (3, 7)];
-    let single = [(0, 1), (0, 2), (1, 3), (2, 3), (4, 5), (4, 6), (5, 7), (6, 7)];
+    let double = [
+        (0, 3),
+        (1, 2),
+        (4, 7),
+        (5, 6),
+        (0, 4),
+        (1, 5),
+        (2, 6),
+        (3, 7),
+    ];
+    let single = [
+        (0, 1),
+        (0, 2),
+        (1, 3),
+        (2, 3),
+        (4, 5),
+        (4, 6),
+        (5, 7),
+        (6, 7),
+    ];
     for &(i, j) in &double {
-        b.duplex_link(gpus[i], gpus[j], LinkKind::NvLinkV2, gb_per_s(48.0), micros(1.8), 2)
-            .expect("dgx1 double nvlink");
+        b.duplex_link(
+            gpus[i],
+            gpus[j],
+            LinkKind::NvLinkV2,
+            gb_per_s(48.0),
+            micros(1.8),
+            2,
+        )
+        .expect("dgx1 double nvlink");
     }
     for &(i, j) in &single {
-        b.duplex_link(gpus[i], gpus[j], LinkKind::NvLinkV2, gb_per_s(24.0), micros(1.8), 1)
-            .expect("dgx1 single nvlink");
+        b.duplex_link(
+            gpus[i],
+            gpus[j],
+            LinkKind::NvLinkV2,
+            gb_per_s(24.0),
+            micros(1.8),
+            1,
+        )
+        .expect("dgx1 single nvlink");
     }
     for (i, &g) in gpus.iter().enumerate() {
-        b.duplex_link(g, hms[i / 4], LinkKind::Pcie, gb_per_s(12.0), micros(4.0), 1)
-            .expect("dgx1 pcie");
+        b.duplex_link(
+            g,
+            hms[i / 4],
+            LinkKind::Pcie,
+            gb_per_s(12.0),
+            micros(4.0),
+            1,
+        )
+        .expect("dgx1 pcie");
     }
     for &hm in &hms {
         b.shared_link(hm, hm, LinkKind::HostDram, gb_per_s(38.0), micros(0.1), 1)
             .expect("dgx1 dram");
     }
-    b.shared_link(hms[0], hms[1], LinkKind::Upi, gb_per_s(15.0), micros(1.0), 1)
-        .expect("dgx1 qpi");
+    b.shared_link(
+        hms[0],
+        hms[1],
+        LinkKind::Upi,
+        gb_per_s(15.0),
+        micros(1.0),
+        1,
+    )
+    .expect("dgx1 qpi");
     b.build()
 }
 
@@ -184,15 +244,8 @@ pub fn two_node_beluga(rails: usize) -> Topology {
     }
     // Wires: NIC i of node 0 <-> NIC i of node 1.
     for (&a, &b_nic) in all_nics[0].iter().zip(&all_nics[1]) {
-        b.duplex_link(
-            a,
-            b_nic,
-            LinkKind::Custom,
-            gb_per_s(24.0),
-            micros(1.3),
-            1,
-        )
-        .expect("ib wire");
+        b.duplex_link(a, b_nic, LinkKind::Custom, gb_per_s(24.0), micros(1.3), 1)
+            .expect("ib wire");
     }
     b.build()
 }
@@ -255,7 +308,9 @@ pub fn synthetic(spec: SyntheticSpec) -> Topology {
     assert!(spec.gpus >= 2, "synthetic topology needs at least 2 GPUs");
     let mut b = TopologyBuilder::new("synthetic").overheads(spec.overheads);
     let numa = NumaNode(0);
-    let gpus: Vec<_> = (0..spec.gpus).map(|_| b.gpu(GpuModel::Generic, numa)).collect();
+    let gpus: Vec<_> = (0..spec.gpus)
+        .map(|_| b.gpu(GpuModel::Generic, numa))
+        .collect();
     let hm = b.host_memory(numa);
     for i in 0..spec.gpus {
         for j in (i + 1)..spec.gpus {
@@ -319,7 +374,11 @@ mod tests {
         let gpus = t.gpus();
         for (i, &g) in gpus.iter().enumerate() {
             let hm = t.local_host_memory(g).unwrap();
-            assert_eq!(t.device(hm).unwrap().numa, t.device(g).unwrap().numa, "gpu {i}");
+            assert_eq!(
+                t.device(hm).unwrap().numa,
+                t.device(g).unwrap().numa,
+                "gpu {i}"
+            );
         }
     }
 
@@ -345,8 +404,8 @@ mod tests {
     fn both_paper_presets_enumerate_four_paths() {
         for t in [beluga(), narval()] {
             let gpus = t.gpus();
-            let p = enumerate_paths(&t, gpus[0], gpus[1], PathSelection::THREE_GPUS_WITH_HOST)
-                .unwrap();
+            let p =
+                enumerate_paths(&t, gpus[0], gpus[1], PathSelection::THREE_GPUS_WITH_HOST).unwrap();
             assert_eq!(p.len(), 4, "topology {}", t.name);
         }
     }
@@ -362,10 +421,12 @@ mod tests {
     fn pcie_only_communicates_through_host() {
         let t = pcie_only(2);
         let gpus = t.gpus();
-        let p =
-            enumerate_paths(&t, gpus[0], gpus[1], PathSelection::THREE_GPUS_WITH_HOST).unwrap();
+        let p = enumerate_paths(&t, gpus[0], gpus[1], PathSelection::THREE_GPUS_WITH_HOST).unwrap();
         assert_eq!(p.len(), 1);
-        assert!(matches!(p[0].kind, crate::path::PathKind::HostStaged { .. }));
+        assert!(matches!(
+            p[0].kind,
+            crate::path::PathKind::HostStaged { .. }
+        ));
     }
 
     #[test]
@@ -386,8 +447,14 @@ mod tests {
     fn dgx1_has_heterogeneous_pair_bandwidths() {
         let t = dgx1();
         let g = t.gpus();
-        assert_eq!(t.link_between(g[0], g[3]).unwrap().bandwidth, gb_per_s(48.0));
-        assert_eq!(t.link_between(g[0], g[1]).unwrap().bandwidth, gb_per_s(24.0));
+        assert_eq!(
+            t.link_between(g[0], g[3]).unwrap().bandwidth,
+            gb_per_s(48.0)
+        );
+        assert_eq!(
+            t.link_between(g[0], g[1]).unwrap().bandwidth,
+            gb_per_s(24.0)
+        );
         assert!(t.link_between(g[0], g[5]).is_err(), "0-5 must be unlinked");
     }
 

@@ -128,10 +128,7 @@ mod tests {
         let mut b = TopologyBuilder::new("t");
         let _g = b.gpu(GpuModel::Generic, NumaNode(0));
         let t = b.build();
-        assert!(matches!(
-            validate(&t)[0],
-            ValidationIssue::IsolatedGpu(_)
-        ));
+        assert!(matches!(validate(&t)[0], ValidationIssue::IsolatedGpu(_)));
     }
 
     #[test]

@@ -226,19 +226,23 @@ impl UcxContext {
                 Some(p) => p,
                 None => {
                     let eng = self.inner.rt.engine();
-                    let caps = eng.capacities();
-                    let p = Arc::new(probe_all_with(eng.topology(), Some(&caps), &paths)?);
+                    let p = eng.with_capacities(|caps| {
+                        probe_all_with(eng.topology(), Some(caps), &paths).map(Arc::new)
+                    })?;
                     self.inner.probed.lock().insert(pair, p.clone());
                     p
                 }
             }
         };
-        let plan = Arc::new(
-            self.inner
-                .planner
-                .compute_with_params(n, &paths, params.as_ref().clone()),
-        );
-        self.inner.dynamic_plans.lock().insert((pair, n), plan.clone());
+        let plan = Arc::new(self.inner.planner.compute_with_params(
+            n,
+            &paths,
+            params.as_ref().clone(),
+        ));
+        self.inner
+            .dynamic_plans
+            .lock()
+            .insert((pair, n), plan.clone());
         Ok(plan)
     }
 

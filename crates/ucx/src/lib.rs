@@ -32,6 +32,10 @@ pub mod probe;
 pub mod tuner;
 
 pub use context::{ParamSource, TuningMode, UcxConfig, UcxContext};
-pub use probe::{probe_all, probe_all_with, probe_path_params, probe_path_params_with, PROBE_BYTES};
-pub use pipeline::{execute_plan, execute_plan_at, execute_plan_notify, TransferHandle, RING_DEPTH};
+pub use pipeline::{
+    execute_plan, execute_plan_at, execute_plan_notify, TransferHandle, RING_DEPTH,
+};
+pub use probe::{
+    probe_all, probe_all_with, probe_path_params, probe_path_params_with, PROBE_BYTES,
+};
 pub use tuner::{manual_plan, measure_plan, share_grid, tune_exhaustive, TuneResult};

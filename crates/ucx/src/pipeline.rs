@@ -129,9 +129,7 @@ pub fn execute_plan_at(
     // One-time software costs, charged on the direct path's first copy:
     // rendezvous in the cuda_ipc module plus the IPC handle-open cost for
     // the importing side.
-    let ipc_cost = rt
-        .ipc()
-        .open_cost(src.device().0, dst.id());
+    let ipc_cost = rt.ipc().open_cost(src.device().0, dst.id());
     let mut one_time = oh.rendezvous + ipc_cost;
 
     let active = plan.active_path_count();
@@ -288,10 +286,7 @@ mod tests {
         let plan = planner.plan(gpus[0], gpus[1], n, sel).unwrap();
         let (src, dst) = if real {
             let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
-            (
-                rt.alloc_bytes(gpus[0], data),
-                rt.alloc_zeroed(gpus[1], n),
-            )
+            (rt.alloc_bytes(gpus[0], data), rt.alloc_zeroed(gpus[1], n))
         } else {
             (rt.alloc(gpus[0], n), rt.alloc(gpus[1], n))
         };

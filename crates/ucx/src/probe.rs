@@ -43,8 +43,7 @@ pub fn probe_path_params_with(
     path: &TransferPath,
 ) -> Result<PathParams, TopologyError> {
     let mut params = extract_path_params(topo, path)?;
-    let routes: Vec<Vec<mpx_topo::LinkId>> =
-        path.legs.iter().map(|l| l.route.clone()).collect();
+    let routes: Vec<Vec<mpx_topo::LinkId>> = path.legs.iter().map(|l| l.route.clone()).collect();
     if path.legs.len() < 2 {
         // A direct path has nothing to contend with itself, but its
         // capacity may still have degraded.
@@ -84,10 +83,7 @@ pub fn probe_all_with(
 
 /// Injects one `PROBE_BYTES` flow per route simultaneously on a fresh
 /// simulation and returns each route's mean achieved rate (bytes/s).
-pub fn probe_concurrent_rates(
-    topo: &Arc<Topology>,
-    routes: &[Vec<mpx_topo::LinkId>],
-) -> Vec<f64> {
+pub fn probe_concurrent_rates(topo: &Arc<Topology>, routes: &[Vec<mpx_topo::LinkId>]) -> Vec<f64> {
     probe_concurrent_rates_with(topo, None, routes)
 }
 

@@ -35,10 +35,7 @@ pub fn manual_plan(
 ) -> Result<TransferPlan, TopologyError> {
     assert_eq!(paths.len(), shares.len(), "one share per path");
     let sum: f64 = shares.iter().sum();
-    assert!(
-        (sum - 1.0).abs() < 1e-6,
-        "shares must sum to 1, got {sum}"
-    );
+    assert!((sum - 1.0).abs() < 1e-6, "shares must sum to 1, got {sum}");
     let params = extract_all(topo, paths)?;
     let nf = n as f64;
     let align = cfg.alignment.max(1);
@@ -168,29 +165,28 @@ pub fn tune_exhaustive(
         .unwrap_or(1)
         .min(candidates.len().max(1));
     let chunk = candidates.len().div_ceil(workers);
-    let results: Vec<Result<Candidate, TopologyError>> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = candidates
-                .chunks(chunk)
-                .map(|batch| {
-                    let paths = &paths;
-                    scope.spawn(move || {
-                        batch
-                            .iter()
-                            .map(|shares| {
-                                let plan = manual_plan(topo, paths, n, shares, cfg)?;
-                                let bw = measure_plan(topo, &plan, paths, src, dst);
-                                Ok((shares.clone(), Arc::new(plan), bw))
-                            })
-                            .collect::<Vec<_>>()
-                    })
+    let results: Vec<Result<Candidate, TopologyError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk)
+            .map(|batch| {
+                let paths = &paths;
+                scope.spawn(move || {
+                    batch
+                        .iter()
+                        .map(|shares| {
+                            let plan = manual_plan(topo, paths, n, shares, cfg)?;
+                            let bw = measure_plan(topo, &plan, paths, src, dst);
+                            Ok((shares.clone(), Arc::new(plan), bw))
+                        })
+                        .collect::<Vec<_>>()
                 })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("tuner worker panicked"))
-                .collect()
-        });
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("tuner worker panicked"))
+            .collect()
+    });
     evaluated += candidates.len();
     let mut best_shares = vec![1.0];
     let mut best: Option<(Arc<TransferPlan>, Bandwidth)> = None;
@@ -281,8 +277,7 @@ mod tests {
     fn manual_plan_assigns_all_bytes() {
         let topo = presets::beluga();
         let gpus = topo.gpus();
-        let paths =
-            enumerate_paths(&topo, gpus[0], gpus[1], PathSelection::THREE_GPUS).unwrap();
+        let paths = enumerate_paths(&topo, gpus[0], gpus[1], PathSelection::THREE_GPUS).unwrap();
         let plan = manual_plan(
             &topo,
             &paths,
@@ -291,7 +286,10 @@ mod tests {
             &PlannerConfig::default(),
         )
         .unwrap();
-        assert_eq!(plan.paths.iter().map(|p| p.share_bytes).sum::<usize>(), MIB + 5);
+        assert_eq!(
+            plan.paths.iter().map(|p| p.share_bytes).sum::<usize>(),
+            MIB + 5
+        );
     }
 
     #[test]
@@ -299,8 +297,7 @@ mod tests {
     fn manual_plan_rejects_bad_shares() {
         let topo = presets::beluga();
         let gpus = topo.gpus();
-        let paths =
-            enumerate_paths(&topo, gpus[0], gpus[1], PathSelection::TWO_GPUS).unwrap();
+        let paths = enumerate_paths(&topo, gpus[0], gpus[1], PathSelection::TWO_GPUS).unwrap();
         let _ = manual_plan(&topo, &paths, MIB, &[0.9, 0.3], &PlannerConfig::default());
     }
 
@@ -321,9 +318,8 @@ mod tests {
         )
         .unwrap();
         assert!(result.evaluated >= 28, "coarse stage alone is C(6+2,2)=28"); // + refinement
-        // Direct-only candidate bandwidth:
-        let paths =
-            enumerate_paths(&topo, gpus[0], gpus[1], PathSelection::THREE_GPUS).unwrap();
+                                                                              // Direct-only candidate bandwidth:
+        let paths = enumerate_paths(&topo, gpus[0], gpus[1], PathSelection::THREE_GPUS).unwrap();
         let direct = manual_plan(&topo, &paths, n, &[1.0, 0.0, 0.0], &cfg).unwrap();
         let direct_bw = measure_plan(&topo, &direct, &paths, gpus[0], gpus[1]);
         assert!(

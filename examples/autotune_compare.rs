@@ -7,9 +7,9 @@
 //! cargo run --example autotune_compare
 //! ```
 
-use multipath_gpu::prelude::*;
 use mpx_topo::path::enumerate_paths;
 use mpx_ucx::{measure_plan, tune_exhaustive};
+use multipath_gpu::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
 

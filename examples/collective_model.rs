@@ -10,9 +10,9 @@
 //! cargo run --example collective_model
 //! ```
 
-use multipath_gpu::prelude::*;
 use mpx_model::predict_allreduce_knomial;
 use mpx_omb::{osu_allreduce, AllreduceAlgo, CollectiveConfig};
+use multipath_gpu::prelude::*;
 use std::sync::Arc;
 
 fn main() {

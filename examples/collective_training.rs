@@ -38,7 +38,10 @@ fn train(topo: &Arc<Topology>, mode: TuningMode, grad_bytes: usize, steps: usize
 fn main() {
     let grad_bytes = 128 << 20; // a 32M-parameter f32 model
     let steps = 3;
-    println!("data-parallel step: 2 ms compute + {} MB gradient allreduce on 4 GPUs\n", grad_bytes >> 20);
+    println!(
+        "data-parallel step: 2 ms compute + {} MB gradient allreduce on 4 GPUs\n",
+        grad_bytes >> 20
+    );
     for (name, topo) in [
         ("beluga", Arc::new(presets::beluga())),
         ("narval", Arc::new(presets::narval())),

@@ -9,9 +9,9 @@
 //! cargo run --example custom_topology
 //! ```
 
-use multipath_gpu::prelude::*;
-use mpx_topo::{GpuModel, LinkKind, NumaNode};
 use mpx_topo::units::{gb_per_s, micros};
+use mpx_topo::{GpuModel, LinkKind, NumaNode};
+use multipath_gpu::prelude::*;
 use std::sync::Arc;
 
 fn main() {
@@ -61,7 +61,10 @@ fn main() {
     }
 
     // 4. Check the plan against the simulated machine.
-    let ctx = UcxContext::new(GpuRuntime::new(Engine::new(topo.clone())), UcxConfig::default());
+    let ctx = UcxContext::new(
+        GpuRuntime::new(Engine::new(topo.clone())),
+        UcxConfig::default(),
+    );
     let n = 64 << 20;
     let src = ctx.runtime().alloc(g0, n);
     let dst = ctx.runtime().alloc(g1, n);
@@ -74,5 +77,8 @@ fn main() {
 
     // 5. Export for reuse with the CLI (`mpx plan --topo-file ...`).
     let json = serde_json::to_string_pretty(topo.as_ref()).unwrap();
-    println!("\nJSON export: {} bytes (try `mpx plan --topo-file ws.json`)", json.len());
+    println!(
+        "\nJSON export: {} bytes (try `mpx plan --topo-file ws.json`)",
+        json.len()
+    );
 }

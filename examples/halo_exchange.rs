@@ -11,10 +11,10 @@
 //! cargo run --example halo_exchange
 //! ```
 
-use multipath_gpu::prelude::*;
 use mpx_model::{plan_concurrent, ConcurrentTransfer};
 use mpx_topo::params::extract_all;
 use mpx_topo::path::enumerate_paths;
+use multipath_gpu::prelude::*;
 use std::sync::Arc;
 
 /// One halo-exchange iteration for rank `r` on a 2×2 grid.
@@ -90,12 +90,20 @@ fn run(topo: &Arc<Topology>, mode: TuningMode, sel: PathSelection, halo: usize) 
 
 fn main() {
     let halo = 32 << 20; // 32 MB boundary strips (large 3-D subdomains)
-    println!("2x2 halo exchange, {} MB halos, 0.1 ms compute per step\n", halo >> 20);
+    println!(
+        "2x2 halo exchange, {} MB halos, 0.1 ms compute per step\n",
+        halo >> 20
+    );
     for (name, topo) in [
         ("beluga", Arc::new(presets::beluga())),
         ("narval", Arc::new(presets::narval())),
     ] {
-        let single = run(&topo, TuningMode::SinglePath, PathSelection::THREE_GPUS, halo);
+        let single = run(
+            &topo,
+            TuningMode::SinglePath,
+            PathSelection::THREE_GPUS,
+            halo,
+        );
         let blind = run(&topo, TuningMode::Dynamic, PathSelection::THREE_GPUS, halo);
         let aware = run(&topo, TuningMode::Static, PathSelection::THREE_GPUS, halo);
         println!(

@@ -38,7 +38,10 @@ fn measure(topo: &Arc<Topology>, rails: usize, n: usize) -> f64 {
 
 fn main() {
     let n = 256 << 20;
-    println!("inter-node transfer gpu0(node0) -> gpu0(node1), {} MB\n", n >> 20);
+    println!(
+        "inter-node transfer gpu0(node0) -> gpu0(node1), {} MB\n",
+        n >> 20
+    );
     for total_rails in [1usize, 2, 4] {
         let topo = Arc::new(presets::two_node_beluga(total_rails));
         // Show the model's rail split first.

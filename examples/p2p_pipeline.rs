@@ -61,16 +61,18 @@ fn main() {
     );
 
     // ASCII lane view, one row per path/leg.
-    println!("\nlane view (each column ~ {:.0} us):", end.as_secs() * 1e6 / 60.0);
+    println!(
+        "\nlane view (each column ~ {:.0} us):",
+        end.as_secs() * 1e6 / 60.0
+    );
     let mut lanes: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     for r in &trace {
-        let lane_key = r
-            .label
-            .split(".c")
-            .next()
-            .unwrap_or(&r.label)
-            .to_string()
-            + if r.label.contains("leg2") { ".leg2" } else { ".leg1" };
+        let lane_key = r.label.split(".c").next().unwrap_or(&r.label).to_string()
+            + if r.label.contains("leg2") {
+                ".leg2"
+            } else {
+                ".leg1"
+            };
         let span = (r.activated.as_secs(), r.completed.as_secs());
         match lanes.iter_mut().find(|(k, _)| *k == lane_key) {
             Some((_, spans)) => spans.push(span),
@@ -93,7 +95,9 @@ fn main() {
     if let Some(path) = std::env::args().nth(1) {
         let json = mpx_sim::trace_to_chrome_json(&trace);
         std::fs::write(&path, json).expect("write trace");
-        println!("
-wrote Chrome trace to {path} (load in chrome://tracing)");
+        println!(
+            "
+wrote Chrome trace to {path} (load in chrome://tracing)"
+        );
     }
 }

@@ -26,11 +26,7 @@ fn main() {
     for p in plan.active_paths() {
         println!(
             "  path {} ({}): theta = {:.3}, {} bytes in {} chunk(s)",
-            p.index,
-            p.kind,
-            p.theta,
-            p.share_bytes,
-            p.chunks
+            p.index, p.kind, p.theta, p.share_bytes, p.chunks
         );
     }
     println!(

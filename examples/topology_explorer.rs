@@ -6,9 +6,9 @@
 //! cargo run --example topology_explorer -- [beluga|narval|pcie|synthetic]
 //! ```
 
-use multipath_gpu::prelude::*;
 use mpx_topo::params::extract_path_params;
 use mpx_topo::path::enumerate_paths;
+use multipath_gpu::prelude::*;
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "beluga".into());

@@ -93,9 +93,15 @@ fn main() {
     let n = parse_size(&get("size", "64M"));
     let sel = selection(&get("paths", "3_GPUs_w_host"));
     let gpus = topo.gpus();
-    let src = gpus[get("src", "0").parse::<usize>().unwrap_or_else(|_| die("bad --src"))];
-    let dst = gpus[get("dst", "1").parse::<usize>().unwrap_or_else(|_| die("bad --dst"))];
-    let window = get("window", "1").parse::<usize>().unwrap_or_else(|_| die("bad --window"));
+    let src = gpus[get("src", "0")
+        .parse::<usize>()
+        .unwrap_or_else(|_| die("bad --src"))];
+    let dst = gpus[get("dst", "1")
+        .parse::<usize>()
+        .unwrap_or_else(|_| die("bad --dst"))];
+    let window = get("window", "1")
+        .parse::<usize>()
+        .unwrap_or_else(|_| die("bad --window"));
     let mode = match get("mode", "dynamic").as_str() {
         "single" => TuningMode::SinglePath,
         "dynamic" => TuningMode::Dynamic,
@@ -125,13 +131,17 @@ fn main() {
         }
         "plan" => {
             let planner = Planner::new(topo.clone());
-            let plan = planner.plan(src, dst, n, sel).unwrap_or_else(|e| die(&e.to_string()));
+            let plan = planner
+                .plan(src, dst, n, sel)
+                .unwrap_or_else(|e| die(&e.to_string()));
             println!("{src} -> {dst} ({}):", sel.label());
             print!("{}", plan.describe());
         }
         "collective" => {
             use mpx_model::{predict_allreduce_knomial, predict_alltoall_bruck};
-            use mpx_omb::{osu_allreduce, osu_alltoall, AllreduceAlgo, AlltoallAlgo, CollectiveConfig};
+            use mpx_omb::{
+                osu_allreduce, osu_alltoall, AllreduceAlgo, AlltoallAlgo, CollectiveConfig,
+            };
             let op = get("op", "allreduce");
             let planner = Planner::new(topo.clone());
             let gpus = topo.gpus();
@@ -149,23 +159,27 @@ fn main() {
             let (pred, meas) = match op.as_str() {
                 "allreduce" => {
                     let n = n - n % (4 * coll.ranks);
-                    let p = predict_allreduce_knomial(&planner, &gpus[..coll.ranks], n, sel, &|b| {
-                        kernel.cost(b)
-                    })
-                    .unwrap_or_else(|e| die(&e.to_string()));
+                    let p =
+                        predict_allreduce_knomial(&planner, &gpus[..coll.ranks], n, sel, &|b| {
+                            kernel.cost(b)
+                        })
+                        .unwrap_or_else(|e| die(&e.to_string()));
                     let m = osu_allreduce(&topo, cfg, n, AllreduceAlgo::Rabenseifner, coll);
                     (p, m)
                 }
                 "alltoall" => {
                     let block = (n / coll.ranks).max(4);
-                    let p = predict_alltoall_bruck(&planner, &gpus[..coll.ranks], block, sel, &|b| {
-                        kernel.cost_copy(b)
-                    })
-                    .unwrap_or_else(|e| die(&e.to_string()));
+                    let p =
+                        predict_alltoall_bruck(&planner, &gpus[..coll.ranks], block, sel, &|b| {
+                            kernel.cost_copy(b)
+                        })
+                        .unwrap_or_else(|e| die(&e.to_string()));
                     let m = osu_alltoall(&topo, cfg, block, AlltoallAlgo::Bruck, coll);
                     (p, m)
                 }
-                other => die(&format!("unknown collective `{other}` (allreduce|alltoall)")),
+                other => die(&format!(
+                    "unknown collective `{other}` (allreduce|alltoall)"
+                )),
             };
             println!(
                 "{op} {} mode={mode:?} paths={}: predicted {:.0} us (comm {:.0}, compute {:.0}), measured {:.0} us ({:+.1}%)",

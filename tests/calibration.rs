@@ -2,9 +2,9 @@
 //! fabric, fitted with `mpx_model::fit_hockney`, must recover the
 //! topology's ground-truth link parameters (paper Fig. 2(a) Step 1).
 
-use multipath_gpu::prelude::*;
 use mpx_model::fit_hockney;
 use mpx_ucx::probe::probe_leg_isolated;
+use multipath_gpu::prelude::*;
 use std::sync::Arc;
 
 /// Sweep a single link with flows of increasing size; fit Hockney; the

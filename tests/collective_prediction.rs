@@ -2,9 +2,9 @@
 //! does the per-step joint-planned model track what the full MPI stack
 //! actually does?
 
-use multipath_gpu::prelude::*;
 use mpx_model::{predict_allreduce_knomial, predict_alltoall_bruck};
 use mpx_omb::{osu_allreduce, osu_alltoall, AllreduceAlgo, AlltoallAlgo, CollectiveConfig};
+use multipath_gpu::prelude::*;
 use std::sync::Arc;
 
 const MIB: usize = 1 << 20;

@@ -59,7 +59,7 @@ fn threaded_runs_agree_in_virtual_time() {
 fn collective_results_stable_across_runs() {
     let run = || {
         let world = World::new(Arc::new(presets::narval()), UcxConfig::default());
-        
+
         world.run(4, |r| {
             let buf = r.alloc(8 << 20);
             mpx_mpi::allreduce_rabenseifner(&r, &buf, 8 << 20, ReduceOp::Sum);
@@ -104,7 +104,11 @@ fn link_byte_accounting_conserves_message() {
     let expected_total: f64 = plan
         .paths
         .iter()
-        .zip(ctx.paths_for(gpus[0], gpus[1], ctx.config().selection).unwrap().iter())
+        .zip(
+            ctx.paths_for(gpus[0], gpus[1], ctx.config().selection)
+                .unwrap()
+                .iter(),
+        )
         .map(|(pp, path)| {
             let hops: usize = path.legs.iter().map(|l| l.route.len()).sum();
             (pp.share_bytes * hops.max(1)) as f64

@@ -154,8 +154,14 @@ fn tuning_mode_ladder() {
 
     let dynamic = osu_bw(&topo, ucx(TuningMode::Dynamic), n, P2pConfig::default());
 
-    assert!(statically > 1.8 * single, "static {statically} vs single {single}");
-    assert!(dynamic > 1.8 * single, "dynamic {dynamic} vs single {single}");
+    assert!(
+        statically > 1.8 * single,
+        "static {statically} vs single {single}"
+    );
+    assert!(
+        dynamic > 1.8 * single,
+        "dynamic {dynamic} vs single {single}"
+    );
     assert_eq!(world.pending_messages(), (0, 0));
 }
 
@@ -206,7 +212,10 @@ fn dgx1_weak_pairs_gain_more_from_multipath() {
         weak > strong,
         "single-brick pair should gain more: {weak:.2}x vs {strong:.2}x"
     );
-    assert!(weak > 2.3, "0-1 aggregates three ~24 GB/s paths: {weak:.2}x");
+    assert!(
+        weak > 2.3,
+        "0-1 aggregates three ~24 GB/s paths: {weak:.2}x"
+    );
 }
 
 /// PCIe-only box: GPUs with no NVLink at all still talk through host

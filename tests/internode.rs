@@ -108,7 +108,11 @@ fn cross_node_allreduce_correct() {
     });
     let want = (1..=8).sum::<i32>() as f32;
     for (rank, got) in results.iter().enumerate() {
-        assert!(got.iter().all(|&v| v == want), "rank {rank}: {:?}", &got[..2]);
+        assert!(
+            got.iter().all(|&v| v == want),
+            "rank {rank}: {:?}",
+            &got[..2]
+        );
     }
 }
 

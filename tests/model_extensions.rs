@@ -1,10 +1,10 @@
 //! Integration coverage for the model-side extensions: crossover
 //! analysis, sensitivity, and their agreement with simulated behaviour.
 
-use multipath_gpu::prelude::*;
 use mpx_model::{bandwidth_regret_curve, entry_size, full_activation_size, OmegaDelta};
 use mpx_topo::params::extract_all;
 use mpx_topo::path::enumerate_paths;
+use multipath_gpu::prelude::*;
 use std::sync::Arc;
 
 fn laws_for(topo: &Topology, sel: PathSelection) -> Vec<OmegaDelta> {
@@ -64,10 +64,7 @@ fn narval_entry_sizes_larger_than_beluga() {
 
 #[test]
 fn full_activation_sizes_are_ordered_across_presets() {
-    for (topo, bound) in [
-        (presets::beluga(), 4e6),
-        (presets::narval(), 16e6),
-    ] {
+    for (topo, bound) in [(presets::beluga(), 4e6), (presets::narval(), 16e6)] {
         let laws = laws_for(&topo, PathSelection::THREE_GPUS_WITH_HOST);
         let n = full_activation_size(&laws, 1e-3, 1e3, 1e10)
             .unwrap_or_else(|| panic!("{} never activates all paths", topo.name));

@@ -1,8 +1,8 @@
 //! The five observations of the paper's Section 5.2 and the four of
 //! Section 5.3, as executable assertions over the reproduced stack.
 
-use multipath_gpu::prelude::*;
 use mpx_omb::{collective_panel, p2p_panel, CollectiveConfig, CollectiveKind, P2pKind};
+use multipath_gpu::prelude::*;
 use std::sync::Arc;
 
 const MIB: usize = 1 << 20;
@@ -67,13 +67,20 @@ fn obs2_windows_hide_latency_for_small_messages() {
     let topo = Arc::new(presets::beluga());
     let sel = PathSelection::TWO_GPUS;
     let ratio_at = |n: usize| {
-        let w1 = p2p_panel(&topo, P2pKind::Bw, sel, 1, &[n], 4)[2].at(n).unwrap();
-        let w16 = p2p_panel(&topo, P2pKind::Bw, sel, 16, &[n], 4)[2].at(n).unwrap();
+        let w1 = p2p_panel(&topo, P2pKind::Bw, sel, 1, &[n], 4)[2]
+            .at(n)
+            .unwrap();
+        let w16 = p2p_panel(&topo, P2pKind::Bw, sel, 16, &[n], 4)[2]
+            .at(n)
+            .unwrap();
         w16 / w1
     };
     let small = ratio_at(2 * MIB);
     let large = ratio_at(64 * MIB);
-    assert!(small > 1.15, "win16 should lift 2 MB bandwidth: {small:.2}x");
+    assert!(
+        small > 1.15,
+        "win16 should lift 2 MB bandwidth: {small:.2}x"
+    );
     assert!(
         large < small,
         "the window benefit must fade with size: {large:.2}x vs {small:.2}x"
@@ -264,8 +271,7 @@ fn obs2_windows_smooth_timing_variations() {
             })
             .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         var.sqrt() / mean
     };
     let cv1 = cv(1);

@@ -2,8 +2,8 @@
 //! shipped topology preset — this is what catches a preset edit that
 //! breaks an assumption elsewhere in the stack.
 
-use multipath_gpu::prelude::*;
 use mpx_omb::{osu_allreduce, AllreduceAlgo, CollectiveConfig};
+use multipath_gpu::prelude::*;
 use std::sync::Arc;
 
 fn presets_under_test() -> Vec<Arc<Topology>> {

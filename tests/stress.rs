@@ -70,9 +70,7 @@ fn randomized_message_storm_arrives_intact() {
             }
             for k in 0..per_pair {
                 let n = sizes2[r.rank][dst][k];
-                let data: Vec<u8> = (0..n)
-                    .map(|i| pattern_byte(r.rank, dst, k, i))
-                    .collect();
+                let data: Vec<u8> = (0..n).map(|i| pattern_byte(r.rank, dst, k, i)).collect();
                 let buf = r.alloc_bytes(data);
                 let tag = ((r.rank * ranks + dst) * per_pair + k) as u64;
                 reqs.push(r.isend(&buf, n, dst, tag));

@@ -70,8 +70,7 @@ fn reloaded_topology_plans_identically() {
 fn reloaded_topology_simulates_identically() {
     let original = Arc::new(presets::beluga());
     let reloaded = Arc::new(roundtrip(&original));
-    let run = |topo: Arc<Topology>| {
-        osu_bw(&topo, UcxConfig::default(), 16 << 20, P2pConfig::default())
-    };
+    let run =
+        |topo: Arc<Topology>| osu_bw(&topo, UcxConfig::default(), 16 << 20, P2pConfig::default());
     assert_eq!(run(original), run(reloaded));
 }

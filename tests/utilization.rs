@@ -1,9 +1,9 @@
 //! Cross-validation of the reporting layer: per-link byte counters and
 //! utilization must reflect exactly what the plan routed where.
 
-use multipath_gpu::prelude::*;
 use mpx_sim::{bottleneck_link, link_utilization, summarize_trace};
 use mpx_topo::path::enumerate_paths;
+use multipath_gpu::prelude::*;
 use std::sync::Arc;
 
 #[test]
@@ -20,8 +20,8 @@ fn per_link_bytes_match_plan_shares() {
     let gpus = topo.gpus();
     let n = 64 << 20;
     let plan = ctx.plan_for(gpus[0], gpus[1], n).unwrap();
-    let paths = enumerate_paths(&topo, gpus[0], gpus[1], PathSelection::THREE_GPUS_WITH_HOST)
-        .unwrap();
+    let paths =
+        enumerate_paths(&topo, gpus[0], gpus[1], PathSelection::THREE_GPUS_WITH_HOST).unwrap();
 
     let src = ctx.runtime().alloc(gpus[0], n);
     let dst = ctx.runtime().alloc(gpus[1], n);
