@@ -8,3 +8,21 @@ cargo build --release
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
+
+# Fault-matrix smoke: each canned degradation scenario must complete with
+# intact data (mpx exits nonzero otherwise) and must actually exercise the
+# recovery loop (nonzero retry stats).
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+for scenario in degrade flap kill; do
+  ./target/release/mpx fault-plan --topo beluga --paths 3_GPUs --size 64M \
+    --scenario "$scenario" > "$tmp/$scenario.json"
+  out="$(./target/release/mpx resilient --topo beluga --paths 3_GPUs --size 64M \
+    --faults "$tmp/$scenario.json")"
+  echo "$out"
+  case "$out" in
+    *"retries=0"*) echo "fault-matrix: $scenario did not trigger recovery" >&2; exit 1 ;;
+    *"faults_fired=0"*) echo "fault-matrix: $scenario fault never fired" >&2; exit 1 ;;
+  esac
+done
+echo "fault-matrix smoke: ok"

@@ -246,6 +246,38 @@ impl Planner {
         Ok(plan)
     }
 
+    /// Re-plan entry point for degraded fabrics: like [`Planner::plan`]
+    /// but with the candidate paths at the given indices *excluded* —
+    /// the caller has observed them fail or time out. Returns the plan
+    /// together with the surviving candidate set (the path set
+    /// `execute_plan` must be driven with). Never cached: exclusion sets
+    /// are transient observations, not topology facts.
+    ///
+    /// Degrades gracefully down to a single surviving path; errors with
+    /// [`TopologyError::NoUsablePath`] only when *every* candidate is
+    /// excluded.
+    pub fn plan_excluding(
+        &self,
+        src: DeviceId,
+        dst: DeviceId,
+        n: usize,
+        sel: PathSelection,
+        excluded: &[usize],
+    ) -> Result<(TransferPlan, Vec<TransferPath>), TopologyError> {
+        let all = enumerate_paths_auto(&self.topo, src, dst, sel)?;
+        let survivors: Vec<TransferPath> = all
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| !excluded.contains(i))
+            .map(|(_, p)| p)
+            .collect();
+        if survivors.is_empty() {
+            return Err(TopologyError::NoUsablePath(src, dst));
+        }
+        let plan = self.compute(n, &survivors)?;
+        Ok((plan, survivors))
+    }
+
     /// The uncached Algorithm-1 body, usable with an externally-supplied
     /// candidate set; parameters are extracted from the topology
     /// description.

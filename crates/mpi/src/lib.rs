@@ -41,6 +41,8 @@ pub use collective::{
     bcast_binomial, bcast_scatter_allgather, gather_linear, reduce_binomial, reduce_scatter_ring,
     scatter_linear, scatter_linear_inplace,
 };
-pub use p2p::{waitall, MessageStatus, Request, ANY_SOURCE, ANY_TAG, MAX_APP_TAG};
+pub use p2p::{
+    waitall, waitall_deadline, MessageStatus, Request, ANY_SOURCE, ANY_TAG, MAX_APP_TAG,
+};
 pub use subcomm::SubComm;
 pub use world::{Rank, World};

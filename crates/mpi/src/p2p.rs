@@ -66,6 +66,22 @@ impl Request {
         thread.wait(&self.done);
     }
 
+    /// Blocks until completion **or** virtual time `deadline`, whichever
+    /// comes first. A peer stalled on a dead link then surfaces as an
+    /// `Err` instead of hanging the rank thread (and the test run)
+    /// forever.
+    pub fn wait_deadline(
+        &self,
+        thread: &SimThread,
+        deadline: mpx_sim::SimTime,
+    ) -> Result<(), mpx_ucx::TimedOut> {
+        if thread.wait_until(&self.done, deadline) {
+            Ok(())
+        } else {
+            Err(mpx_ucx::TimedOut { deadline })
+        }
+    }
+
     /// Blocks until completion and returns the matched status
     /// (meaningful for receives — this is `MPI_Wait` with a status).
     pub fn wait_status(&self, thread: &SimThread) -> MessageStatus {
@@ -92,6 +108,19 @@ pub fn waitall(thread: &SimThread, requests: &[Request]) {
     for r in requests {
         r.wait(thread);
     }
+}
+
+/// [`waitall`] with a virtual-time deadline shared by all requests.
+/// Stops at the first request still pending at the deadline.
+pub fn waitall_deadline(
+    thread: &SimThread,
+    requests: &[Request],
+    deadline: mpx_sim::SimTime,
+) -> Result<(), mpx_ucx::TimedOut> {
+    for r in requests {
+        r.wait_deadline(thread, deadline)?;
+    }
+    Ok(())
 }
 
 pub(crate) struct PostedSend {

@@ -2,11 +2,23 @@
 //! and bidirectional (`osu_bibw`), with the window sizes the paper sweeps
 //! (1 and 16).
 
-use mpx_mpi::{waitall, World};
+use mpx_mpi::{waitall_deadline, Rank, Request, World};
 use mpx_topo::units::Bandwidth;
 use mpx_topo::Topology;
 use mpx_ucx::UcxConfig;
 use std::sync::Arc;
+
+/// Virtual-time guard on every waitall: no intra-node iteration takes
+/// anywhere near this long, so a rank stuck on a dead link aborts the
+/// benchmark with a diagnostic instead of hanging the test run.
+const WAIT_GUARD: f64 = 600.0;
+
+fn waitall_guarded(r: &Rank, reqs: &[Request]) {
+    let deadline = r.now().after(WAIT_GUARD);
+    if let Err(e) = waitall_deadline(r.thread(), reqs, deadline) {
+        panic!("rank {}: benchmark wait stuck ({e})", r.rank);
+    }
+}
 
 /// Measurement protocol parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,7 +85,7 @@ pub fn osu_bw_on(world: &World, n: usize, cfg: P2pConfig) -> Bandwidth {
                     }
                 })
                 .collect();
-            waitall(r.thread(), &reqs);
+            waitall_guarded(&r, &reqs);
         }
         let dt = r.now().secs_since(t0);
         (cfg.iterations * cfg.window * n) as f64 / dt
@@ -111,7 +123,7 @@ pub fn osu_bibw_on(world: &World, n: usize, cfg: P2pConfig) -> Bandwidth {
                 let idx = (it * cfg.window + k) as u64;
                 reqs.push(r.isend(sbuf, n, peer, dir(r.rank) | idx));
             }
-            waitall(r.thread(), &reqs);
+            waitall_guarded(&r, &reqs);
         }
         let dt = r.now().secs_since(t0);
         (2 * cfg.iterations * cfg.window * n) as f64 / dt
@@ -157,7 +169,7 @@ pub fn osu_mbw_mr(
                     }
                 })
                 .collect();
-            waitall(r.thread(), &reqs);
+            waitall_guarded(&r, &reqs);
         }
         r.now().secs_since(t0)
     });

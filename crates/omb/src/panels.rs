@@ -8,14 +8,20 @@
 //! * [`collective_panel`] — one panel of Figure 7: `Static` and
 //!   `Dynamic` latency speedups of MPI_Alltoall / MPI_Allreduce over the
 //!   single-path baseline.
+//! * [`degraded_fabric_panel`] — beyond the paper: achieved bandwidth of
+//!   a resilient transfer when the direct link degrades mid-run, with
+//!   and without recalibrating the model against the degraded fabric.
 
 use crate::bw::{osu_bibw_on, osu_bw_on, P2pConfig};
 use crate::collective_bench::{AllreduceAlgo, AlltoallAlgo, CollectiveConfig};
 use crate::report::Series;
+use mpx_gpu::GpuRuntime;
 use mpx_mpi::World;
+use mpx_sim::{Engine, FaultInjector, FaultKind, FaultPlan, SimTime};
 use mpx_topo::path::PathSelection;
+use mpx_topo::units::Bandwidth;
 use mpx_topo::Topology;
-use mpx_ucx::{TuningMode, UcxConfig};
+use mpx_ucx::{RecoveryConfig, TuningMode, UcxConfig, UcxContext};
 use std::sync::Arc;
 
 /// Unidirectional or bidirectional P2P panel.
@@ -147,6 +153,73 @@ pub fn collective_panel(
     vec![stat, dynamic]
 }
 
+/// One resilient transfer of `n` bytes GPU 0 → GPU 1 on a fresh fabric.
+/// `degrade` scales the direct link's bandwidth via an injected fault at
+/// t = 0; `recalibrate` lets the fault land *before* planning, so the
+/// model probes the degraded fabric instead of planning from stale
+/// healthy-fabric parameters.
+fn run_degraded(
+    topo: &Arc<Topology>,
+    sel: PathSelection,
+    n: usize,
+    degrade: Option<f64>,
+    recalibrate: bool,
+) -> Bandwidth {
+    let rt = GpuRuntime::new(Engine::new(topo.clone()));
+    let ctx = UcxContext::new(
+        rt,
+        UcxConfig {
+            selection: sel,
+            ..UcxConfig::default()
+        },
+    );
+    let gpus = topo.gpus();
+    let link = topo.link_between(gpus[0], gpus[1]).expect("direct link").id;
+    if let Some(factor) = degrade {
+        let plan = FaultPlan::empty().with(0.0, link, FaultKind::Degrade { factor });
+        FaultInjector::install(ctx.runtime().engine(), &plan);
+        if recalibrate {
+            // Fire the fault now (callback mode, before any thread
+            // registers); the first plan then probes degraded capacities.
+            ctx.runtime().engine().run_until(SimTime::from_secs(1e-9));
+        }
+    }
+    let src = ctx.runtime().alloc(gpus[0], n);
+    let dst = ctx.runtime().alloc(gpus[1], n);
+    let thread = ctx.runtime().engine().register_thread("degraded-driver");
+    let ctx2 = ctx.clone();
+    let worker = std::thread::spawn(move || {
+        let t0 = thread.now();
+        ctx2.put_resilient(&thread, &src, &dst, n, &RecoveryConfig::default())
+            .expect("resilient put");
+        n as f64 / thread.now().secs_since(t0)
+    });
+    worker.join().expect("driver thread")
+}
+
+/// The degraded-fabric panel: achieved bandwidth over message sizes for
+/// three regimes — `Healthy` fabric, `Stale Plan` (direct link degraded
+/// to `degrade_factor` at t = 0 but planned with healthy parameters),
+/// and `Recalibrated` (same fault, parameters re-probed after it).
+/// All three run through the resilient PUT path, so deadline/retry
+/// machinery is exercised even when it never has to fire.
+pub fn degraded_fabric_panel(
+    topo: &Arc<Topology>,
+    sel: PathSelection,
+    sizes: &[usize],
+    degrade_factor: f64,
+) -> Vec<Series> {
+    let mut healthy = Series::new("Healthy");
+    let mut stale = Series::new("Stale Plan");
+    let mut recal = Series::new("Recalibrated");
+    for &n in sizes {
+        healthy.push(n, run_degraded(topo, sel, n, None, false));
+        stale.push(n, run_degraded(topo, sel, n, Some(degrade_factor), false));
+        recal.push(n, run_degraded(topo, sel, n, Some(degrade_factor), true));
+    }
+    vec![healthy, stale, recal]
+}
+
 fn run_collective(world: &World, kind: CollectiveKind, n: usize, coll: CollectiveConfig) -> f64 {
     // `n` is the per-rank message size (the paper's Fig. 7 x-axis).
     match kind {
@@ -210,6 +283,26 @@ mod tests {
         let predicted = panel[3].at(n).unwrap();
         assert!(dynamic > 1.5 * direct);
         assert!((predicted - dynamic).abs() / dynamic < 0.15);
+    }
+
+    #[test]
+    fn degraded_panel_orders_regimes() {
+        let topo = Arc::new(presets::beluga());
+        let sizes = [32 * MIB];
+        let panel = degraded_fabric_panel(&topo, PathSelection::THREE_GPUS, &sizes, 0.35);
+        assert_eq!(panel.len(), 3);
+        let healthy = panel[0].at(32 * MIB).unwrap();
+        let stale = panel[1].at(32 * MIB).unwrap();
+        let recal = panel[2].at(32 * MIB).unwrap();
+        assert!(
+            healthy > stale,
+            "healthy {healthy} must beat stale-plan degraded {stale}"
+        );
+        assert!(
+            recal >= 0.98 * stale,
+            "recalibrated {recal} must not trail stale plan {stale}"
+        );
+        assert!(recal < healthy, "degraded fabric cannot reach healthy bw");
     }
 
     #[test]

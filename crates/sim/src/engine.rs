@@ -134,7 +134,7 @@ impl FlowSpec {
 }
 
 /// One completed-flow record (tracing must be enabled).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceRecord {
     /// Flow id.
     pub flow: FlowId,
@@ -153,7 +153,7 @@ pub struct TraceRecord {
 }
 
 /// Per-link counters.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LinkStats {
     /// Total bytes that crossed the link.
     pub bytes: f64,
@@ -162,7 +162,7 @@ pub struct LinkStats {
 }
 
 /// Snapshot of engine counters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StatsSnapshot {
     /// Virtual time of the snapshot.
     pub now: SimTime,
@@ -178,6 +178,14 @@ pub struct StatsSnapshot {
     /// superseded). The gap to `events_processed` measures completion
     /// reschedule churn from rate changes.
     pub events_scheduled: u64,
+    /// Fault events fired by an installed fault plan (see
+    /// [`crate::fault`]).
+    pub faults_fired: u64,
+    /// Cumulative count of flows that entered the stalled state because a
+    /// link on their route went down.
+    pub flows_stalled: u64,
+    /// Links currently down (capacity forced to zero).
+    pub links_down: u64,
 }
 
 struct FlowState {
@@ -188,6 +196,8 @@ struct FlowState {
     last_update: SimTime,
     generation: u64,
     active: bool,
+    /// True while a down link on the route holds the flow at rate zero.
+    stalled: bool,
     /// Visit stamp for connected-component discovery (`State::comp_epoch`).
     comp_mark: u64,
     done: OnComplete,
@@ -259,6 +269,21 @@ struct State {
     comp_epoch: u64,
     /// Output buffer for the allocator.
     rates_scratch: Vec<f64>,
+    /// Component members that are *not* stalled — the allocator's actual
+    /// input (stalled flows must never reach it: their down links carry a
+    /// zero capacity the fair-share code rejects).
+    comp_live: Vec<FlowId>,
+    /// Per-link down flags (capacity forced to zero).
+    down: Vec<bool>,
+    /// Capacity stashed when a link went down, restored on recovery.
+    saved_capacity: Vec<f64>,
+    /// Per-link latency multipliers (latency-spike faults).
+    latency_scale: Vec<f64>,
+    /// Fast guard: true iff any link is down (keeps the no-fault hot
+    /// path free of per-flow down-link scans).
+    any_down: bool,
+    faults_fired: u64,
+    flows_stalled: u64,
 }
 
 struct Shared {
@@ -296,6 +321,12 @@ impl<'a> Ctx<'a> {
         push_event(self.st, at, Event::Timer(done));
     }
 
+    /// Schedules `done` at absolute virtual time `at` (clamped to now).
+    pub fn schedule_at(&mut self, at: SimTime, done: OnComplete) {
+        let at = at.max(self.st.now);
+        push_event(self.st, at, Event::Timer(done));
+    }
+
     /// Fires a waker immediately.
     pub fn signal(&mut self, w: &Waker) {
         fire_waker(self.st, w);
@@ -304,6 +335,40 @@ impl<'a> Ctx<'a> {
     /// Injects a flow; `done` runs/fires when the last byte lands.
     pub fn start_flow(&mut self, spec: FlowSpec, done: OnComplete) -> FlowId {
         start_flow_locked(self.st, self.topo, spec, done)
+    }
+
+    /// Takes a link down: capacity drops to zero and every flow crossing
+    /// it stalls until [`Ctx::restore_link`].
+    pub fn set_link_down(&mut self, link: LinkId) {
+        set_link_down_locked(self.st, link);
+    }
+
+    /// Brings a down link back at its stashed capacity; stalled flows
+    /// that no longer cross any down link resume.
+    pub fn restore_link(&mut self, link: LinkId) {
+        restore_link_locked(self.st, link);
+    }
+
+    /// Multiplies a link's current capacity by `factor` (bandwidth
+    /// degradation faults).
+    pub fn scale_link_capacity(&mut self, link: LinkId, factor: f64) {
+        scale_link_capacity_locked(self.st, link, factor);
+    }
+
+    /// Sets a link's latency multiplier, applied to flows issued from now
+    /// on (latency-spike faults). `1.0` restores nominal latency.
+    pub fn set_link_latency_scale(&mut self, link: LinkId, scale: f64) {
+        set_latency_scale_locked(self.st, link, scale);
+    }
+
+    /// True unless the link is currently down.
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        !self.st.down[link.index()]
+    }
+
+    /// Bumps the fault counter surfaced in [`StatsSnapshot::faults_fired`].
+    pub fn note_fault(&mut self) {
+        self.st.faults_fired += 1;
     }
 }
 
@@ -343,6 +408,13 @@ impl Engine {
                     link_mark: vec![0; nlinks],
                     comp_epoch: 0,
                     rates_scratch: Vec::new(),
+                    comp_live: Vec::new(),
+                    down: vec![false; nlinks],
+                    saved_capacity: vec![0.0; nlinks],
+                    latency_scale: vec![1.0; nlinks],
+                    any_down: false,
+                    faults_fired: 0,
+                    flows_stalled: 0,
                 }),
                 cv: Condvar::new(),
             }),
@@ -369,11 +441,47 @@ impl Engine {
         );
         let mut st = self.shared.state.lock();
         assert!(link.index() < st.capacities.len(), "unknown link {link}");
+        if st.down[link.index()] {
+            // The link is down: remember the new capacity for when it
+            // comes back, but keep it dead for now.
+            st.saved_capacity[link.index()] = bytes_per_sec;
+            return;
+        }
         st.capacities[link.index()] = bytes_per_sec;
         // Only flows sharing a link (transitively) with the changed one
         // can see a different fair share.
         recompute_component(&mut st, [link.index()]);
         self.shared.cv.notify_all();
+    }
+
+    /// Takes a link down (capacity → 0). Flows crossing it stall at rate
+    /// zero — they neither progress nor complete — until
+    /// [`Engine::restore_link`]. Idempotent.
+    pub fn set_link_down(&self, link: LinkId) {
+        let mut st = self.shared.state.lock();
+        set_link_down_locked(&mut st, link);
+        self.shared.cv.notify_all();
+    }
+
+    /// Brings a down link back at the capacity it had when it failed.
+    /// Stalled flows whose routes are fully up resume and re-share.
+    /// Idempotent (no-op on an up link).
+    pub fn restore_link(&self, link: LinkId) {
+        let mut st = self.shared.state.lock();
+        restore_link_locked(&mut st, link);
+        self.shared.cv.notify_all();
+    }
+
+    /// True unless the link is currently down.
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        !self.shared.state.lock().down[link.index()]
+    }
+
+    /// Sets a link's latency multiplier (applied to flows issued from now
+    /// on). `1.0` restores nominal latency.
+    pub fn set_link_latency_scale(&self, link: LinkId, scale: f64) {
+        let mut st = self.shared.state.lock();
+        set_latency_scale_locked(&mut st, link, scale);
     }
 
     /// The current (possibly degraded) capacity of a link.
@@ -449,6 +557,15 @@ impl Engine {
         self.shared.cv.notify_all();
     }
 
+    /// Schedules `done` at absolute virtual time `at` (clamped to now;
+    /// non-blocking; callable from any thread).
+    pub fn schedule_at(&self, at: SimTime, done: OnComplete) {
+        let mut st = self.shared.state.lock();
+        let at = at.max(st.now);
+        push_event(&mut st, at, Event::Timer(done));
+        self.shared.cv.notify_all();
+    }
+
     /// Fires a waker immediately (non-blocking; callable from any
     /// thread).
     pub fn signal_waker(&self, w: &Waker) {
@@ -518,6 +635,9 @@ impl Engine {
             flows_completed: st.flows_completed,
             events_processed: st.events_processed,
             events_scheduled: st.seq,
+            faults_fired: st.faults_fired,
+            flows_stalled: st.flows_stalled,
+            links_down: st.down.iter().filter(|&&d| d).count() as u64,
         }
     }
 
@@ -599,6 +719,41 @@ impl SimThread {
         self.engine.block_on(waker, &self.name);
     }
 
+    /// Blocks until `waker` fires or virtual time reaches `deadline`.
+    /// Returns `true` if the waker fired, `false` on timeout.
+    ///
+    /// The timeout is an ordinary engine event, so a wait with a deadline
+    /// can never trip the deadlock detector: there is always at least one
+    /// event queued while the thread blocks.
+    pub fn wait_until(&self, waker: &Waker, deadline: SimTime) -> bool {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let timed_out = Arc::new(AtomicBool::new(false));
+        let w = waker.clone();
+        let c = cancelled.clone();
+        let t = timed_out.clone();
+        self.engine.schedule_at(
+            deadline,
+            OnComplete::Call(Box::new(move |ctx| {
+                // The waiter may have been woken (and the wait cancelled)
+                // before this event fires; in that case it is a dud.
+                if !c.load(Ordering::Acquire) {
+                    t.store(true, Ordering::Release);
+                    ctx.signal(&w);
+                }
+            })),
+        );
+        self.wait(waker);
+        if timed_out.load(Ordering::Acquire) {
+            false
+        } else {
+            // Won the race: defuse the still-queued timeout event so it
+            // cannot misfire the (reusable) waker later.
+            cancelled.store(true, Ordering::Release);
+            true
+        }
+    }
+
     /// Sleeps for `d` seconds of virtual time.
     pub fn sleep(&self, d: Secs) {
         let w = Waker::new(format!("{}.sleep", self.name));
@@ -640,6 +795,58 @@ fn fire_waker(st: &mut State, w: &Waker) {
     }
 }
 
+fn set_link_down_locked(st: &mut State, link: LinkId) {
+    let l = link.index();
+    assert!(l < st.capacities.len(), "unknown link {link}");
+    if st.down[l] {
+        return;
+    }
+    st.saved_capacity[l] = st.capacities[l];
+    st.capacities[l] = 0.0;
+    st.down[l] = true;
+    st.any_down = true;
+    recompute_component(st, [l]);
+}
+
+fn restore_link_locked(st: &mut State, link: LinkId) {
+    let l = link.index();
+    assert!(l < st.capacities.len(), "unknown link {link}");
+    if !st.down[l] {
+        return;
+    }
+    st.capacities[l] = st.saved_capacity[l];
+    st.down[l] = false;
+    st.any_down = st.down.iter().any(|&d| d);
+    // Stalled flows are still registered on the link; the recomputation
+    // rediscovers them and hands them a fresh fair share.
+    recompute_component(st, [l]);
+}
+
+fn scale_link_capacity_locked(st: &mut State, link: LinkId, factor: f64) {
+    assert!(
+        factor > 0.0 && factor.is_finite(),
+        "invalid degradation factor {factor}"
+    );
+    let l = link.index();
+    assert!(l < st.capacities.len(), "unknown link {link}");
+    if st.down[l] {
+        st.saved_capacity[l] *= factor;
+        return;
+    }
+    st.capacities[l] *= factor;
+    recompute_component(st, [l]);
+}
+
+fn set_latency_scale_locked(st: &mut State, link: LinkId, scale: f64) {
+    assert!(
+        scale > 0.0 && scale.is_finite(),
+        "invalid latency scale {scale}"
+    );
+    let l = link.index();
+    assert!(l < st.latency_scale.len(), "unknown link {link}");
+    st.latency_scale[l] = scale;
+}
+
 fn run_on_complete(st: &mut State, topo: &Topology, done: OnComplete) {
     match done {
         OnComplete::Nothing => {}
@@ -662,7 +869,8 @@ fn start_flow_locked(st: &mut State, topo: &Topology, spec: FlowSpec, done: OnCo
         latency += topo
             .link(lid)
             .unwrap_or_else(|e| panic!("flow `{}`: {e}", spec.label))
-            .latency;
+            .latency
+            * st.latency_scale[lid.index()];
     }
     if let Some((model, rng)) = st.jitter.as_mut() {
         let factor = 1.0 + rng.gen_range(-model.spread..=model.spread);
@@ -689,6 +897,7 @@ fn start_flow_locked(st: &mut State, topo: &Topology, spec: FlowSpec, done: OnCo
             last_update: now,
             generation: 0,
             active: false,
+            stalled: false,
             comp_mark: 0,
             done,
             bytes: spec.bytes,
@@ -769,27 +978,64 @@ fn recompute_component(st: &mut State, seeds: impl IntoIterator<Item = usize>) {
         }
         fs.last_update = now;
     }
-    // 2. Fair-share rates for the component, straight out of the
+    // 2. Partition out stalled flows. A flow crossing any down link is
+    // parked at rate zero (its queued completion event is invalidated by
+    // the generation bump) and excluded from the allocator, which must
+    // only ever see live links with positive capacity. With no link down
+    // this is a straight memcpy of the component.
+    {
+        let State {
+            flows,
+            comp_flows,
+            comp_live,
+            down,
+            flows_stalled,
+            any_down,
+            ..
+        } = st;
+        comp_live.clear();
+        if *any_down {
+            for &id in comp_flows.iter() {
+                let fs = flows.get_mut(&id).expect("flow disappeared");
+                if fs.demand.links.iter().any(|&(l, _)| down[l]) {
+                    if !fs.stalled {
+                        fs.stalled = true;
+                        *flows_stalled += 1;
+                    }
+                    if fs.rate != 0.0 {
+                        fs.rate = 0.0;
+                        fs.generation += 1;
+                    }
+                } else {
+                    fs.stalled = false;
+                    comp_live.push(id);
+                }
+            }
+        } else {
+            comp_live.extend_from_slice(comp_flows);
+        }
+    }
+    // 3. Fair-share rates for the live members, straight out of the
     // persistent scratch — no capacity clone, no demand clones.
     {
         let State {
             flows,
             fair,
-            comp_flows,
+            comp_live,
             capacities,
             rates_scratch,
             ..
         } = st;
         fair.compute_with(
             capacities,
-            comp_flows.len(),
-            |i| &flows[&comp_flows[i]].demand,
+            comp_live.len(),
+            |i| &flows[&comp_live[i]].demand,
             rates_scratch,
         );
     }
-    // 3. Apply; reschedule only where the rate moved.
-    for i in 0..st.comp_flows.len() {
-        let id = st.comp_flows[i];
+    // 4. Apply; reschedule only where the rate moved.
+    for i in 0..st.comp_live.len() {
+        let id = st.comp_live[i];
         let rate = st.rates_scratch[i];
         let fs = st.flows.get_mut(&id).expect("flow disappeared");
         if rate == fs.rate {

@@ -38,6 +38,7 @@
 
 pub mod engine;
 pub mod fairness;
+pub mod fault;
 pub mod stats;
 pub mod time;
 pub mod waker;
@@ -47,6 +48,7 @@ pub use engine::{
     StatsSnapshot, TraceRecord,
 };
 pub use fairness::{max_min_rates, max_min_rates_fast, FairShareScratch, FlowDemand};
+pub use fault::{plan_horizon, FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use stats::{
     bottleneck_link, link_utilization, summarize_trace, trace_to_chrome_json, LinkUtilization,
     TraceSummary,

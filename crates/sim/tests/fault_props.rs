@@ -1,0 +1,177 @@
+//! Property-based tests of the fault-injection layer: injected
+//! degradation must never let max-min rates exceed the *perturbed*
+//! capacity of any link, and faulted runs must still conserve bytes.
+//!
+//! The observable is byte accounting: if any flow ever ran faster than a
+//! degraded link allowed, the run would finish in less virtual time than
+//! the perturbed capacity can physically carry — i.e. the link's carried
+//! bytes would exceed the integral of its capacity over the run.
+
+use mpx_sim::{Engine, FaultKind, FaultPlan, FlowSpec, OnComplete};
+use mpx_topo::presets::{synthetic, SyntheticSpec};
+use mpx_topo::units::gb_per_s;
+use mpx_topo::LinkId;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+struct FlowCase {
+    src: usize,
+    dst: usize,
+    bytes: usize,
+}
+
+#[derive(Debug, Clone)]
+struct DegradeCase {
+    link: usize,
+    at: f64,
+    factor: f64,
+}
+
+fn arb_flows() -> impl Strategy<Value = Vec<FlowCase>> {
+    proptest::collection::vec(
+        (0usize..4, 0usize..4, (1usize << 16)..(1 << 25))
+            .prop_filter_map("distinct endpoints", |(src, dst, bytes)| {
+                (src != dst).then_some(FlowCase { src, dst, bytes })
+            }),
+        1..10,
+    )
+}
+
+fn arb_degrades(nlinks: usize) -> impl Strategy<Value = Vec<DegradeCase>> {
+    proptest::collection::vec(
+        (0usize..nlinks, 0.0f64..0.01, 0.1f64..0.95).prop_map(|(link, at, factor)| DegradeCase {
+            link,
+            at,
+            factor,
+        }),
+        0..8,
+    )
+}
+
+fn topo() -> Arc<mpx_topo::Topology> {
+    Arc::new(synthetic(SyntheticSpec {
+        gpus: 4,
+        nvlink_bw: gb_per_s(50.0),
+        ..SyntheticSpec::default()
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Carried bytes per link never exceed the time-integral of the
+    /// link's (degradation-perturbed) capacity, and every byte still
+    /// arrives.
+    #[test]
+    fn degraded_rates_respect_perturbed_capacity(
+        flows in arb_flows(),
+        degrades in arb_degrades(12),
+    ) {
+        let topo = topo();
+        let nlinks = topo.link_count();
+        let eng = Engine::new(topo.clone());
+
+        let mut plan = FaultPlan::empty();
+        for d in &degrades {
+            if d.link >= nlinks {
+                continue;
+            }
+            plan = plan.with(
+                d.at,
+                LinkId(d.link as u32),
+                FaultKind::Degrade { factor: d.factor },
+            );
+        }
+        mpx_sim::FaultInjector::install(&eng, &plan);
+
+        let gpus = topo.gpus();
+        let mut expected = vec![0.0f64; nlinks];
+        for f in &flows {
+            let link = topo.link_between(gpus[f.src], gpus[f.dst]).unwrap().id;
+            expected[link.index()] += f.bytes as f64;
+            eng.start_flow(FlowSpec::new(vec![link], f.bytes), OnComplete::Nothing);
+        }
+        eng.run_until_idle();
+        let stats = eng.stats();
+        let end = stats.now.as_secs();
+        prop_assert_eq!(stats.faults_fired as usize, plan.events.len());
+
+        // Per-link capacity integral over [0, end] under the degrade
+        // schedule (events sorted by time; factors compose).
+        for (l, link_expected) in expected.iter().enumerate() {
+            let mut events: Vec<(f64, f64)> = plan
+                .events
+                .iter()
+                .filter(|e| e.link.index() == l)
+                .map(|e| match e.kind {
+                    FaultKind::Degrade { factor } => (e.at, factor),
+                    _ => unreachable!("plan only holds degrades"),
+                })
+                .collect();
+            events.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut cap = topo.link(LinkId(l as u32)).unwrap().bandwidth;
+            let mut t = 0.0f64;
+            let mut budget = 0.0f64;
+            for (at, factor) in events {
+                let at = at.min(end);
+                budget += cap * (at - t).max(0.0);
+                cap *= factor;
+                t = at.max(t);
+            }
+            budget += cap * (end - t).max(0.0);
+
+            // Quantization slack: event times round up to whole ns.
+            let slack = 1e-6 * budget + 1024.0;
+            prop_assert!(
+                stats.links[l].bytes <= budget + slack,
+                "link {l} carried {} bytes but perturbed capacity only \
+                 allows {budget} over {end}s",
+                stats.links[l].bytes,
+            );
+            // And conservation: degradation slows flows down, it must
+            // not lose or duplicate bytes.
+            prop_assert!(
+                (stats.links[l].bytes - link_expected).abs() < 1.0,
+                "link {l}: carried {} expected {}",
+                stats.links[l].bytes,
+                link_expected,
+            );
+        }
+    }
+
+    /// Flaps pause flows but every byte still lands once the link
+    /// returns; the run terminates.
+    #[test]
+    fn flapped_flows_complete_and_conserve_bytes(
+        flows in arb_flows(),
+        flap_link in 0usize..12,
+        down_for in 0.001f64..0.1,
+    ) {
+        let topo = topo();
+        let eng = Engine::new(topo.clone());
+        let plan = FaultPlan::empty().with(
+            0.0005,
+            LinkId((flap_link % topo.link_count()) as u32),
+            FaultKind::Flap { duration: down_for },
+        );
+        mpx_sim::FaultInjector::install(&eng, &plan);
+        let gpus = topo.gpus();
+        let mut expected = vec![0.0f64; topo.link_count()];
+        for f in &flows {
+            let link = topo.link_between(gpus[f.src], gpus[f.dst]).unwrap().id;
+            expected[link.index()] += f.bytes as f64;
+            eng.start_flow(FlowSpec::new(vec![link], f.bytes), OnComplete::Nothing);
+        }
+        eng.run_until_idle();
+        let stats = eng.stats();
+        prop_assert_eq!(stats.links_down, 0, "flap must have been restored");
+        for (l, e) in expected.iter().enumerate() {
+            prop_assert!(
+                (stats.links[l].bytes - e).abs() < 1.0,
+                "link {l}: carried {} expected {e}",
+                stats.links[l].bytes,
+            );
+        }
+    }
+}

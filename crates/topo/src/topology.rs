@@ -24,6 +24,17 @@ pub enum TopologyError {
     NotAGpu(DeviceId),
     /// No host memory domain is reachable from the device.
     NoHostMemory(DeviceId),
+    /// A manual share vector's length does not match the path count.
+    ShareCountMismatch {
+        /// Number of candidate paths.
+        paths: usize,
+        /// Number of shares supplied.
+        shares: usize,
+    },
+    /// A manual share vector does not sum to 1 (value is the actual sum).
+    SharesNotNormalized(f64),
+    /// Every candidate path between the pair is excluded or down.
+    NoUsablePath(DeviceId, DeviceId),
 }
 
 impl fmt::Display for TopologyError {
@@ -36,6 +47,15 @@ impl fmt::Display for TopologyError {
             TopologyError::InvalidLatency(l) => write!(f, "invalid latency {l}"),
             TopologyError::NotAGpu(d) => write!(f, "device {d} is not a GPU"),
             TopologyError::NoHostMemory(d) => write!(f, "no host memory reachable from {d}"),
+            TopologyError::ShareCountMismatch { paths, shares } => {
+                write!(f, "one share per path: {paths} paths, {shares} shares")
+            }
+            TopologyError::SharesNotNormalized(sum) => {
+                write!(f, "shares must sum to 1, got {sum}")
+            }
+            TopologyError::NoUsablePath(a, b) => {
+                write!(f, "no usable path from {a} to {b} (all excluded or down)")
+            }
         }
     }
 }

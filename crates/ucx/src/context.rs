@@ -9,6 +9,7 @@
 
 use crate::pipeline::{execute_plan, execute_plan_at, TransferHandle};
 use crate::probe::probe_all_with;
+use crate::recover::{ResilienceCounters, ResilienceStats};
 use crate::tuner::{manual_plan, tune_exhaustive, TuneResult};
 use mpx_gpu::{Buffer, GpuRuntime};
 use mpx_model::{Planner, PlannerConfig, TransferPlan};
@@ -60,6 +61,12 @@ pub struct UcxConfig {
     pub planner: PlannerConfig,
     /// Simplex granularity for static tuning.
     pub static_grid: u32,
+    /// Relative drift between a plan's predicted bandwidth and the
+    /// observed bandwidth beyond which the pair's cached parameters and
+    /// plans are invalidated (re-probed on next use). The paper's cache
+    /// assumes a quiescent fabric; this is the escape hatch when it
+    /// isn't.
+    pub drift_tolerance: f64,
 }
 
 impl Default for UcxConfig {
@@ -70,6 +77,7 @@ impl Default for UcxConfig {
             params: ParamSource::Probed,
             planner: PlannerConfig::default(),
             static_grid: 8,
+            drift_tolerance: 0.25,
         }
     }
 }
@@ -95,6 +103,7 @@ struct ContextInner {
     /// collectives run under.
     static_shares: Mutex<Option<Vec<f64>>>,
     seq: AtomicU64,
+    resilience: ResilienceCounters,
 }
 
 impl UcxContext {
@@ -112,6 +121,7 @@ impl UcxContext {
                 static_plans: Mutex::new(HashMap::new()),
                 static_shares: Mutex::new(None),
                 seq: AtomicU64::new(0),
+                resilience: ResilienceCounters::default(),
             }),
         }
     }
@@ -157,7 +167,7 @@ impl UcxContext {
     }
 
     /// The effective path selection under the current tuning mode.
-    fn effective_selection(&self) -> PathSelection {
+    pub(crate) fn effective_selection(&self) -> PathSelection {
         match self.inner.cfg.mode {
             TuningMode::SinglePath => PathSelection::DIRECT_ONLY,
             _ => self.inner.cfg.selection,
@@ -390,7 +400,68 @@ impl UcxContext {
         ))
     }
 
+    /// Counters of the degradation-aware runtime (retries, re-plans,
+    /// deadline misses, drift-triggered cache invalidations).
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        self.inner.resilience.snapshot()
+    }
+
+    pub(crate) fn resilience(&self) -> &ResilienceCounters {
+        &self.inner.resilience
+    }
+
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.inner.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Feeds back an observed end-to-end bandwidth for an `n`-byte
+    /// `src → dst` transfer. If it drifts from the cached plan's
+    /// prediction by more than [`UcxConfig::drift_tolerance`], the pair's
+    /// probed parameters and dynamic plans are dropped so the next
+    /// transfer re-probes the fabric's *current* state. Returns whether
+    /// an invalidation happened.
+    pub fn record_observation(
+        &self,
+        src: DeviceId,
+        dst: DeviceId,
+        n: usize,
+        observed_bw: f64,
+    ) -> bool {
+        if !(observed_bw > 0.0 && observed_bw.is_finite()) {
+            return false;
+        }
+        let sel = self.effective_selection();
+        let pair = self.pair_key(src, dst, sel);
+        let predicted = match self.plan_for(src, dst, n) {
+            Ok(plan) => plan.predicted_bandwidth,
+            Err(_) => return false,
+        };
+        if !(predicted > 0.0 && predicted.is_finite()) {
+            return false;
+        }
+        let drift = (observed_bw - predicted).abs() / predicted;
+        if drift <= self.inner.cfg.drift_tolerance {
+            return false;
+        }
+        self.inner.probed.lock().remove(&pair);
+        self.inner
+            .dynamic_plans
+            .lock()
+            .retain(|(k, _), _| *k != pair);
+        self.inner
+            .resilience
+            .cache_invalidations
+            .fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
     /// Blocking PUT from a simulated rank thread.
+    ///
+    /// Guarded: waits with a deadline three orders of magnitude beyond
+    /// the plan's prediction, so a path stuck on a failed link panics
+    /// with a diagnostic instead of hanging the rank thread forever.
+    /// Callers that want graceful handling use
+    /// [`UcxContext::put_resilient`].
     pub fn put(
         &self,
         thread: &SimThread,
@@ -398,8 +469,12 @@ impl UcxContext {
         dst: &Buffer,
         n: usize,
     ) -> Result<(), TopologyError> {
+        let plan = self.plan_for(src.device(), dst.device(), n)?;
         let h = self.put_async(src, dst, n)?;
-        h.wait(thread);
+        let deadline = thread.now().after((plan.predicted_time * 1024.0).max(1.0));
+        if let Err(e) = h.wait_deadline(thread, deadline) {
+            panic!("put of {n} bytes stuck ({e}); fabric degraded? use put_resilient");
+        }
         Ok(())
     }
 }

@@ -29,13 +29,16 @@
 pub mod context;
 pub mod pipeline;
 pub mod probe;
+pub mod recover;
 pub mod tuner;
 
 pub use context::{ParamSource, TuningMode, UcxConfig, UcxContext};
 pub use pipeline::{
-    execute_plan, execute_plan_at, execute_plan_notify, TransferHandle, RING_DEPTH,
+    execute_plan, execute_plan_at, execute_plan_notify, PathSlot, TimedOut, TransferHandle,
+    RING_DEPTH,
 };
 pub use probe::{
     probe_all, probe_all_with, probe_path_params, probe_path_params_with, PROBE_BYTES,
 };
+pub use recover::{RecoveryConfig, RecoveryError, RecoveryReport, ResilienceStats};
 pub use tuner::{manual_plan, measure_plan, share_grid, tune_exhaustive, TuneResult};

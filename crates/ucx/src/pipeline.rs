@@ -19,15 +19,52 @@
 
 use mpx_gpu::{Buffer, GpuRuntime};
 use mpx_model::TransferPlan;
-use mpx_sim::Waker;
+use mpx_sim::{SimTime, Waker};
 use mpx_topo::path::TransferPath;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// A transfer did not drain all paths before its deadline. Carries the
+/// deadline so callers can report how much slack was granted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedOut {
+    /// The virtual-time deadline that expired.
+    pub deadline: SimTime,
+}
+
+impl fmt::Display for TimedOut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transfer missed deadline {}", self.deadline)
+    }
+}
+
+impl std::error::Error for TimedOut {}
+
+/// The message range one active path was responsible for. Offsets are
+/// relative to the message (add the caller's `src_off`/`dst_off` to get
+/// buffer offsets) — this is exactly what a recovery pass needs to
+/// re-send a path's residual bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathSlot {
+    /// Index into the *candidate path set* the plan was computed from.
+    pub path_index: usize,
+    /// Start of this path's range within the message.
+    pub offset: usize,
+    /// Bytes assigned to this path.
+    pub bytes: usize,
+}
 
 /// In-flight multi-path transfer: one waker per active path.
 #[derive(Debug)]
 pub struct TransferHandle {
     wakers: Vec<Waker>,
+    /// Parallel to `wakers`: which message range each active path owns.
+    slots: Vec<PathSlot>,
+    /// Parallel to `wakers`: set once the corresponding waker has been
+    /// consumed by a successful `wait`/`wait_deadline` (waiting consumes
+    /// the signal, so `is_signaled` alone cannot tell "drained").
+    drained: Vec<AtomicBool>,
     /// Total bytes of the message.
     pub bytes: usize,
 }
@@ -35,15 +72,70 @@ pub struct TransferHandle {
 impl TransferHandle {
     /// Blocks the simulated thread until every path has drained.
     pub fn wait(&self, thread: &mpx_sim::SimThread) {
-        for w in &self.wakers {
+        for (w, d) in self.wakers.iter().zip(&self.drained) {
             thread.wait(w);
+            d.store(true, Ordering::Release);
         }
     }
 
-    /// True once every path has signaled. (Non-consuming check for
-    /// callback-structured drivers.)
+    /// Blocks until every path has drained **or** virtual time reaches
+    /// `deadline`, whichever comes first. On timeout the handle remembers
+    /// which paths did drain; [`TransferHandle::unfinished`] returns the
+    /// rest so a recovery pass can re-send their residual ranges.
+    pub fn wait_deadline(
+        &self,
+        thread: &mpx_sim::SimThread,
+        deadline: SimTime,
+    ) -> Result<(), TimedOut> {
+        for (w, d) in self.wakers.iter().zip(&self.drained) {
+            if d.load(Ordering::Acquire) {
+                continue;
+            }
+            if !thread.wait_until(w, deadline) {
+                // A path may have completed in the same instant the
+                // deadline fired, or while we were draining earlier
+                // wakers — sweep so `unfinished` is exact.
+                for (w2, d2) in self.wakers.iter().zip(&self.drained) {
+                    if w2.is_signaled() {
+                        d2.store(true, Ordering::Release);
+                    }
+                }
+                if self.drained_count() == self.wakers.len() {
+                    return Ok(());
+                }
+                return Err(TimedOut { deadline });
+            }
+            d.store(true, Ordering::Release);
+        }
+        Ok(())
+    }
+
+    fn drained_count(&self) -> usize {
+        self.drained
+            .iter()
+            .filter(|d| d.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// True once every path has signaled or been drained by a wait.
+    /// (Non-consuming check for callback-structured drivers.)
     pub fn is_complete(&self) -> bool {
-        self.wakers.iter().all(|w| w.is_signaled())
+        self.wakers
+            .iter()
+            .zip(&self.drained)
+            .all(|(w, d)| d.load(Ordering::Acquire) || w.is_signaled())
+    }
+
+    /// Message ranges of paths that have neither signaled nor been
+    /// drained — the residual work after a missed deadline.
+    pub fn unfinished(&self) -> Vec<PathSlot> {
+        self.slots
+            .iter()
+            .zip(&self.wakers)
+            .zip(&self.drained)
+            .filter(|((_, w), d)| !d.load(Ordering::Acquire) && !w.is_signaled())
+            .map(|((s, _), _)| *s)
+            .collect()
     }
 
     /// Number of active paths.
@@ -124,6 +216,7 @@ pub fn execute_plan_at(
     let topo = rt.engine().topology().clone();
     let oh = topo.overheads;
     let mut wakers = Vec::new();
+    let mut slots = Vec::new();
     let mut offset = 0usize;
 
     // One-time software costs, charged on the direct path's first copy:
@@ -248,11 +341,19 @@ pub fn execute_plan_at(
             }
         }
         wakers.push(done);
+        slots.push(PathSlot {
+            path_index: pi,
+            offset,
+            bytes: share,
+        });
         offset += share;
     }
     assert_eq!(offset, plan.n, "plan shares do not cover the message");
+    let drained = wakers.iter().map(|_| AtomicBool::new(false)).collect();
     TransferHandle {
         wakers,
+        slots,
+        drained,
         bytes: plan.n,
     }
 }

@@ -1,0 +1,298 @@
+//! Degradation-aware transfers: deadline, detect, re-plan, retry.
+//!
+//! [`UcxContext::put_resilient`] wraps a PUT in a recovery loop. The
+//! first attempt runs the normal cached plan but waits with a
+//! *simulated-time deadline* derived from the plan's own prediction
+//! (`predicted_time × slack`). If the deadline expires, the
+//! [`crate::pipeline::TransferHandle`] reports exactly which paths
+//! drained; the residual byte ranges are re-planned by Algorithm 1 over
+//! the *surviving* candidate paths with parameters re-probed against the
+//! fabric's current capacities, and re-sent. Slack backs off
+//! exponentially so a merely-degraded (not dead) path gets
+//! proportionally more time each round; the retry budget is bounded.
+//!
+//! Re-planning over survivors preserves the paper's optimality argument:
+//! Algorithm 1's equal-time condition never referenced the failed path —
+//! it equalizes completion over whatever candidate set it is given, so
+//! the residual transfer is again optimal for the degraded fabric, down
+//! to a single surviving path.
+
+use crate::context::UcxContext;
+use crate::pipeline::{execute_plan_at, TransferHandle};
+use crate::probe::probe_all_with;
+use mpx_gpu::Buffer;
+use mpx_sim::SimThread;
+use mpx_topo::path::TransferPath;
+use mpx_topo::units::Secs;
+use mpx_topo::TopologyError;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Tunables of the recovery loop.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryConfig {
+    /// Deadline = predicted time × `slack` (first attempt).
+    pub slack: f64,
+    /// Multiplier applied to `slack` after every missed deadline.
+    pub backoff: f64,
+    /// Recovery rounds allowed after the initial attempt.
+    pub max_retries: u32,
+    /// Floor for any deadline, so tiny transfers are not declared dead
+    /// on scheduling noise.
+    pub min_deadline: Secs,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            slack: 4.0,
+            backoff: 2.0,
+            max_retries: 4,
+            min_deadline: 1e-3,
+        }
+    }
+}
+
+/// What a resilient PUT went through.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Recovery rounds that ran (0 = clean first attempt).
+    pub retries: u64,
+    /// Residual-range plans computed across all rounds.
+    pub replans: u64,
+    /// Bytes re-sent through recovery rounds.
+    pub recovered_bytes: u64,
+    /// Surviving candidate paths used by the final round (equals the
+    /// full candidate count on a clean run).
+    pub final_paths: usize,
+}
+
+/// A resilient PUT that could not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryError {
+    /// Planning/topology failure (no candidate paths survive, etc.).
+    Topology(TopologyError),
+    /// The retry budget ran out with bytes still unfinished.
+    RetriesExhausted {
+        /// Rounds attempted.
+        retries: u64,
+        /// Bytes that never landed.
+        unfinished_bytes: u64,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Topology(e) => write!(f, "recovery planning failed: {e}"),
+            RecoveryError::RetriesExhausted {
+                retries,
+                unfinished_bytes,
+            } => write!(
+                f,
+                "retry budget exhausted after {retries} rounds, {unfinished_bytes} bytes unfinished"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<TopologyError> for RecoveryError {
+    fn from(e: TopologyError) -> RecoveryError {
+        RecoveryError::Topology(e)
+    }
+}
+
+/// Shared counters behind [`UcxContext::resilience_stats`].
+#[derive(Debug, Default)]
+pub(crate) struct ResilienceCounters {
+    pub(crate) retries: AtomicU64,
+    pub(crate) replans: AtomicU64,
+    pub(crate) timeouts: AtomicU64,
+    pub(crate) cache_invalidations: AtomicU64,
+}
+
+impl ResilienceCounters {
+    pub(crate) fn snapshot(&self) -> ResilienceStats {
+        ResilienceStats {
+            retries: self.retries.load(Ordering::Relaxed),
+            replans: self.replans.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            cache_invalidations: self.cache_invalidations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of the context's degradation-handling counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Recovery rounds run.
+    pub retries: u64,
+    /// Residual plans computed by recovery rounds.
+    pub replans: u64,
+    /// Deadlines missed.
+    pub timeouts: u64,
+    /// Cache entries dropped because observed bandwidth drifted past
+    /// [`crate::UcxConfig::drift_tolerance`].
+    pub cache_invalidations: u64,
+}
+
+/// A contiguous residual byte range of the message, in message-relative
+/// offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Range {
+    offset: usize,
+    bytes: usize,
+}
+
+/// Coalesces adjacent/overlapping ranges so each recovery round plans as
+/// few residual messages as possible.
+fn coalesce(mut ranges: Vec<Range>) -> Vec<Range> {
+    ranges.sort_by_key(|r| r.offset);
+    let mut out: Vec<Range> = Vec::with_capacity(ranges.len());
+    for r in ranges {
+        match out.last_mut() {
+            Some(last) if r.offset <= last.offset + last.bytes => {
+                let end = (r.offset + r.bytes).max(last.offset + last.bytes);
+                last.bytes = end - last.offset;
+            }
+            _ => out.push(r),
+        }
+    }
+    out
+}
+
+/// Residual ranges of a timed-out handle, shifted into message-absolute
+/// offsets (`base` is where the handle's sub-message started).
+fn residuals_of(h: &TransferHandle, base: usize) -> Vec<Range> {
+    h.unfinished()
+        .into_iter()
+        .map(|s| Range {
+            offset: base + s.offset,
+            bytes: s.bytes,
+        })
+        .collect()
+}
+
+impl UcxContext {
+    /// Blocking PUT with detection and recovery: deadlines from the
+    /// plan's own prediction, residual re-planning over surviving paths,
+    /// exponential slack backoff, bounded retries. See the module docs
+    /// for the policy.
+    pub fn put_resilient(
+        &self,
+        thread: &SimThread,
+        src: &Buffer,
+        dst: &Buffer,
+        n: usize,
+        rcfg: &RecoveryConfig,
+    ) -> Result<RecoveryReport, RecoveryError> {
+        let eng = self.runtime().engine().clone();
+        let t0 = thread.now();
+        let mut slack = rcfg.slack.max(1.0);
+        let mut report = RecoveryReport::default();
+
+        // Attempt 0: the normal cached plan over the full candidate set.
+        let plan = self.plan_for(src.device(), dst.device(), n)?;
+        let all_paths = self.paths_for(src.device(), dst.device(), self.effective_selection())?;
+        report.final_paths = all_paths.len();
+        let seq = self.next_seq();
+        let h = execute_plan_at(self.runtime(), &plan, &all_paths, src, 0, dst, 0, seq, &[]);
+        let deadline = thread
+            .now()
+            .after((plan.predicted_time * slack).max(rcfg.min_deadline));
+        let mut pending: Vec<Range> = match h.wait_deadline(thread, deadline) {
+            Ok(()) => Vec::new(),
+            Err(_) => {
+                self.resilience().timeouts.fetch_add(1, Ordering::Relaxed);
+                coalesce(residuals_of(&h, 0))
+            }
+        };
+
+        // Recovery rounds: re-probe, re-plan residuals over survivors,
+        // re-send, back off.
+        let mut round = 0u32;
+        while !pending.is_empty() {
+            if round >= rcfg.max_retries {
+                let unfinished_bytes = pending.iter().map(|r| r.bytes as u64).sum();
+                return Err(RecoveryError::RetriesExhausted {
+                    retries: report.retries,
+                    unfinished_bytes,
+                });
+            }
+            round += 1;
+            slack *= rcfg.backoff.max(1.0);
+            report.retries += 1;
+            self.resilience().retries.fetch_add(1, Ordering::Relaxed);
+
+            // Surviving candidates: every link of every leg still up.
+            let survivors: Vec<TransferPath> = all_paths
+                .iter()
+                .filter(|p| {
+                    p.legs
+                        .iter()
+                        .all(|leg| leg.route.iter().all(|&l| eng.link_is_up(l)))
+                })
+                .cloned()
+                .collect();
+            if survivors.is_empty() {
+                return Err(TopologyError::NoUsablePath(src.device(), dst.device()).into());
+            }
+            report.final_paths = survivors.len();
+
+            // Refresh parameters against the fabric's *current* state.
+            // Down links sit at capacity 0 in the engine; the probe
+            // asserts positive capacities, so give them a dummy value —
+            // survivors never route over them, so it cannot influence
+            // the measured rates.
+            let caps: Vec<f64> =
+                eng.with_capacities(|c| c.iter().map(|&v| if v > 0.0 { v } else { 1.0 }).collect());
+            let params = probe_all_with(eng.topology(), Some(&caps), &survivors)?;
+
+            // One residual plan per coalesced range, all in flight
+            // concurrently, sharing one backed-off deadline.
+            let mut handles: Vec<(TransferHandle, usize)> = Vec::with_capacity(pending.len());
+            let mut worst: Secs = 0.0;
+            for r in &pending {
+                let plan = self
+                    .planner()
+                    .compute_with_params(r.bytes, &survivors, params.clone());
+                worst = worst.max(plan.predicted_time);
+                report.replans += 1;
+                report.recovered_bytes += r.bytes as u64;
+                self.resilience().replans.fetch_add(1, Ordering::Relaxed);
+                let seq = self.next_seq();
+                let h = execute_plan_at(
+                    self.runtime(),
+                    &plan,
+                    &survivors,
+                    src,
+                    r.offset,
+                    dst,
+                    r.offset,
+                    seq,
+                    &[],
+                );
+                handles.push((h, r.offset));
+            }
+            let deadline = thread.now().after((worst * slack).max(rcfg.min_deadline));
+            let mut next: Vec<Range> = Vec::new();
+            for (h, base) in &handles {
+                if h.wait_deadline(thread, deadline).is_err() {
+                    self.resilience().timeouts.fetch_add(1, Ordering::Relaxed);
+                    next.extend(residuals_of(h, *base));
+                }
+            }
+            pending = coalesce(next);
+        }
+
+        // Feed the observation back so the cache notices drift (a
+        // recovered transfer is by definition far off its prediction).
+        let elapsed = thread.now().secs_since(t0);
+        if elapsed > 0.0 {
+            self.record_observation(src.device(), dst.device(), n, n as f64 / elapsed);
+        }
+        Ok(report)
+    }
+}

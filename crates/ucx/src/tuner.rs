@@ -33,9 +33,16 @@ pub fn manual_plan(
     shares: &[f64],
     cfg: &PlannerConfig,
 ) -> Result<TransferPlan, TopologyError> {
-    assert_eq!(paths.len(), shares.len(), "one share per path");
+    if paths.len() != shares.len() {
+        return Err(TopologyError::ShareCountMismatch {
+            paths: paths.len(),
+            shares: shares.len(),
+        });
+    }
     let sum: f64 = shares.iter().sum();
-    assert!((sum - 1.0).abs() < 1e-6, "shares must sum to 1, got {sum}");
+    if (sum - 1.0).abs() >= 1e-6 {
+        return Err(TopologyError::SharesNotNormalized(sum));
+    }
     let params = extract_all(topo, paths)?;
     let nf = n as f64;
     let align = cfg.alignment.max(1);
@@ -293,12 +300,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sum to 1")]
     fn manual_plan_rejects_bad_shares() {
         let topo = presets::beluga();
         let gpus = topo.gpus();
         let paths = enumerate_paths(&topo, gpus[0], gpus[1], PathSelection::TWO_GPUS).unwrap();
-        let _ = manual_plan(&topo, &paths, MIB, &[0.9, 0.3], &PlannerConfig::default());
+        let err = manual_plan(&topo, &paths, MIB, &[0.9, 0.3], &PlannerConfig::default())
+            .expect_err("unnormalized shares must be rejected");
+        assert!(err.to_string().contains("sum to 1"), "got: {err}");
+        let err = manual_plan(&topo, &paths, MIB, &[1.0], &PlannerConfig::default())
+            .expect_err("share count mismatch must be rejected");
+        assert_eq!(
+            err,
+            TopologyError::ShareCountMismatch {
+                paths: paths.len(),
+                shares: 1
+            }
+        );
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! mpx bw    --topo beluga --size 64M [--window 16] [--mode single|dynamic]
 //! mpx bibw  --topo beluga --size 64M [--window 16] [--mode single|dynamic]
 //! mpx collective --op allreduce|alltoall --size 64M [--topo T] [--paths P]
+//! mpx fault-plan --topo beluga --scenario degrade|flap|kill|random > faults.json
+//! mpx resilient --topo beluga --size 64M --faults faults.json [--slack S] [--retries R]
 //! ```
 
 use multipath_gpu::prelude::*;
@@ -55,7 +57,7 @@ fn selection(name: &str) -> PathSelection {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: mpx <topo|export|plan|bw|bibw|collective> [--topo T | --topo-file F] [--size N] [--window W] [--mode M] [--paths P] [--src I] [--dst J] [--op C]");
+    eprintln!("usage: mpx <topo|export|plan|bw|bibw|collective|fault-plan|resilient> [--topo T | --topo-file F] [--size N] [--window W] [--mode M] [--paths P] [--src I] [--dst J] [--op C] [--scenario S] [--faults F] [--slack X] [--retries R] [--seed N] [--count N] [--horizon T]");
     std::process::exit(2)
 }
 
@@ -209,6 +211,137 @@ fn main() {
                 mpx_topo::units::format_bytes(n),
                 bw / 1e9
             );
+        }
+        "fault-plan" => {
+            let planner = Planner::new(topo.clone());
+            let (plan, paths) = planner
+                .plan_excluding(src, dst, n, sel, &[])
+                .unwrap_or_else(|e| die(&e.to_string()));
+            // A link a staged path forwards over, so killing it leaves
+            // survivors; falls back to the direct link when the
+            // selection has no staged path.
+            let staged_leg = paths
+                .iter()
+                .find(|p| p.legs.len() >= 2)
+                .map(|p| p.legs[1].route[0])
+                .unwrap_or(paths[0].legs[0].route[0]);
+            let t = plan.predicted_time;
+            let fplan = match get("scenario", "kill").as_str() {
+                // Throttle the direct link hard mid-transfer: the plan's
+                // dominant share crawls past its deadline and the
+                // recovery loop must re-balance onto the others.
+                "degrade" => FaultPlan::empty().with(
+                    t * 0.25,
+                    paths[0].legs[0].route[0],
+                    FaultKind::Degrade { factor: 0.05 },
+                ),
+                // Outage far longer than the slack window: forces a
+                // re-plan over the survivors, then the link returns.
+                "flap" => FaultPlan::empty().with(
+                    t * 0.3,
+                    staged_leg,
+                    FaultKind::Flap { duration: t * 8.0 },
+                ),
+                "kill" => FaultPlan::empty().with(t * 0.5, staged_leg, FaultKind::Kill),
+                "random" => {
+                    let seed = get("seed", "42")
+                        .parse::<u64>()
+                        .unwrap_or_else(|_| die("bad --seed"));
+                    let count = get("count", "8")
+                        .parse::<usize>()
+                        .unwrap_or_else(|_| die("bad --count"));
+                    let horizon = get("horizon", "1.0")
+                        .parse::<f64>()
+                        .unwrap_or_else(|_| die("bad --horizon"));
+                    FaultPlan::random(&topo, seed, horizon, count)
+                }
+                other => die(&format!(
+                    "unknown scenario `{other}` (degrade|flap|kill|random)"
+                )),
+            };
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&fplan).expect("fault plan serializes")
+            );
+        }
+        "resilient" => {
+            let faults = opts
+                .get("faults")
+                .cloned()
+                .unwrap_or_else(|| die("resilient needs --faults <plan.json>"));
+            let text = std::fs::read_to_string(&faults)
+                .unwrap_or_else(|e| die(&format!("cannot read {faults}: {e}")));
+            let fplan: FaultPlan = serde_json::from_str(&text)
+                .unwrap_or_else(|e| die(&format!("bad fault plan JSON in {faults}: {e}")));
+            let issues = fplan.validate(&topo);
+            if !issues.is_empty() {
+                for i in &issues {
+                    eprintln!("error: {i}");
+                }
+                std::process::exit(2);
+            }
+            let rcfg = RecoveryConfig {
+                slack: get("slack", "4")
+                    .parse::<f64>()
+                    .unwrap_or_else(|_| die("bad --slack")),
+                max_retries: get("retries", "4")
+                    .parse::<u32>()
+                    .unwrap_or_else(|_| die("bad --retries")),
+                ..RecoveryConfig::default()
+            };
+
+            let rt = GpuRuntime::new(Engine::new(topo.clone()));
+            let ctx = UcxContext::new(
+                rt,
+                UcxConfig {
+                    mode,
+                    selection: sel,
+                    ..UcxConfig::default()
+                },
+            );
+            FaultInjector::install(ctx.runtime().engine(), &fplan);
+            let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+            let srcb = ctx.runtime().alloc_bytes(src, data.clone());
+            let dstb = ctx.runtime().alloc_zeroed(dst, n);
+            let thread = ctx.runtime().engine().register_thread("mpx-resilient");
+            let c = ctx.clone();
+            let d = dstb.clone();
+            let result = std::thread::spawn(move || c.put_resilient(&thread, &srcb, &d, n, &rcfg))
+                .join()
+                .expect("driver thread panicked");
+
+            let stats = ctx.runtime().engine().stats();
+            let res = ctx.resilience_stats();
+            match result {
+                Ok(report) => {
+                    let intact = dstb.to_vec().map(|v| v == data).unwrap_or(false);
+                    println!(
+                        "resilient {} paths={} mode={mode:?}: complete at {:.3} ms virtual | faults_fired={} flows_stalled={} links_down={} | retries={} replans={} timeouts={} recovered={} final_paths={} | data {}",
+                        mpx_topo::units::format_bytes(n),
+                        sel.label(),
+                        stats.now.as_secs() * 1e3,
+                        stats.faults_fired,
+                        stats.flows_stalled,
+                        stats.links_down,
+                        report.retries,
+                        report.replans,
+                        res.timeouts,
+                        mpx_topo::units::format_bytes(report.recovered_bytes as usize),
+                        report.final_paths,
+                        if intact { "intact" } else { "CORRUPT" },
+                    );
+                    if !intact {
+                        std::process::exit(1);
+                    }
+                }
+                Err(e) => {
+                    eprintln!(
+                        "error: resilient transfer failed: {e} (faults_fired={} retries={} replans={})",
+                        stats.faults_fired, res.retries, res.replans
+                    );
+                    std::process::exit(1);
+                }
+            }
         }
         other => die(&format!("unknown command `{other}`")),
     }

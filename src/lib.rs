@@ -42,7 +42,9 @@ pub mod prelude {
     pub use mpx_model::{Planner, PlannerConfig, TransferPlan};
     pub use mpx_mpi::{waitall, Rank, World};
     pub use mpx_omb::{osu_bibw, osu_bw, osu_latency, P2pConfig};
-    pub use mpx_sim::{Engine, FlowSpec, OnComplete, SimTime, Waker};
+    pub use mpx_sim::{
+        Engine, FaultInjector, FaultKind, FaultPlan, FlowSpec, OnComplete, SimTime, Waker,
+    };
     pub use mpx_topo::{presets, PathSelection, Topology, TopologyBuilder};
-    pub use mpx_ucx::{TuningMode, UcxConfig, UcxContext};
+    pub use mpx_ucx::{RecoveryConfig, RecoveryError, TuningMode, UcxConfig, UcxContext};
 }

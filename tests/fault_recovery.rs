@@ -1,0 +1,197 @@
+//! End-to-end graceful degradation: transfers planned over a multi-path
+//! fabric survive injected link faults by re-planning residual bytes
+//! over the surviving paths (the PR-2 acceptance scenario).
+
+use mpx_sim::plan_horizon;
+use mpx_ucx::TuningMode;
+use multipath_gpu::prelude::*;
+use std::sync::Arc;
+
+fn ctx_three_paths() -> UcxContext {
+    let topo = Arc::new(presets::beluga());
+    let rt = GpuRuntime::new(Engine::new(topo));
+    UcxContext::new(
+        rt,
+        UcxConfig {
+            selection: PathSelection::THREE_GPUS,
+            ..UcxConfig::default()
+        },
+    )
+}
+
+/// The acceptance scenario: a transfer planned over 3 paths completes
+/// with correct byte counts when one path's link is killed mid-transfer,
+/// finishing via re-plan on the 2 survivors, with `faults_fired`,
+/// `retries` and `replans` visible in the stats.
+#[test]
+fn kill_one_of_three_paths_recovers_via_replan() {
+    let ctx = ctx_three_paths();
+    let topo = ctx.runtime().engine().topology().clone();
+    let gpus = topo.gpus();
+    let n = 64 << 20;
+
+    let plan = ctx.plan_for(gpus[0], gpus[1], n).unwrap();
+    assert_eq!(plan.active_path_count(), 3, "scenario needs 3 live paths");
+    let paths = ctx
+        .paths_for(gpus[0], gpus[1], PathSelection::THREE_GPUS)
+        .unwrap();
+    // Kill the staged path's second leg (g2 → g1): used by no other
+    // candidate, so exactly one path dies.
+    let victim = paths[1].legs[1].route[0];
+    let kill_at = plan.predicted_time * 0.5;
+    let fault = FaultPlan::empty().with(kill_at, victim, FaultKind::Kill);
+    FaultInjector::install(ctx.runtime().engine(), &fault);
+
+    let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+    let src = ctx.runtime().alloc_bytes(gpus[0], data.clone());
+    let dst = ctx.runtime().alloc_zeroed(gpus[1], n);
+    let thread = ctx.runtime().engine().register_thread("driver");
+    let c = ctx.clone();
+    let d = dst.clone();
+    let report = std::thread::spawn(move || {
+        c.put_resilient(&thread, &src, &d, n, &RecoveryConfig::default())
+            .expect("transfer must survive a single path failure")
+    })
+    .join()
+    .unwrap();
+
+    assert!(report.retries >= 1, "deadline miss must trigger a retry");
+    assert!(report.replans >= 1, "residual bytes must be re-planned");
+    assert_eq!(report.final_paths, 2, "re-plan must run on the survivors");
+    assert!(report.recovered_bytes > 0);
+
+    let stats = ctx.runtime().engine().stats();
+    assert_eq!(stats.faults_fired, 1);
+    assert!(stats.flows_stalled >= 1, "killed path's flows must stall");
+    assert_eq!(stats.links_down, 1);
+    let res = ctx.resilience_stats();
+    assert!(res.retries >= 1 && res.replans >= 1 && res.timeouts >= 1);
+
+    assert_eq!(dst.to_vec().unwrap(), data, "recovered bytes corrupted");
+}
+
+/// Degradation down to a single surviving path still completes.
+#[test]
+fn degrades_to_single_path() {
+    let ctx = ctx_three_paths();
+    let topo = ctx.runtime().engine().topology().clone();
+    let gpus = topo.gpus();
+    let n = 32 << 20;
+
+    let plan = ctx.plan_for(gpus[0], gpus[1], n).unwrap();
+    let paths = ctx
+        .paths_for(gpus[0], gpus[1], PathSelection::THREE_GPUS)
+        .unwrap();
+    // Kill both staged paths' forwarding legs; only the direct path
+    // survives.
+    let kill_at = plan.predicted_time * 0.4;
+    let fault = FaultPlan::empty()
+        .with(kill_at, paths[1].legs[1].route[0], FaultKind::Kill)
+        .with(kill_at, paths[2].legs[1].route[0], FaultKind::Kill);
+    FaultInjector::install(ctx.runtime().engine(), &fault);
+
+    let data: Vec<u8> = (0..n).map(|i| (i * 7 % 253) as u8).collect();
+    let src = ctx.runtime().alloc_bytes(gpus[0], data.clone());
+    let dst = ctx.runtime().alloc_zeroed(gpus[1], n);
+    let thread = ctx.runtime().engine().register_thread("driver");
+    let c = ctx.clone();
+    let d = dst.clone();
+    let report = std::thread::spawn(move || {
+        c.put_resilient(&thread, &src, &d, n, &RecoveryConfig::default())
+            .expect("direct path alone must finish the job")
+    })
+    .join()
+    .unwrap();
+
+    assert_eq!(report.final_paths, 1, "only the direct path survives");
+    assert_eq!(dst.to_vec().unwrap(), data);
+}
+
+/// A transient flap delays the transfer but needs no re-plan when the
+/// slack window already covers the outage.
+#[test]
+fn flap_within_slack_needs_no_retry() {
+    let ctx = ctx_three_paths();
+    let topo = ctx.runtime().engine().topology().clone();
+    let gpus = topo.gpus();
+    let n = 32 << 20;
+
+    let plan = ctx.plan_for(gpus[0], gpus[1], n).unwrap();
+    let paths = ctx
+        .paths_for(gpus[0], gpus[1], PathSelection::THREE_GPUS)
+        .unwrap();
+    // Short flap: down for 20% of the predicted time, well inside the
+    // 4× slack budget.
+    let fault = FaultPlan::empty().with(
+        plan.predicted_time * 0.3,
+        paths[1].legs[1].route[0],
+        FaultKind::Flap {
+            duration: plan.predicted_time * 0.2,
+        },
+    );
+    assert!(plan_horizon(&fault) > SimTime::ZERO);
+    FaultInjector::install(ctx.runtime().engine(), &fault);
+
+    let data: Vec<u8> = (0..n).map(|i| (i % 241) as u8).collect();
+    let src = ctx.runtime().alloc_bytes(gpus[0], data.clone());
+    let dst = ctx.runtime().alloc_zeroed(gpus[1], n);
+    let thread = ctx.runtime().engine().register_thread("driver");
+    let c = ctx.clone();
+    let d = dst.clone();
+    let report = std::thread::spawn(move || {
+        c.put_resilient(&thread, &src, &d, n, &RecoveryConfig::default())
+            .expect("flap must not kill the transfer")
+    })
+    .join()
+    .unwrap();
+
+    assert_eq!(report.retries, 0, "outage inside slack: no retry needed");
+    assert_eq!(dst.to_vec().unwrap(), data);
+    assert_eq!(ctx.runtime().engine().stats().links_down, 0);
+}
+
+/// When every path dies and stays dead, the retry budget bounds the
+/// failure: put_resilient errors out instead of hanging.
+#[test]
+fn total_fabric_loss_errors_out() {
+    let topo = Arc::new(presets::beluga());
+    let rt = GpuRuntime::new(Engine::new(topo.clone()));
+    let ctx = UcxContext::new(
+        rt,
+        UcxConfig {
+            selection: PathSelection::DIRECT_ONLY,
+            mode: TuningMode::SinglePath,
+            ..UcxConfig::default()
+        },
+    );
+    let gpus = topo.gpus();
+    let n = 32 << 20;
+    let plan = ctx.plan_for(gpus[0], gpus[1], n).unwrap();
+    let direct = topo.link_between(gpus[0], gpus[1]).unwrap().id;
+    let fault = FaultPlan::empty().with(plan.predicted_time * 0.5, direct, FaultKind::Kill);
+    FaultInjector::install(ctx.runtime().engine(), &fault);
+
+    let src = ctx.runtime().alloc(gpus[0], n);
+    let dst = ctx.runtime().alloc(gpus[1], n);
+    let thread = ctx.runtime().engine().register_thread("driver");
+    let c = ctx.clone();
+    let err = std::thread::spawn(move || {
+        c.put_resilient(
+            &thread,
+            &src,
+            &dst,
+            n,
+            &RecoveryConfig {
+                max_retries: 2,
+                ..RecoveryConfig::default()
+            },
+        )
+        .expect_err("no surviving path: must error, not hang")
+    })
+    .join()
+    .unwrap();
+    match err {
+        RecoveryError::Topology(_) => {}
+        other => panic!("expected NoUsablePath topology error, got {other:?}"),
+    }
+}
