@@ -5,6 +5,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
+cargo build --release -p mpx-bench
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
@@ -26,3 +27,11 @@ for scenario in degrade flap kill; do
   esac
 done
 echo "fault-matrix smoke: ok"
+
+# Planning-throughput smoke: a short bench_transport run that fails on a
+# zero cache-hit rate, on falling far below the committed after numbers
+# in results/BENCH_transport.json, or on dipping under the committed
+# mutex-baseline throughput. Thresholds are generous — this catches a
+# concurrency regression, not run-to-run noise.
+./target/release/bench_transport --quick
+echo "bench_transport smoke: ok"

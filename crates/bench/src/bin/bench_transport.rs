@@ -1,0 +1,353 @@
+//! Transport planning-throughput tracker: plans served per second when N
+//! rank threads hammer one shared `UcxContext`, across the workloads the
+//! plan cache must survive (steady-state hits, irregular size sweeps,
+//! drift-triggered invalidation churn). Writes
+//! `results/BENCH_transport.json` so the hot path's perf trajectory is
+//! visible PR over PR.
+//!
+//! Usage:
+//!   bench_transport                 # measure, write BENCH_transport.json
+//!   bench_transport --quick         # short run + CI gate: fails on a zero
+//!                                   # cache-hit rate or on a throughput
+//!                                   # regression beyond a generous
+//!                                   # threshold vs the committed baseline
+//!   MPX_BENCH_SAVE_BASELINE=1 bench_transport
+//!                                   # additionally snapshot the numbers as
+//!                                   # BENCH_transport_baseline.json
+//!
+//! If `results/BENCH_transport_baseline.json` exists, its runs are
+//! embedded in BENCH_transport.json under `"before"` with per-cell
+//! speedups, so a single artifact records the before/after comparison.
+
+use mpx_gpu::GpuRuntime;
+use mpx_model::{PlannerConfig, SizeClassConfig};
+use mpx_sim::Engine;
+use mpx_topo::presets;
+use mpx_topo::units::MIB;
+use mpx_topo::DeviceId;
+use mpx_ucx::{ParamSource, TuningMode, UcxConfig, UcxContext};
+use serde_json::{json, Value};
+use std::sync::Arc;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 2] = [1, 8];
+
+/// One benchmark cell.
+struct Phase {
+    /// Row label, stable across before/after runs.
+    name: &'static str,
+    params: ParamSource,
+    /// Distinct sizes cycled per thread (small set = steady-state hits,
+    /// large set = every plan is a new size).
+    distinct_sizes: usize,
+    /// Invalidate the thread's pair every this many plans (0 = never).
+    churn_every: usize,
+}
+
+const PHASES: [Phase; 5] = [
+    Phase {
+        name: "datasheet_hit",
+        params: ParamSource::Datasheet,
+        distinct_sizes: 8,
+        churn_every: 0,
+    },
+    Phase {
+        name: "datasheet_sweep",
+        params: ParamSource::Datasheet,
+        distinct_sizes: usize::MAX,
+        churn_every: 0,
+    },
+    Phase {
+        name: "probed_hit",
+        params: ParamSource::Probed,
+        distinct_sizes: 8,
+        churn_every: 0,
+    },
+    Phase {
+        name: "probed_sweep",
+        params: ParamSource::Probed,
+        distinct_sizes: usize::MAX,
+        churn_every: 0,
+    },
+    Phase {
+        name: "probed_churn",
+        params: ParamSource::Probed,
+        distinct_sizes: usize::MAX,
+        churn_every: 64,
+    },
+];
+
+/// The cell the CI gate and the headline speedup look at.
+const HEADLINE: &str = "datasheet_sweep";
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters: usize = if quick { 300 } else { 20_000 };
+    // Best-of-N absorbs scheduler noise (the full run feeds the committed
+    // speedup table; quick mode is a smoke gate and keeps one rep).
+    let reps: usize = if quick { 1 } else { 3 };
+
+    let topo = Arc::new(presets::beluga());
+    let gpus = topo.gpus();
+    // Eight distinct ordered pairs so per-pair state is exercised from
+    // every thread without aliasing at 8 threads.
+    let pairs: Vec<(DeviceId, DeviceId)> = (0..gpus.len())
+        .flat_map(|i| {
+            (0..gpus.len())
+                .filter(move |&j| j != i)
+                .map(move |j| (i, j))
+        })
+        .map(|(i, j)| (gpus[i], gpus[j]))
+        .take(8)
+        .collect();
+
+    println!(
+        "{:>16} {:>8} {:>10} {:>10} {:>14} {:>9} {:>9} {:>7}",
+        "phase", "threads", "plans", "ms", "plans/s", "hits", "misses", "inval"
+    );
+    let mut runs: Vec<Value> = Vec::new();
+    for phase in &PHASES {
+        for &threads in &THREAD_COUNTS {
+            let r = (0..reps)
+                .map(|_| measure(&topo, phase, &pairs, threads, iters))
+                .max_by(|a, b| {
+                    (a.plans as f64 / a.seconds)
+                        .partial_cmp(&(b.plans as f64 / b.seconds))
+                        .expect("finite rates")
+                })
+                .expect("at least one rep");
+            println!(
+                "{:>16} {:>8} {:>10} {:>10.2} {:>14.0} {:>9} {:>9} {:>7}",
+                phase.name,
+                threads,
+                r.plans,
+                r.seconds * 1e3,
+                r.plans as f64 / r.seconds,
+                r.hits,
+                r.misses,
+                r.invalidations
+            );
+            runs.push(json!({
+                "phase": phase.name,
+                "threads": threads,
+                "plans": r.plans,
+                "seconds": r.seconds,
+                "plans_per_sec": r.plans as f64 / r.seconds,
+                "hits": r.hits,
+                "misses": r.misses,
+                "class_hits": r.class_hits,
+                "class_fallbacks": r.class_fallbacks,
+                "invalidations": r.invalidations,
+            }));
+        }
+    }
+
+    verify_transfer_integrity(&topo);
+
+    let baseline = read_baseline();
+    let report = match &baseline {
+        Some(before) => {
+            print_speedups(before, &runs);
+            json!({ "before": before.clone(), "after": runs })
+        }
+        None => json!({ "after": runs }),
+    };
+    if quick {
+        // Smoke mode gates against the committed artifact and must not
+        // overwrite it with short-run numbers.
+        gate(&report);
+    } else {
+        mpx_bench::emit_json("BENCH_transport", &report);
+        if std::env::var("MPX_BENCH_SAVE_BASELINE").is_ok_and(|v| v == "1") {
+            mpx_bench::emit_json("BENCH_transport_baseline", &report["after"]);
+        }
+    }
+}
+
+struct PhaseResult {
+    plans: u64,
+    seconds: f64,
+    hits: u64,
+    misses: u64,
+    class_hits: u64,
+    class_fallbacks: u64,
+    invalidations: u64,
+}
+
+/// The `i`-th size a thread plans: cycled from a small fixed set for hit
+/// phases, or an irregular walk over [4 MiB, 256 MiB) for sweeps. Every
+/// size is 4-byte aligned and unique per (thread, iteration) in sweep
+/// mode, so a sweep is all-distinct by construction.
+fn size_at(thread: usize, i: usize, distinct: usize) -> usize {
+    let k = if distinct == usize::MAX {
+        i
+    } else {
+        i % distinct
+    };
+    let span = 252 * MIB / 4;
+    4 * MIB + 4 * ((k * 37987 + thread * 104729) % span)
+}
+
+fn measure(
+    topo: &Arc<mpx_topo::Topology>,
+    phase: &Phase,
+    pairs: &[(DeviceId, DeviceId)],
+    threads: usize,
+    iters: usize,
+) -> PhaseResult {
+    let ctx = UcxContext::new(
+        GpuRuntime::new(Engine::new(topo.clone())),
+        UcxConfig {
+            mode: TuningMode::Dynamic,
+            params: phase.params,
+            // The configuration under test: size-class plan reuse on
+            // (the production default keeps it off for bit-exact figure
+            // reproduction; the ε guard bounds the modeling error here).
+            planner: PlannerConfig {
+                size_classes: SizeClassConfig::ENABLED,
+                ..PlannerConfig::default()
+            },
+            ..UcxConfig::default()
+        },
+    );
+    // Warmup: touch every pair once so path enumeration / probing and
+    // (for hit phases) the first-size plan are off the timed path.
+    for t in 0..threads {
+        let (src, dst) = pairs[t % pairs.len()];
+        ctx.plan_for(src, dst, size_at(t, 0, phase.distinct_sizes))
+            .expect("warmup plan");
+    }
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let ctx = ctx.clone();
+            let (src, dst) = pairs[t % pairs.len()];
+            let churn = phase.churn_every;
+            let distinct = phase.distinct_sizes;
+            scope.spawn(move || {
+                for i in 0..iters {
+                    let n = size_at(t, i, distinct);
+                    let plan = ctx.plan_for(src, dst, n).expect("plan");
+                    std::hint::black_box(&plan);
+                    if churn != 0 && i % churn == churn - 1 {
+                        // An observation 10x off the prediction always
+                        // exceeds the drift tolerance.
+                        ctx.record_observation(src, dst, n, plan.predicted_bandwidth * 10.0);
+                    }
+                }
+            });
+        }
+    });
+    let seconds = start.elapsed().as_secs_f64();
+
+    let stats = ctx.cache_stats();
+    PhaseResult {
+        plans: (threads * iters) as u64,
+        seconds,
+        hits: stats.hits,
+        misses: stats.misses,
+        class_hits: stats.class_hits,
+        class_fallbacks: stats.class_fallbacks,
+        invalidations: stats.invalidations,
+    }
+}
+
+/// One end-to-end put through the benched configuration: the cache layer
+/// must never change what lands in the destination buffer.
+fn verify_transfer_integrity(topo: &Arc<mpx_topo::Topology>) {
+    let ctx = UcxContext::new(
+        GpuRuntime::new(Engine::new(topo.clone())),
+        UcxConfig::default(),
+    );
+    let gpus = ctx.runtime().engine().topology().gpus();
+    let n = 8 * MIB + 12345;
+    let data: Vec<u8> = (0..n).map(|i| (i * 131 % 251) as u8).collect();
+    let src = ctx.runtime().alloc_bytes(gpus[0], data.clone());
+    let dst = ctx.runtime().alloc_zeroed(gpus[1], n);
+    let h = ctx.put_async(&src, &dst, n).expect("put");
+    ctx.runtime().engine().run_until_idle();
+    assert!(h.is_complete());
+    assert_eq!(dst.to_vec().expect("readback"), data, "transfer corrupted");
+    println!("integrity: {n}-byte put bit-identical");
+}
+
+fn read_baseline() -> Option<Vec<Value>> {
+    let path = mpx_bench::results_dir().join("BENCH_transport_baseline.json");
+    let text = std::fs::read_to_string(path).ok()?;
+    let v: Value = serde_json::from_str(&text).ok()?;
+    v.as_array().cloned()
+}
+
+fn cell<'a>(rows: &'a [Value], phase: &str, threads: u64) -> Option<&'a Value> {
+    rows.iter()
+        .find(|r| r["phase"] == phase && r["threads"].as_u64() == Some(threads))
+}
+
+fn print_speedups(before: &[Value], after: &[Value]) {
+    println!("\n{:>16} {:>8} {:>10}", "phase", "threads", "speedup");
+    for b in before {
+        let (Some(phase), Some(threads)) = (b["phase"].as_str(), b["threads"].as_u64()) else {
+            continue;
+        };
+        if let Some(a) = cell(after, phase, threads) {
+            if let (Some(rb), Some(ra)) = (b["plans_per_sec"].as_f64(), a["plans_per_sec"].as_f64())
+            {
+                println!("{phase:>16} {threads:>8} {:>9.2}x", ra / rb);
+            }
+        }
+    }
+}
+
+/// CI gate (`--quick`): the current run must show a live cache (nonzero
+/// hits in the steady-state phase) and must not regress throughput beyond
+/// a generous threshold against the numbers committed in
+/// `results/BENCH_transport.json`.
+fn gate(report: &Value) {
+    let after = report["after"].as_array().expect("after rows");
+    let hit8 = cell(after, "datasheet_hit", 8).expect("hit cell");
+    if hit8["hits"].as_u64().unwrap_or(0) == 0 {
+        eprintln!("bench_transport gate: zero cache-hit rate in datasheet_hit@8");
+        std::process::exit(1);
+    }
+    let now = cell(after, HEADLINE, 8)
+        .and_then(|c| c["plans_per_sec"].as_f64())
+        .expect("headline cell");
+
+    let path = mpx_bench::results_dir().join("BENCH_transport.json");
+    let committed: Option<Value> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|t| serde_json::from_str(&t).ok());
+    let Some(committed) = committed else {
+        println!("bench_transport gate: no committed BENCH_transport.json; skipping comparison");
+        return;
+    };
+    // Generous: machine noise and CI containers vary, so only a large
+    // regression (below 30% of the committed post-change throughput, or
+    // below the committed pre-change mutex baseline) fails.
+    if let Some(c) = committed["after"]
+        .as_array()
+        .and_then(|rows| cell(rows, HEADLINE, 8))
+        .and_then(|c| c["plans_per_sec"].as_f64())
+    {
+        if now < 0.3 * c {
+            eprintln!(
+                "bench_transport gate: {HEADLINE}@8 {now:.0} plans/s < 30% of committed {c:.0}"
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(b) = committed["before"]
+        .as_array()
+        .and_then(|rows| cell(rows, HEADLINE, 8))
+        .and_then(|c| c["plans_per_sec"].as_f64())
+    {
+        if now < b {
+            eprintln!(
+                "bench_transport gate: {HEADLINE}@8 {now:.0} plans/s below mutex baseline {b:.0}"
+            );
+            std::process::exit(1);
+        }
+    }
+    println!("bench_transport gate: ok ({HEADLINE}@8 = {now:.0} plans/s)");
+}

@@ -103,11 +103,14 @@ fn main() {
     let topo = Arc::new(presets::beluga());
     let gpus = topo.gpus();
     let n = 64 << 20;
+    // Vary n to defeat the plan cache: with quantization off (the
+    // default here) every distinct size is a miss, so this times the
+    // production miss path — pair memo lookup + the Eq. 24 share solve —
+    // without re-measuring planner construction each rep.
+    let planner = Planner::new(topo.clone());
     let t0 = Instant::now();
     let reps = 1000;
     for i in 0..reps {
-        // Vary n slightly to defeat the cache: every call is a miss.
-        let planner = Planner::new(topo.clone());
         let _ = planner
             .plan(
                 gpus[0],

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod calibrate;
 pub mod collectives;
 pub mod contention;
@@ -44,6 +45,7 @@ pub mod pipeline;
 pub mod planner;
 pub mod sensitivity;
 
+pub use cache::{CacheCounters, ShardedMap};
 pub use calibrate::{fit_hockney, fit_hockney_from_bandwidth, CalibrationError};
 pub use collectives::{
     predict_allgather_rd, predict_allreduce_knomial, predict_allreduce_knomial_radix,
@@ -51,10 +53,15 @@ pub use collectives::{
 };
 pub use contention::{plan_concurrent, ConcurrentPlan, ConcurrentTransfer};
 pub use crossover::{entry_size, full_activation_size};
-pub use optimizer::{optimal_shares, optimal_shares_bisection, OmegaDelta, ShareSolution};
+pub use optimizer::{
+    optimal_shares, optimal_shares_bisection, optimal_time, OmegaDelta, ShareSolution,
+};
 pub use pipeline::{
     chunk_count, omega_delta_pipelined, omega_delta_unpipelined, optimal_chunks_exact,
     time_pipelined, time_pipelined_opt, topology_constant,
 };
-pub use planner::{PipelineMode, PlannedPath, Planner, PlannerConfig, PlannerStats, TransferPlan};
+pub use planner::{
+    quantize_shares, PairKey, PipelineMode, PlanCache, PlannedPath, Planner, PlannerConfig,
+    PlannerStats, SizeClassConfig, TransferPlan,
+};
 pub use sensitivity::{bandwidth_regret_curve, perturb, regret, Perturb, SensitivityPoint};

@@ -1,0 +1,139 @@
+//! Property-based tests of size-class plan reuse on the paper's two
+//! machine presets (Beluga 4×V100, Narval 4×A100).
+//!
+//! The ε guard's contract: a plan realized from a memoized size-class
+//! entry never predicts more than `(1 + ε)×` the time of the plan an
+//! exact solve would have produced for the same `(pair, n)`, and
+//! messages below the `exact_below` threshold never touch class entries
+//! at all.
+
+use mpx_model::{Planner, PlannerConfig, SizeClassConfig};
+use mpx_topo::presets;
+use mpx_topo::units::MIB;
+use mpx_topo::{PathSelection, Topology};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_preset() -> impl Strategy<Value = Topology> {
+    prop_oneof![Just(presets::beluga()), Just(presets::narval()),]
+}
+
+fn arb_selection() -> impl Strategy<Value = PathSelection> {
+    prop_oneof![
+        Just(PathSelection::TWO_GPUS),
+        Just(PathSelection::THREE_GPUS),
+        Just(PathSelection::THREE_GPUS_WITH_HOST),
+    ]
+}
+
+fn quantizing() -> PlannerConfig {
+    PlannerConfig {
+        size_classes: SizeClassConfig::ENABLED,
+        ..PlannerConfig::default()
+    }
+}
+
+/// A pair of distinct 4-byte-aligned sizes in the same size class, both
+/// at or above the exact-keying threshold.
+fn arb_classmates() -> impl Strategy<Value = (usize, usize)> {
+    let sc = SizeClassConfig::ENABLED;
+    (sc.exact_below..(256 * MIB), 0.0f64..1.0).prop_map(move |(seed, f)| {
+        let seed = seed & !3;
+        let class = sc.class_of(seed);
+        // The class spans [2^(c/q), 2^((c+1)/q)); pick the partner at
+        // fraction `f` of the span, re-aligned and clamped inside it.
+        let q = f64::from(sc.per_octave);
+        let lo = (f64::from(class) / q).exp2().ceil() as usize;
+        // The upper boundary is exclusive (and lands on an exact power
+        // of two every `per_octave` classes), so stay strictly below it.
+        let hi = (((f64::from(class + 1) / q).exp2() - 1.0).floor() as usize) & !3;
+        let partner = (lo + (f * (hi - lo) as f64) as usize) & !3;
+        let partner = partner.clamp(lo.next_multiple_of(4), hi);
+        (seed.max(sc.exact_below), partner.max(sc.exact_below))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Above the threshold, the second size of a class pair is served
+    /// from the memoized class entry (or falls back to an exact solve),
+    /// and either way its predicted time stays within ε of what a
+    /// quantization-free planner computes for the same size.
+    #[test]
+    fn class_reuse_stays_within_epsilon(
+        topo in arb_preset(),
+        sel in arb_selection(),
+        (seed_n, reuse_n) in arb_classmates(),
+    ) {
+        let sc = SizeClassConfig::ENABLED;
+        prop_assert_eq!(sc.class_of(seed_n), sc.class_of(reuse_n));
+
+        let topo = Arc::new(topo);
+        let gpus = topo.gpus();
+        let exact = Planner::new(topo.clone());
+        let quant = Planner::with_config(topo.clone(), quantizing());
+
+        quant.plan(gpus[0], gpus[1], seed_n, sel).unwrap();
+        let q = quant.plan(gpus[0], gpus[1], reuse_n, sel).unwrap();
+        let e = exact.plan(gpus[0], gpus[1], reuse_n, sel).unwrap();
+
+        let total: usize = q.paths.iter().map(|p| p.share_bytes).sum();
+        prop_assert_eq!(total, reuse_n, "quantized plan dropped bytes");
+        prop_assert!(
+            q.predicted_time <= e.predicted_time * (1.0 + sc.epsilon) + 1e-9,
+            "quantized plan {} exceeds (1+eps) x exact {} at n={reuse_n}",
+            q.predicted_time,
+            e.predicted_time
+        );
+
+        // The reuse request must have probed the class entry seeded by
+        // the first solve: it resolves as a class hit or a guard
+        // fallback, never as a plain miss (unless it was the same size,
+        // which hits the exact table instead).
+        let s = quant.stats();
+        if seed_n != reuse_n {
+            prop_assert_eq!(
+                s.class_hits + s.class_fallbacks,
+                1,
+                "class entry was never consulted: {s:?}"
+            );
+        }
+    }
+
+    /// Below the threshold, quantization is inert: same-class sizes get
+    /// independent exact solves and identical plans to an exact-keyed
+    /// planner, byte for byte.
+    #[test]
+    fn small_messages_bypass_size_classes(
+        topo in arb_preset(),
+        sel in arb_selection(),
+        n in 4096usize..(4 * MIB - 4096),
+        delta in 4usize..4096,
+    ) {
+        let sc = SizeClassConfig::ENABLED;
+        let n = n & !3;
+        let n2 = (n + delta) & !3;
+        assert!(n2 < sc.exact_below);
+
+        let topo = Arc::new(topo);
+        let gpus = topo.gpus();
+        let exact = Planner::new(topo.clone());
+        let quant = Planner::with_config(topo.clone(), quantizing());
+
+        let q1 = quant.plan(gpus[0], gpus[1], n, sel).unwrap();
+        let q2 = quant.plan(gpus[0], gpus[1], n2, sel).unwrap();
+        let e1 = exact.plan(gpus[0], gpus[1], n, sel).unwrap();
+        let e2 = exact.plan(gpus[0], gpus[1], n2, sel).unwrap();
+
+        let shares =
+            |p: &mpx_model::TransferPlan| p.paths.iter().map(|q| q.share_bytes).collect::<Vec<_>>();
+        prop_assert_eq!(shares(&q1), shares(&e1));
+        prop_assert_eq!(shares(&q2), shares(&e2));
+
+        let s = quant.stats();
+        prop_assert_eq!(s.class_hits, 0, "sub-threshold size took a class hit");
+        prop_assert_eq!(s.class_fallbacks, 0);
+        prop_assert_eq!(s.misses, 2, "sub-threshold sizes must keep exact keys");
+    }
+}

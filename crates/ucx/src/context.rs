@@ -12,12 +12,11 @@ use crate::probe::probe_all_with;
 use crate::recover::{ResilienceCounters, ResilienceStats};
 use crate::tuner::{manual_plan, tune_exhaustive, TuneResult};
 use mpx_gpu::{Buffer, GpuRuntime};
-use mpx_model::{Planner, PlannerConfig, TransferPlan};
+use mpx_model::{PairKey, PlanCache, Planner, PlannerConfig, ShardedMap, TransferPlan};
 use mpx_sim::SimThread;
 use mpx_topo::path::{enumerate_paths_auto, PathSelection, TransferPath};
 use mpx_topo::{DeviceId, TopologyError};
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -82,7 +81,21 @@ impl Default for UcxConfig {
     }
 }
 
-type PairKey = (DeviceId, DeviceId, usize, bool);
+/// Aggregated plan-cache counters across the context's caching layers
+/// (the core planner's configuration cache plus the probed-plan cache).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Plans served straight from cache.
+    pub hits: u64,
+    /// Plans computed from scratch.
+    pub misses: u64,
+    /// Plans realized from a cached size-class entry.
+    pub class_hits: u64,
+    /// Size-class candidates rejected by the ε guard (exact re-solve).
+    pub class_fallbacks: u64,
+    /// Drift-triggered cache invalidations.
+    pub invalidations: u64,
+}
 
 /// The transport context. Cheap to clone (shared internals).
 #[derive(Clone)]
@@ -94,14 +107,18 @@ struct ContextInner {
     rt: GpuRuntime,
     planner: Planner,
     cfg: UcxConfig,
-    paths: Mutex<HashMap<PairKey, Arc<Vec<TransferPath>>>>,
-    dynamic_plans: Mutex<HashMap<(PairKey, usize), Arc<TransferPlan>>>,
-    probed: Mutex<HashMap<PairKey, Arc<Vec<mpx_topo::params::PathParams>>>>,
-    static_plans: Mutex<HashMap<(PairKey, usize), Arc<TransferPlan>>>,
+    /// Candidate-path enumeration per pair (read-mostly, sharded).
+    paths: ShardedMap<PairKey, Arc<Vec<TransferPath>>>,
+    /// Probed-parameter plans, driven through the planner's caching
+    /// engine so dynamic planning shares its sharding/quantization logic.
+    dynamic: PlanCache,
+    /// Probe-calibrated per-pair Hockney parameters.
+    probed: ShardedMap<PairKey, Arc<Vec<mpx_topo::params::PathParams>>>,
+    static_plans: ShardedMap<(PairKey, usize), Arc<TransferPlan>>,
     /// Fixed share distribution applied when the static table has no
     /// exact entry — the env-var-style policy of the engine in [35] that
     /// collectives run under.
-    static_shares: Mutex<Option<Vec<f64>>>,
+    static_shares: RwLock<Option<Vec<f64>>>,
     seq: AtomicU64,
     resilience: ResilienceCounters,
 }
@@ -115,11 +132,11 @@ impl UcxContext {
                 rt,
                 planner,
                 cfg,
-                paths: Mutex::new(HashMap::new()),
-                dynamic_plans: Mutex::new(HashMap::new()),
-                probed: Mutex::new(HashMap::new()),
-                static_plans: Mutex::new(HashMap::new()),
-                static_shares: Mutex::new(None),
+                paths: ShardedMap::new(),
+                dynamic: PlanCache::new(),
+                probed: ShardedMap::new(),
+                static_plans: ShardedMap::new(),
+                static_shares: RwLock::new(None),
                 seq: AtomicU64::new(0),
                 resilience: ResilienceCounters::default(),
             }),
@@ -153,8 +170,8 @@ impl UcxContext {
         sel: PathSelection,
     ) -> Result<Arc<Vec<TransferPath>>, TopologyError> {
         let key = self.pair_key(src, dst, sel);
-        if let Some(p) = self.inner.paths.lock().get(&key) {
-            return Ok(p.clone());
+        if let Some(p) = self.inner.paths.get(&key, &key) {
+            return Ok(p);
         }
         let paths = Arc::new(enumerate_paths_auto(
             self.inner.rt.engine().topology(),
@@ -162,7 +179,7 @@ impl UcxContext {
             dst,
             sel,
         )?);
-        self.inner.paths.lock().insert(key, paths.clone());
+        self.inner.paths.insert(&key, key, paths.clone());
         Ok(paths)
     }
 
@@ -190,13 +207,14 @@ impl UcxContext {
                 ParamSource::Probed => self.plan_probed(src, dst, n, sel),
             },
             TuningMode::Static => {
-                let key = (self.pair_key(src, dst, sel), n);
-                if let Some(p) = self.inner.static_plans.lock().get(&key) {
-                    return Ok(p.clone());
+                let pair = self.pair_key(src, dst, sel);
+                let key = (pair, n);
+                if let Some(p) = self.inner.static_plans.get(&pair, &key) {
+                    return Ok(p);
                 }
                 // No exact entry: apply the fixed share policy if one is
                 // installed, else fall back to the model.
-                let shares = self.inner.static_shares.lock().clone();
+                let shares = self.inner.static_shares.read().clone();
                 match shares {
                     Some(shares) => {
                         let paths = self.paths_for(src, dst, sel)?;
@@ -207,7 +225,7 @@ impl UcxContext {
                             &shares,
                             &self.inner.cfg.planner,
                         )?);
-                        self.inner.static_plans.lock().insert(key, plan.clone());
+                        self.inner.static_plans.insert(&pair, key, plan.clone());
                         Ok(plan)
                     }
                     None => self.inner.planner.plan(src, dst, n, sel),
@@ -216,8 +234,11 @@ impl UcxContext {
         }
     }
 
-    /// Dynamic planning with probe-calibrated parameters, cached per
-    /// `(pair, selection, n)`.
+    /// Dynamic planning with probe-calibrated parameters, cached in the
+    /// context's own [`PlanCache`] through the planner's caching engine
+    /// (sharded exact cache plus, when enabled, size-class reuse). Path
+    /// enumeration and probing happen inside the solve closure, so a
+    /// cache hit touches neither.
     fn plan_probed(
         &self,
         src: DeviceId,
@@ -226,34 +247,22 @@ impl UcxContext {
         sel: PathSelection,
     ) -> Result<Arc<TransferPlan>, TopologyError> {
         let pair = self.pair_key(src, dst, sel);
-        if let Some(p) = self.inner.dynamic_plans.lock().get(&(pair, n)) {
-            return Ok(p.clone());
-        }
-        let paths = self.paths_for(src, dst, sel)?;
-        let params = {
-            let hit = self.inner.probed.lock().get(&pair).cloned();
-            match hit {
+        let planner = &self.inner.planner;
+        planner.plan_in_cache(&self.inner.dynamic, pair, n, || {
+            let paths = self.paths_for(src, dst, sel)?;
+            let params = match self.inner.probed.get(&pair, &pair) {
                 Some(p) => p,
                 None => {
                     let eng = self.inner.rt.engine();
                     let p = eng.with_capacities(|caps| {
                         probe_all_with(eng.topology(), Some(caps), &paths).map(Arc::new)
                     })?;
-                    self.inner.probed.lock().insert(pair, p.clone());
+                    self.inner.probed.insert(&pair, pair, p.clone());
                     p
                 }
-            }
-        };
-        let plan = Arc::new(self.inner.planner.compute_with_params(
-            n,
-            &paths,
-            params.as_ref().clone(),
-        ));
-        self.inner
-            .dynamic_plans
-            .lock()
-            .insert((pair, n), plan.clone());
-        Ok(plan)
+            };
+            Ok(planner.compute_with_params(n, &paths, params.to_vec()))
+        })
     }
 
     /// Runs the exhaustive offline tuner for `(src, dst, n)` and installs
@@ -274,11 +283,10 @@ impl UcxContext {
             &self.inner.cfg.planner,
             self.inner.cfg.static_grid,
         )?;
-        let key = (self.pair_key(src, dst, sel), n);
+        let pair = self.pair_key(src, dst, sel);
         self.inner
             .static_plans
-            .lock()
-            .insert(key, result.plan.clone());
+            .insert(&pair, (pair, n), result.plan.clone());
         Ok(result)
     }
 
@@ -288,15 +296,15 @@ impl UcxContext {
     /// (`Engine::set_link_capacity`) — this is the runtime adaptivity
     /// that offline static tuning cannot offer.
     pub fn recalibrate(&self) {
-        self.inner.probed.lock().clear();
-        self.inner.dynamic_plans.lock().clear();
+        self.inner.probed.clear();
+        self.inner.dynamic.clear();
     }
 
     /// Installs a fixed share distribution (one fraction per candidate
     /// path, direct first, summing to 1) applied to every transfer the
     /// static table has no exact entry for.
     pub fn install_static_shares(&self, shares: Vec<f64>) {
-        *self.inner.static_shares.lock() = Some(shares);
+        *self.inner.static_shares.write() = Some(shares);
     }
 
     /// Tunes the fixed share policy by exhaustive search on `(src, dst)`
@@ -327,8 +335,8 @@ impl UcxContext {
         plan: Arc<TransferPlan>,
     ) {
         let sel = self.effective_selection();
-        let key = (self.pair_key(src, dst, sel), n);
-        self.inner.static_plans.lock().insert(key, plan);
+        let pair = self.pair_key(src, dst, sel);
+        self.inner.static_plans.insert(&pair, (pair, n), plan);
     }
 
     /// Starts an asynchronous `n`-byte PUT of `src[..n]` into `dst[..n]`
@@ -406,6 +414,30 @@ impl UcxContext {
         self.inner.resilience.snapshot()
     }
 
+    /// Aggregated plan-cache counters (core planner cache + probed-plan
+    /// cache) — the telemetry the CLI surfaces. `invalidations` counts
+    /// drift *events* (each may purge several caches), matching
+    /// [`ResilienceStats::cache_invalidations`]. Reads atomics only;
+    /// never blocks concurrent planning.
+    pub fn cache_stats(&self) -> CacheStats {
+        let s = self
+            .inner
+            .planner
+            .stats()
+            .merged(self.inner.dynamic.stats());
+        CacheStats {
+            hits: s.hits,
+            misses: s.misses,
+            class_hits: s.class_hits,
+            class_fallbacks: s.class_fallbacks,
+            invalidations: self
+                .inner
+                .resilience
+                .cache_invalidations
+                .load(Ordering::Relaxed),
+        }
+    }
+
     pub(crate) fn resilience(&self) -> &ResilienceCounters {
         &self.inner.resilience
     }
@@ -443,11 +475,11 @@ impl UcxContext {
         if drift <= self.inner.cfg.drift_tolerance {
             return false;
         }
-        self.inner.probed.lock().remove(&pair);
-        self.inner
-            .dynamic_plans
-            .lock()
-            .retain(|(k, _), _| *k != pair);
+        // Purge everything derived from the stale parameters, one shard
+        // per cache — concurrent planning for other pairs never blocks.
+        self.inner.probed.remove(&pair, &pair);
+        self.inner.dynamic.invalidate_pair(pair);
+        self.inner.planner.invalidate_pair(pair);
         self.inner
             .resilience
             .cache_invalidations

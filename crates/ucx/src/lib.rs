@@ -32,7 +32,7 @@ pub mod probe;
 pub mod recover;
 pub mod tuner;
 
-pub use context::{ParamSource, TuningMode, UcxConfig, UcxContext};
+pub use context::{CacheStats, ParamSource, TuningMode, UcxConfig, UcxContext};
 pub use pipeline::{
     execute_plan, execute_plan_at, execute_plan_notify, PathSlot, TimedOut, TransferHandle,
     RING_DEPTH,

@@ -21,12 +21,14 @@ use crate::context::UcxContext;
 use crate::pipeline::{execute_plan_at, TransferHandle};
 use crate::probe::probe_all_with;
 use mpx_gpu::Buffer;
+use mpx_model::TransferPlan;
 use mpx_sim::SimThread;
 use mpx_topo::path::TransferPath;
 use mpx_topo::units::Secs;
 use mpx_topo::TopologyError;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Tunables of the recovery loop.
 #[derive(Debug, Clone, Copy)]
@@ -250,18 +252,31 @@ impl UcxContext {
                 eng.with_capacities(|c| c.iter().map(|&v| if v > 0.0 { v } else { 1.0 }).collect());
             let params = probe_all_with(eng.topology(), Some(&caps), &survivors)?;
 
-            // One residual plan per coalesced range, all in flight
-            // concurrently, sharing one backed-off deadline.
+            // One residual plan per *distinct* coalesced-range size, all
+            // in flight concurrently, sharing one backed-off deadline.
+            // Stalled pipelines shed uniform chunk-sized residuals, so
+            // equal-size ranges are the common case — reuse the last
+            // solve instead of re-running the share system per range.
             let mut handles: Vec<(TransferHandle, usize)> = Vec::with_capacity(pending.len());
             let mut worst: Secs = 0.0;
+            let mut memo: Option<(usize, Arc<TransferPlan>)> = None;
             for r in &pending {
-                let plan = self
-                    .planner()
-                    .compute_with_params(r.bytes, &survivors, params.clone());
+                let plan = match &memo {
+                    Some((bytes, plan)) if *bytes == r.bytes => plan.clone(),
+                    _ => {
+                        let plan = Arc::new(self.planner().compute_with_params(
+                            r.bytes,
+                            &survivors,
+                            params.clone(),
+                        ));
+                        report.replans += 1;
+                        self.resilience().replans.fetch_add(1, Ordering::Relaxed);
+                        memo = Some((r.bytes, plan.clone()));
+                        plan
+                    }
+                };
                 worst = worst.max(plan.predicted_time);
-                report.replans += 1;
                 report.recovered_bytes += r.bytes as u64;
-                self.resilience().replans.fetch_add(1, Ordering::Relaxed);
                 let seq = self.next_seq();
                 let h = execute_plan_at(
                     self.runtime(),

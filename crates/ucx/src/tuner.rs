@@ -12,7 +12,9 @@
 
 use crate::pipeline::execute_plan;
 use mpx_gpu::GpuRuntime;
-use mpx_model::{chunk_count, PipelineMode, PlannedPath, PlannerConfig, TransferPlan};
+use mpx_model::{
+    chunk_count, quantize_shares, PipelineMode, PlannedPath, PlannerConfig, TransferPlan,
+};
 use mpx_sim::Engine;
 use mpx_topo::params::extract_all;
 use mpx_topo::path::{enumerate_paths_auto, PathSelection, TransferPath};
@@ -45,12 +47,8 @@ pub fn manual_plan(
     }
     let params = extract_all(topo, paths)?;
     let nf = n as f64;
-    let align = cfg.alignment.max(1);
-    let mut bytes: Vec<usize> = shares
-        .iter()
-        .map(|&t| ((t * nf) as usize / align) * align)
-        .collect();
-    let assigned: usize = bytes.iter().sum();
+    let mut bytes = vec![0usize; shares.len()];
+    let assigned = quantize_shares(&mut bytes, shares.iter().copied(), n, cfg.alignment);
     bytes[0] += n - assigned;
 
     let mut planned = Vec::with_capacity(paths.len());

@@ -6,6 +6,7 @@
 //! mpx export --topo dgx1 --format dot | dot -Tsvg   # render the graph
 //! mpx plan  --topo-file my_node.json --size 64M   # plan on a custom node
 //! mpx plan  --topo narval --size 64M [--paths 3_GPUs_w_host] [--src 0 --dst 1]
+//! mpx plan  --topo beluga --size 64M --quantize --stats   # size-class reuse + cache counters
 //! mpx bw    --topo beluga --size 64M [--window 16] [--mode single|dynamic]
 //! mpx bibw  --topo beluga --size 64M [--window 16] [--mode single|dynamic]
 //! mpx collective --op allreduce|alltoall --size 64M [--topo T] [--paths P]
@@ -66,12 +67,18 @@ fn main() {
     let Some(cmd) = args.first().cloned() else {
         die("missing command");
     };
+    // Boolean flags take no value; everything else is `--key value`.
+    const BOOL_FLAGS: [&str; 2] = ["stats", "quantize"];
     let mut opts: HashMap<String, String> = HashMap::new();
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         let Some(key) = flag.strip_prefix("--") else {
             die(&format!("unexpected argument `{flag}`"));
         };
+        if BOOL_FLAGS.contains(&key) {
+            opts.insert(key.to_string(), "true".into());
+            continue;
+        }
         let Some(value) = it.next() else {
             die(&format!("flag --{key} needs a value"));
         };
@@ -132,12 +139,30 @@ fn main() {
             }
         }
         "plan" => {
-            let planner = Planner::new(topo.clone());
+            let quantize = opts.contains_key("quantize");
+            let planner = Planner::with_config(
+                topo.clone(),
+                PlannerConfig {
+                    size_classes: if quantize {
+                        SizeClassConfig::ENABLED
+                    } else {
+                        SizeClassConfig::default()
+                    },
+                    ..PlannerConfig::default()
+                },
+            );
             let plan = planner
                 .plan(src, dst, n, sel)
                 .unwrap_or_else(|e| die(&e.to_string()));
             println!("{src} -> {dst} ({}):", sel.label());
             print!("{}", plan.describe());
+            if opts.contains_key("stats") {
+                let s = planner.stats();
+                println!(
+                    "cache: hits={} misses={} class_hits={} class_fallbacks={} invalidations={}",
+                    s.hits, s.misses, s.class_hits, s.class_fallbacks, s.invalidations
+                );
+            }
         }
         "collective" => {
             use mpx_model::{predict_allreduce_knomial, predict_alltoall_bruck};
@@ -315,8 +340,9 @@ fn main() {
             match result {
                 Ok(report) => {
                     let intact = dstb.to_vec().map(|v| v == data).unwrap_or(false);
+                    let cache = ctx.cache_stats();
                     println!(
-                        "resilient {} paths={} mode={mode:?}: complete at {:.3} ms virtual | faults_fired={} flows_stalled={} links_down={} | retries={} replans={} timeouts={} recovered={} final_paths={} | data {}",
+                        "resilient {} paths={} mode={mode:?}: complete at {:.3} ms virtual | faults_fired={} flows_stalled={} links_down={} | retries={} replans={} timeouts={} recovered={} final_paths={} | cache: hits={} misses={} class_hits={} class_fallbacks={} invalidations={} | data {}",
                         mpx_topo::units::format_bytes(n),
                         sel.label(),
                         stats.now.as_secs() * 1e3,
@@ -328,6 +354,11 @@ fn main() {
                         res.timeouts,
                         mpx_topo::units::format_bytes(report.recovered_bytes as usize),
                         report.final_paths,
+                        cache.hits,
+                        cache.misses,
+                        cache.class_hits,
+                        cache.class_fallbacks,
+                        cache.invalidations,
                         if intact { "intact" } else { "CORRUPT" },
                     );
                     if !intact {

@@ -39,7 +39,7 @@ pub use mpx_ucx as ucx;
 /// The names most programs need.
 pub mod prelude {
     pub use mpx_gpu::{Buffer, GpuRuntime, ReduceOp};
-    pub use mpx_model::{Planner, PlannerConfig, TransferPlan};
+    pub use mpx_model::{Planner, PlannerConfig, SizeClassConfig, TransferPlan};
     pub use mpx_mpi::{waitall, Rank, World};
     pub use mpx_omb::{osu_bibw, osu_bw, osu_latency, P2pConfig};
     pub use mpx_sim::{
