@@ -28,6 +28,20 @@ for scenario in degrade flap kill; do
 done
 echo "fault-matrix smoke: ok"
 
+# Trace-export smoke: `mpx trace` must exit cleanly, its trace.json must
+# parse as JSON, and every instrumented phase must contribute at least
+# one event (spans/instants carry the phase label in their `cat` field).
+./target/release/mpx trace --topo beluga --size 64M \
+  --trace-out "$tmp/trace.json" --metrics-out "$tmp/metrics.json"
+python3 -c "import json, sys; json.load(open(sys.argv[1])); json.load(open(sys.argv[2]))" \
+  "$tmp/trace.json" "$tmp/metrics.json"
+for phase in plan probe transfer chunk-leg recovery collective fault tune; do
+  if ! grep -q "\"cat\": \"$phase\"" "$tmp/trace.json"; then
+    echo "trace smoke: no $phase events in trace.json" >&2; exit 1
+  fi
+done
+echo "trace-export smoke: ok"
+
 # Planning-throughput smoke: a short bench_transport run that fails on a
 # zero cache-hit rate, on falling far below the committed after numbers
 # in results/BENCH_transport.json, or on dipping under the committed

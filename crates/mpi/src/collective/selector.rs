@@ -10,6 +10,28 @@ use crate::collective::{
 };
 use crate::world::Rank;
 use mpx_gpu::{Buffer, ReduceOp};
+use mpx_obs::Phase;
+
+/// Runs `f` as a `collective` span on this rank's telemetry track
+/// (`rank{i}`) when a recorder is attached; otherwise just runs it.
+fn with_span<R>(r: &Rank, name: &str, detail: String, f: impl FnOnce() -> R) -> R {
+    match r.context().recorder().cloned() {
+        None => f(),
+        Some(rec) => {
+            let t0 = r.now().as_secs();
+            let out = f();
+            rec.span(
+                Phase::Collective,
+                format!("rank{}", r.rank),
+                name,
+                t0,
+                r.now().as_secs(),
+                detail,
+            );
+            out
+        }
+    }
+}
 
 /// Allreduce algorithm choices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,26 +110,44 @@ pub fn select_bcast(ranks: usize, n: usize) -> BcastChoice {
 
 /// MPI_Bcast with automatic algorithm selection.
 pub fn bcast(r: &Rank, buf: &Buffer, n: usize, root: usize) {
-    match select_bcast(r.size, n) {
-        BcastChoice::Binomial => bcast_binomial(r, buf, n, root),
-        BcastChoice::ScatterAllgather => bcast_scatter_allgather(r, buf, n, root),
-    }
+    let choice = select_bcast(r.size, n);
+    with_span(
+        r,
+        "bcast",
+        format!("{choice:?} n={n} root={root}"),
+        || match choice {
+            BcastChoice::Binomial => bcast_binomial(r, buf, n, root),
+            BcastChoice::ScatterAllgather => bcast_scatter_allgather(r, buf, n, root),
+        },
+    )
 }
 
 /// MPI_Allreduce with automatic algorithm selection.
 pub fn allreduce(r: &Rank, buf: &Buffer, n: usize, op: ReduceOp) {
-    match select_allreduce(r.size, n) {
-        AllreduceChoice::Rabenseifner => allreduce_rabenseifner(r, buf, n, op),
-        AllreduceChoice::Ring => allreduce_ring(r, buf, n, op),
-    }
+    let choice = select_allreduce(r.size, n);
+    with_span(
+        r,
+        "allreduce",
+        format!("{choice:?} n={n}"),
+        || match choice {
+            AllreduceChoice::Rabenseifner => allreduce_rabenseifner(r, buf, n, op),
+            AllreduceChoice::Ring => allreduce_ring(r, buf, n, op),
+        },
+    )
 }
 
 /// MPI_Alltoall with automatic algorithm selection.
 pub fn alltoall(r: &Rank, send: &Buffer, recv: &Buffer, block: usize) {
-    match select_alltoall(r.size, block) {
-        AlltoallChoice::Bruck => alltoall_bruck(r, send, recv, block),
-        AlltoallChoice::Pairwise => alltoall_pairwise(r, send, recv, block),
-    }
+    let choice = select_alltoall(r.size, block);
+    with_span(
+        r,
+        "alltoall",
+        format!("{choice:?} block={block}"),
+        || match choice {
+            AlltoallChoice::Bruck => alltoall_bruck(r, send, recv, block),
+            AlltoallChoice::Pairwise => alltoall_pairwise(r, send, recv, block),
+        },
+    )
 }
 
 #[cfg(test)]
@@ -200,6 +240,35 @@ mod tests {
         });
         for got in &out {
             assert!(got.iter().all(|&v| v == 6.0), "{got:?}");
+        }
+    }
+
+    #[test]
+    fn collectives_record_spans_on_rank_tracks() {
+        use mpx_gpu::GpuRuntime;
+        use mpx_sim::Engine;
+
+        let eng = Engine::new(Arc::new(presets::beluga()));
+        let rec = mpx_obs::Recorder::new();
+        eng.set_recorder(rec.clone());
+        let w = World::over(GpuRuntime::new(eng), UcxConfig::default());
+        let n = 1 << 20;
+        w.run(4, move |r| {
+            let buf = r.alloc(n);
+            allreduce(&r, &buf, n, ReduceOp::Sum);
+        });
+        let events = rec.drain();
+        let collective_tracks: Vec<&str> = events
+            .iter()
+            .filter(|e| e.phase() == mpx_obs::Phase::Collective)
+            .map(|e| e.track())
+            .collect();
+        for i in 0..4 {
+            let track = format!("rank{i}");
+            assert!(
+                collective_tracks.contains(&track.as_str()),
+                "no collective span on {track}: {collective_tracks:?}"
+            );
         }
     }
 

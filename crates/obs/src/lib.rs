@@ -1,0 +1,34 @@
+//! `mpx-obs` — the unified telemetry layer.
+//!
+//! The paper's artifact is a *predictive model*; its value is how closely
+//! predicted transfer times track observed ones. This crate turns every
+//! run into a model-validation experiment:
+//!
+//! * [`Recorder`] — a cheap span/instant sink threaded through the
+//!   engine, the UCX context, and the MPI collectives. Phases cover the
+//!   whole pipeline: plan → probe → transfer → chunk-leg → recovery →
+//!   collective, plus fault and tuner events.
+//! * [`export_chrome_trace`] — renders a drained recorder as Chrome
+//!   trace-event JSON (Perfetto-loadable): one track per link, path lane,
+//!   and rank; faults and re-plans as instant markers.
+//! * [`TelemetryRegistry`] / [`MetricsSnapshot`] — one machine-readable
+//!   surface unifying the engine's `StatsSnapshot`, the context's
+//!   `CacheStats`, and the recovery loop's `ResilienceStats`.
+//! * [`ResidualTracker`] — online predicted-vs-measured error histograms
+//!   per pair and size class; [`ResidualTracker::report`] reproduces the
+//!   paper's error-table shape at runtime and explains drift-based cache
+//!   invalidations.
+//!
+//! Everything here is dependency-light (parking_lot + serde only) and
+//! designed so a stack built *without* a recorder pays one
+//! `Option<&Recorder>` branch per operation.
+
+mod perfetto;
+mod registry;
+mod residual;
+mod span;
+
+pub use perfetto::{export_chrome_trace, phases_present};
+pub use registry::{MetricEntry, MetricsSnapshot, TelemetryRegistry};
+pub use residual::{PairResidual, ResidualReport, ResidualRow, ResidualTracker};
+pub use span::{Event, InstantRecord, Phase, Recorder, SpanRecord};

@@ -1,0 +1,212 @@
+//! A unified metrics registry: the single machine-readable surface behind
+//! `SimStats`, `ResilienceStats`, and `CacheStats`, which grew as
+//! disjoint ad-hoc snapshots. Producers write named counters, gauges, and
+//! histograms; [`TelemetryRegistry::snapshot`] flattens everything into a
+//! serializable [`MetricsSnapshot`] (the payload of `mpx metrics` and the
+//! `--json` CLI flags).
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregated observations for one histogram metric.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct HistogramData {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(HistogramData),
+}
+
+/// Named-metric registry. Cheap to share behind an `Arc`; every method
+/// takes `&self`.
+#[derive(Default)]
+pub struct TelemetryRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl TelemetryRegistry {
+    /// An empty registry.
+    pub fn new() -> TelemetryRegistry {
+        TelemetryRegistry::default()
+    }
+
+    /// Sets a counter to an absolute value (the common case here:
+    /// mirroring an already-aggregated stats snapshot).
+    pub fn set_counter(&self, name: impl Into<String>, value: u64) {
+        self.metrics
+            .lock()
+            .insert(name.into(), Metric::Counter(value));
+    }
+
+    /// Adds to a counter (creates it at zero first).
+    pub fn inc_counter(&self, name: impl Into<String>, delta: u64) {
+        let mut m = self.metrics.lock();
+        match m.entry(name.into()).or_insert(Metric::Counter(0)) {
+            Metric::Counter(v) => *v += delta,
+            other => *other = Metric::Counter(delta),
+        }
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&self, name: impl Into<String>, value: f64) {
+        self.metrics
+            .lock()
+            .insert(name.into(), Metric::Gauge(value));
+    }
+
+    /// Adds one observation to a histogram (creates it when absent).
+    pub fn observe(&self, name: impl Into<String>, value: f64) {
+        let mut m = self.metrics.lock();
+        let h = match m
+            .entry(name.into())
+            .or_insert(Metric::Histogram(HistogramData::default()))
+        {
+            Metric::Histogram(h) => h,
+            other => {
+                *other = Metric::Histogram(HistogramData::default());
+                match other {
+                    Metric::Histogram(h) => h,
+                    _ => unreachable!(),
+                }
+            }
+        };
+        if h.count == 0 {
+            h.min = value;
+            h.max = value;
+        } else {
+            h.min = h.min.min(value);
+            h.max = h.max.max(value);
+        }
+        h.count += 1;
+        h.sum += value;
+    }
+
+    /// Flattens the registry into a serializable snapshot. Counters and
+    /// gauges become one entry each; a histogram expands into
+    /// `name.count` / `name.sum` / `name.mean` / `name.min` / `name.max`.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.metrics.lock();
+        let mut entries = Vec::with_capacity(m.len());
+        for (name, metric) in m.iter() {
+            match metric {
+                Metric::Counter(v) => entries.push(MetricEntry {
+                    name: name.clone(),
+                    kind: "counter".into(),
+                    value: *v as f64,
+                }),
+                Metric::Gauge(v) => entries.push(MetricEntry {
+                    name: name.clone(),
+                    kind: "gauge".into(),
+                    value: *v,
+                }),
+                Metric::Histogram(h) => {
+                    let mean = if h.count > 0 {
+                        h.sum / h.count as f64
+                    } else {
+                        0.0
+                    };
+                    for (suffix, v) in [
+                        ("count", h.count as f64),
+                        ("sum", h.sum),
+                        ("mean", mean),
+                        ("min", h.min),
+                        ("max", h.max),
+                    ] {
+                        entries.push(MetricEntry {
+                            name: format!("{name}.{suffix}"),
+                            kind: "histogram".into(),
+                            value: v,
+                        });
+                    }
+                }
+            }
+        }
+        MetricsSnapshot { entries }
+    }
+}
+
+/// One flattened metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricEntry {
+    /// Dotted metric name, e.g. `sim.flows_completed`.
+    pub name: String,
+    /// `counter`, `gauge`, or `histogram`.
+    pub kind: String,
+    /// The value (counters widen to f64).
+    pub value: f64,
+}
+
+/// A flat, serializable view of a [`TelemetryRegistry`] — the schema
+/// shared by `mpx metrics`, `mpx trace --metrics-out`, and the `--json`
+/// flags on `plan`/`resilient`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All metrics, sorted by name.
+    pub entries: Vec<MetricEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Looks a metric up by exact name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_flatten() {
+        let reg = TelemetryRegistry::new();
+        reg.set_counter("sim.flows_completed", 42);
+        reg.inc_counter("ucx.replans", 1);
+        reg.inc_counter("ucx.replans", 2);
+        reg.set_gauge("sim.now_secs", 1.25);
+        reg.observe("residual.abs_pct", 4.0);
+        reg.observe("residual.abs_pct", 8.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("sim.flows_completed"), Some(42.0));
+        assert_eq!(snap.get("ucx.replans"), Some(3.0));
+        assert_eq!(snap.get("sim.now_secs"), Some(1.25));
+        assert_eq!(snap.get("residual.abs_pct.count"), Some(2.0));
+        assert_eq!(snap.get("residual.abs_pct.mean"), Some(6.0));
+        assert_eq!(snap.get("residual.abs_pct.min"), Some(4.0));
+        assert_eq!(snap.get("residual.abs_pct.max"), Some(8.0));
+        assert_eq!(snap.get("missing"), None);
+    }
+
+    #[test]
+    fn snapshot_entries_sorted_by_name() {
+        let reg = TelemetryRegistry::new();
+        reg.set_counter("z.last", 1);
+        reg.set_counter("a.first", 1);
+        let snap = reg.snapshot();
+        let names: Vec<_> = snap.entries.iter().map(|e| e.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let reg = TelemetryRegistry::new();
+        reg.set_counter("c", 7);
+        reg.set_gauge("g", 0.5);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

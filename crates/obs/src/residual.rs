@@ -1,0 +1,335 @@
+//! The online model-residual tracker: every completed transfer feeds the
+//! predicted time from its (possibly cached) plan and the time the
+//! simulated fabric actually took. Residuals are bucketed per
+//! communication pair and per power-of-two size class, reproducing the
+//! paper's model-error table at runtime — and giving the drift
+//! invalidation hook an explainable basis ("invalidated because the p50
+//! residual exceeded the tolerance").
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Cap on retained per-cell samples; beyond it percentiles are computed
+/// over the first `SAMPLE_CAP` observations (runs here are far smaller).
+const SAMPLE_CAP: usize = 4096;
+
+#[derive(Debug, Default, Clone)]
+struct Cell {
+    count: u64,
+    /// Sum of signed relative errors, `(predicted − measured)/measured`.
+    sum_rel: f64,
+    /// Sum of |relative error|.
+    sum_abs: f64,
+    max_abs: f64,
+    sum_predicted: f64,
+    sum_measured: f64,
+    /// |relative error| samples for percentiles, capped at [`SAMPLE_CAP`].
+    samples: Vec<f64>,
+}
+
+impl Cell {
+    fn percentile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite residuals"));
+        let idx = ((s.len() - 1) as f64 * q).round() as usize;
+        s[idx]
+    }
+}
+
+/// Tracks predicted-vs-measured transfer times, bucketed by pair and
+/// size class. Thread-safe behind one mutex; recording is a map insert
+/// plus a handful of adds, far off any hot path (once per *transfer*,
+/// not per chunk).
+#[derive(Default)]
+pub struct ResidualTracker {
+    cells: Mutex<BTreeMap<(String, u32), Cell>>,
+}
+
+/// Per-pair summary used to explain drift invalidations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairResidual {
+    /// Observations across all size classes of the pair.
+    pub count: u64,
+    /// Mean |relative error|, percent.
+    pub mean_abs_pct: f64,
+    /// Median |relative error|, percent.
+    pub p50_abs_pct: f64,
+}
+
+impl ResidualTracker {
+    /// An empty tracker.
+    pub fn new() -> ResidualTracker {
+        ResidualTracker::default()
+    }
+
+    /// Records one completed transfer. `pair` is a stable label such as
+    /// `gpu0->gpu1`; times are seconds. Non-positive measurements are
+    /// ignored (a zero-duration transfer has no meaningful residual).
+    pub fn record(&self, pair: &str, bytes: usize, predicted: f64, measured: f64) {
+        if measured <= 0.0 || !measured.is_finite() || !predicted.is_finite() {
+            return;
+        }
+        let rel = (predicted - measured) / measured;
+        let class = size_class(bytes);
+        let mut cells = self.cells.lock();
+        let cell = cells.entry((pair.to_string(), class)).or_default();
+        cell.count += 1;
+        cell.sum_rel += rel;
+        cell.sum_abs += rel.abs();
+        cell.max_abs = cell.max_abs.max(rel.abs());
+        cell.sum_predicted += predicted;
+        cell.sum_measured += measured;
+        if cell.samples.len() < SAMPLE_CAP {
+            cell.samples.push(rel.abs());
+        }
+    }
+
+    /// Total transfers recorded.
+    pub fn count(&self) -> u64 {
+        self.cells.lock().values().map(|c| c.count).sum()
+    }
+
+    /// Mean |relative error| over every recorded transfer (fraction, not
+    /// percent) — the tracker's headline number, comparable to the
+    /// offline benches' `mean_relative_error`.
+    pub fn mean_abs_error(&self) -> f64 {
+        let cells = self.cells.lock();
+        let (n, sum) = cells
+            .values()
+            .fold((0u64, 0.0), |(n, s), c| (n + c.count, s + c.sum_abs));
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Residual summary for one pair (all size classes pooled), if it has
+    /// been observed.
+    pub fn pair_stats(&self, pair: &str) -> Option<PairResidual> {
+        let cells = self.cells.lock();
+        let mut count = 0u64;
+        let mut sum_abs = 0.0;
+        let mut samples: Vec<f64> = Vec::new();
+        for ((p, _), c) in cells.iter() {
+            if p == pair {
+                count += c.count;
+                sum_abs += c.sum_abs;
+                samples.extend_from_slice(&c.samples);
+            }
+        }
+        if count == 0 {
+            return None;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite residuals"));
+        let p50 = samples[(samples.len() - 1) / 2];
+        Some(PairResidual {
+            count,
+            mean_abs_pct: sum_abs / count as f64 * 100.0,
+            p50_abs_pct: p50 * 100.0,
+        })
+    }
+
+    /// The error table: one row per (pair, size class), sorted.
+    pub fn report(&self) -> ResidualReport {
+        let cells = self.cells.lock();
+        let rows = cells
+            .iter()
+            .map(|((pair, class), c)| {
+                let n = c.count as f64;
+                ResidualRow {
+                    pair: pair.clone(),
+                    size_class: class_label(*class),
+                    count: c.count,
+                    mean_rel_err_pct: c.sum_rel / n * 100.0,
+                    mean_abs_err_pct: c.sum_abs / n * 100.0,
+                    p50_abs_err_pct: c.percentile(0.5) * 100.0,
+                    p95_abs_err_pct: c.percentile(0.95) * 100.0,
+                    max_abs_err_pct: c.max_abs * 100.0,
+                    mean_predicted_us: c.sum_predicted / n * 1e6,
+                    mean_measured_us: c.sum_measured / n * 1e6,
+                }
+            })
+            .collect();
+        ResidualReport { rows }
+    }
+}
+
+/// One row of the runtime error table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResidualRow {
+    /// Communication pair, e.g. `gpu0->gpu1`.
+    pub pair: String,
+    /// Human-readable size-class bucket, e.g. `[64MiB,128MiB)`.
+    pub size_class: String,
+    /// Transfers in the bucket.
+    pub count: u64,
+    /// Mean signed relative error, percent (positive = model optimistic
+    /// about nothing — predicted > measured).
+    pub mean_rel_err_pct: f64,
+    /// Mean |relative error|, percent.
+    pub mean_abs_err_pct: f64,
+    /// Median |relative error|, percent.
+    pub p50_abs_err_pct: f64,
+    /// 95th-percentile |relative error|, percent.
+    pub p95_abs_err_pct: f64,
+    /// Worst |relative error|, percent.
+    pub max_abs_err_pct: f64,
+    /// Mean predicted transfer time, microseconds.
+    pub mean_predicted_us: f64,
+    /// Mean measured (simulated) transfer time, microseconds.
+    pub mean_measured_us: f64,
+}
+
+/// The full runtime error table, shaped like the paper's model-error
+/// table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResidualReport {
+    /// One row per (pair, size-class) bucket, sorted by pair then size.
+    pub rows: Vec<ResidualRow>,
+}
+
+impl ResidualReport {
+    /// Renders the table as aligned text for terminal output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<14} {:>16} {:>5} {:>9} {:>9} {:>9} {:>9} {:>11} {:>11}\n",
+            "pair", "size class", "n", "mean%", "|mean|%", "p50%", "p95%", "pred us", "meas us"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<14} {:>16} {:>5} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>11.1} {:>11.1}\n",
+                r.pair,
+                r.size_class,
+                r.count,
+                r.mean_rel_err_pct,
+                r.mean_abs_err_pct,
+                r.p50_abs_err_pct,
+                r.p95_abs_err_pct,
+                r.mean_predicted_us,
+                r.mean_measured_us
+            ));
+        }
+        out
+    }
+}
+
+/// Size-class index: floor(log2(bytes)); zero-byte transfers get class 0.
+fn size_class(bytes: usize) -> u32 {
+    if bytes <= 1 {
+        0
+    } else {
+        usize::BITS - 1 - bytes.leading_zeros()
+    }
+}
+
+fn humanize(bytes: u128) -> String {
+    const UNITS: [(&str, u128); 4] = [
+        ("GiB", 1 << 30),
+        ("MiB", 1 << 20),
+        ("KiB", 1 << 10),
+        ("B", 1),
+    ];
+    for (unit, scale) in UNITS {
+        if bytes >= scale && bytes.is_multiple_of(scale) {
+            return format!("{}{}", bytes / scale, unit);
+        }
+    }
+    format!("{bytes}B")
+}
+
+fn class_label(class: u32) -> String {
+    let lo = 1u128 << class;
+    let hi = 1u128 << (class + 1);
+    format!("[{},{})", humanize(lo), humanize(hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residuals_bucket_by_pair_and_size() {
+        let t = ResidualTracker::new();
+        // 10% optimistic on a 64 MiB transfer, exact on a 4 MiB one.
+        t.record("gpu0->gpu1", 64 << 20, 1.1e-3, 1.0e-3);
+        t.record("gpu0->gpu1", 4 << 20, 5.0e-4, 5.0e-4);
+        t.record("gpu2->gpu3", 64 << 20, 0.9e-3, 1.0e-3);
+        let report = t.report();
+        assert_eq!(report.rows.len(), 3);
+        let big01 = report
+            .rows
+            .iter()
+            .find(|r| r.pair == "gpu0->gpu1" && r.size_class == "[64MiB,128MiB)")
+            .expect("bucket exists");
+        assert_eq!(big01.count, 1);
+        assert!((big01.mean_rel_err_pct - 10.0).abs() < 1e-6);
+        assert!((big01.mean_abs_err_pct - 10.0).abs() < 1e-6);
+        let small01 = report
+            .rows
+            .iter()
+            .find(|r| r.pair == "gpu0->gpu1" && r.size_class == "[4MiB,8MiB)")
+            .expect("bucket exists");
+        assert_eq!(small01.mean_abs_err_pct, 0.0);
+        // Overall mean |error| = (10% + 0% + 10%) / 3.
+        assert!((t.mean_abs_error() - 0.1 * 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(t.count(), 3);
+    }
+
+    #[test]
+    fn pair_stats_pool_size_classes() {
+        let t = ResidualTracker::new();
+        t.record("a->b", 1 << 20, 1.05, 1.0);
+        t.record("a->b", 1 << 24, 1.15, 1.0);
+        t.record("a->b", 1 << 26, 1.10, 1.0);
+        let s = t.pair_stats("a->b").expect("observed pair");
+        assert_eq!(s.count, 3);
+        assert!((s.mean_abs_pct - 10.0).abs() < 1e-6);
+        assert!((s.p50_abs_pct - 10.0).abs() < 1e-6);
+        assert!(t.pair_stats("c->d").is_none());
+    }
+
+    #[test]
+    fn degenerate_measurements_ignored() {
+        let t = ResidualTracker::new();
+        t.record("a->b", 100, 1.0, 0.0);
+        t.record("a->b", 100, f64::NAN, 1.0);
+        t.record("a->b", 100, 1.0, f64::INFINITY);
+        assert_eq!(t.count(), 0);
+        assert!(t.report().rows.is_empty());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let t = ResidualTracker::new();
+        t.record("gpu0->gpu1", 8 << 20, 2.0e-3, 2.1e-3);
+        let report = t.report();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ResidualReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn size_class_labels() {
+        assert_eq!(class_label(size_class(4 << 20)), "[4MiB,8MiB)");
+        assert_eq!(class_label(size_class((4 << 20) + 1)), "[4MiB,8MiB)");
+        assert_eq!(class_label(size_class(1024)), "[1KiB,2KiB)");
+        assert_eq!(class_label(size_class(0)), "[1B,2B)");
+        assert_eq!(class_label(size_class(3)), "[2B,4B)");
+    }
+
+    #[test]
+    fn render_contains_header_and_rows() {
+        let t = ResidualTracker::new();
+        t.record("gpu0->gpu1", 64 << 20, 1.0e-3, 1.0e-3);
+        let text = t.report().render();
+        assert!(text.contains("pair"));
+        assert!(text.contains("gpu0->gpu1"));
+        assert!(text.contains("[64MiB,128MiB)"));
+    }
+}

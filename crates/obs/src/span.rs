@@ -1,0 +1,361 @@
+//! The recording core: phases, span/instant records, and the [`Recorder`].
+//!
+//! A [`Recorder`] is a cheap clonable handle shared by every layer of the
+//! stack (engine, UCX context, MPI ranks). Each recording thread appends
+//! to its own buffer — registered with the recorder on first use — so the
+//! hot path takes one uncontended lock and pushes one record; nothing is
+//! serialized until [`Recorder::drain`]. Timestamps are **virtual-time
+//! seconds** from the simulation clock, so spans line up exactly with the
+//! engine's flow trace.
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Lifecycle phase a telemetry event belongs to. Phases become the `cat`
+/// field of the exported Chrome trace, so a Perfetto query can filter one
+/// stage of the plan → probe → transfer pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Planner invocation (Algorithm 1 / Eq. 24 share solve).
+    Plan,
+    /// Capacity probe ahead of a dynamic plan.
+    Probe,
+    /// A whole multi-path transfer, issue to last-byte.
+    Transfer,
+    /// One chunk leg (or direct-path flow) inside a transfer.
+    ChunkLeg,
+    /// Recovery activity: deadline timeouts and re-plans.
+    Recovery,
+    /// A collective operation on one rank.
+    Collective,
+    /// A fault-injection event firing.
+    Fault,
+    /// Static tuner activity.
+    Tune,
+}
+
+impl Phase {
+    /// Every phase, in pipeline order.
+    pub const ALL: [Phase; 8] = [
+        Phase::Plan,
+        Phase::Probe,
+        Phase::Transfer,
+        Phase::ChunkLeg,
+        Phase::Recovery,
+        Phase::Collective,
+        Phase::Fault,
+        Phase::Tune,
+    ];
+
+    /// Stable lower-case label (the trace `cat` field).
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Plan => "plan",
+            Phase::Probe => "probe",
+            Phase::Transfer => "transfer",
+            Phase::ChunkLeg => "chunk-leg",
+            Phase::Recovery => "recovery",
+            Phase::Collective => "collective",
+            Phase::Fault => "fault",
+            Phase::Tune => "tune",
+        }
+    }
+}
+
+/// A duration event: something that started and finished.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Human-readable event name (e.g. the flow label).
+    pub name: String,
+    /// Track (Perfetto row) the span renders on, e.g. `link:gpu0->gpu1`
+    /// or `rank0`.
+    pub track: String,
+    /// Pipeline phase.
+    pub phase: Phase,
+    /// Start, virtual-time seconds.
+    pub start: f64,
+    /// End, virtual-time seconds (`end >= start`).
+    pub end: f64,
+    /// Free-form detail string carried into the trace `args`.
+    pub detail: String,
+}
+
+/// A point-in-time event (fault fired, re-plan decided, cache
+/// invalidated).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstantRecord {
+    /// Event name.
+    pub name: String,
+    /// Track the marker renders on.
+    pub track: String,
+    /// Pipeline phase.
+    pub phase: Phase,
+    /// When, virtual-time seconds.
+    pub at: f64,
+    /// Free-form detail string.
+    pub detail: String,
+}
+
+/// One recorded telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Duration event.
+    Span(SpanRecord),
+    /// Point event.
+    Instant(InstantRecord),
+}
+
+impl Event {
+    /// The event's timestamp (span start, instant time).
+    pub fn at(&self) -> f64 {
+        match self {
+            Event::Span(s) => s.start,
+            Event::Instant(i) => i.at,
+        }
+    }
+
+    /// The track the event renders on.
+    pub fn track(&self) -> &str {
+        match self {
+            Event::Span(s) => &s.track,
+            Event::Instant(i) => &i.track,
+        }
+    }
+
+    /// The event's phase.
+    pub fn phase(&self) -> Phase {
+        match self {
+            Event::Span(s) => s.phase,
+            Event::Instant(i) => i.phase,
+        }
+    }
+}
+
+/// Process-unique recorder ids, so a thread-local buffer cached for one
+/// recorder is never mistaken for another's.
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One thread's event buffer, shared with the owning recorder.
+type SharedBuffer = Arc<Mutex<Vec<Event>>>;
+
+thread_local! {
+    /// Per-thread buffer cache: `(recorder id, buffer)` pairs. A thread
+    /// typically talks to one recorder per run, so linear search wins.
+    static LOCAL_BUFFERS: RefCell<Vec<(u64, SharedBuffer)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+struct RecorderInner {
+    id: u64,
+    /// All per-thread buffers ever registered; drained in order.
+    buffers: Mutex<Vec<SharedBuffer>>,
+    recorded: AtomicU64,
+}
+
+/// Shared telemetry sink. Clone freely; clones record into the same
+/// buffers. Recording appends to the calling thread's own buffer (an
+/// uncontended lock outside of drains), so instrumented hot paths stay
+/// cheap; a disabled stack simply carries no recorder
+/// (`Option<Recorder>` checked once per operation).
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Recorder {
+        Recorder {
+            inner: Arc::new(RecorderInner {
+                id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+                buffers: Mutex::new(Vec::new()),
+                recorded: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records a duration event.
+    pub fn span(
+        &self,
+        phase: Phase,
+        track: impl Into<String>,
+        name: impl Into<String>,
+        start: f64,
+        end: f64,
+        detail: impl Into<String>,
+    ) {
+        self.push(Event::Span(SpanRecord {
+            name: name.into(),
+            track: track.into(),
+            phase,
+            start,
+            end: end.max(start),
+            detail: detail.into(),
+        }));
+    }
+
+    /// Records a point event.
+    pub fn instant(
+        &self,
+        phase: Phase,
+        track: impl Into<String>,
+        name: impl Into<String>,
+        at: f64,
+        detail: impl Into<String>,
+    ) {
+        self.push(Event::Instant(InstantRecord {
+            name: name.into(),
+            track: track.into(),
+            phase,
+            at,
+            detail: detail.into(),
+        }));
+    }
+
+    /// Total events recorded so far (all threads).
+    pub fn events_recorded(&self) -> u64 {
+        self.inner.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Collects every buffered event, sorted by timestamp, leaving the
+    /// buffers empty. Safe to call while other threads keep recording
+    /// (their new events land in the next drain).
+    pub fn drain(&self) -> Vec<Event> {
+        let buffers = self.inner.buffers.lock();
+        let mut out = Vec::new();
+        for buf in buffers.iter() {
+            out.append(&mut buf.lock());
+        }
+        drop(buffers);
+        out.sort_by(|a, b| {
+            a.at()
+                .partial_cmp(&b.at())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        out
+    }
+
+    fn push(&self, ev: Event) {
+        self.inner.recorded.fetch_add(1, Ordering::Relaxed);
+        LOCAL_BUFFERS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(i) = cache.iter().position(|(id, _)| *id == self.inner.id) {
+                cache[i].1.lock().push(ev);
+            } else {
+                let buf = Arc::new(Mutex::new(vec![ev]));
+                self.inner.buffers.lock().push(buf.clone());
+                cache.push((self.inner.id, buf));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_drains_in_time_order() {
+        let r = Recorder::new();
+        r.instant(Phase::Fault, "fabric", "kill", 2.0, "");
+        r.span(Phase::Transfer, "xfer", "put", 0.5, 1.5, "64M");
+        r.span(Phase::Plan, "planner", "plan", 0.0, 0.0, "");
+        assert_eq!(r.events_recorded(), 3);
+        let evs = r.drain();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].phase(), Phase::Plan);
+        assert_eq!(evs[1].phase(), Phase::Transfer);
+        assert_eq!(evs[2].phase(), Phase::Fault);
+        // Drained: a second drain is empty.
+        assert!(r.drain().is_empty());
+        // The counter keeps the lifetime total.
+        assert_eq!(r.events_recorded(), 3);
+    }
+
+    #[test]
+    fn span_end_clamped_to_start() {
+        let r = Recorder::new();
+        r.span(Phase::Probe, "t", "backwards", 5.0, 4.0, "");
+        let evs = r.drain();
+        match &evs[0] {
+            Event::Span(s) => assert_eq!(s.end, 5.0),
+            other => panic!("expected span, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_thread_recording_lands_in_one_drain() {
+        let r = Recorder::new();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let r = r.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    r.span(
+                        Phase::ChunkLeg,
+                        format!("track{t}"),
+                        format!("ev{i}"),
+                        i as f64,
+                        i as f64 + 0.5,
+                        "",
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let evs = r.drain();
+        assert_eq!(evs.len(), 400);
+        assert_eq!(r.events_recorded(), 400);
+        // Sorted by timestamp.
+        for w in evs.windows(2) {
+            assert!(w[0].at() <= w[1].at());
+        }
+    }
+
+    #[test]
+    fn distinct_recorders_do_not_cross_talk() {
+        let a = Recorder::new();
+        let b = Recorder::new();
+        a.instant(Phase::Plan, "t", "a-only", 0.0, "");
+        b.instant(Phase::Plan, "t", "b-only", 0.0, "");
+        let ea = a.drain();
+        let eb = b.drain();
+        assert_eq!(ea.len(), 1);
+        assert_eq!(eb.len(), 1);
+        match (&ea[0], &eb[0]) {
+            (Event::Instant(x), Event::Instant(y)) => {
+                assert_eq!(x.name, "a-only");
+                assert_eq!(y.name, "b-only");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn phase_labels_are_stable() {
+        let labels: Vec<_> = Phase::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "plan",
+                "probe",
+                "transfer",
+                "chunk-leg",
+                "recovery",
+                "collective",
+                "fault",
+                "tune"
+            ]
+        );
+    }
+}

@@ -29,6 +29,7 @@
 use crate::fairness::{FairShareScratch, FlowDemand};
 use crate::time::SimTime;
 use crate::waker::Waker;
+use mpx_obs::{Phase, Recorder};
 use mpx_topo::units::Secs;
 use mpx_topo::{LinkId, Topology};
 use parking_lot::{Condvar, Mutex};
@@ -188,6 +189,24 @@ pub struct StatsSnapshot {
     pub links_down: u64,
 }
 
+impl StatsSnapshot {
+    /// Mirrors the engine counters into a telemetry registry under the
+    /// `sim.` namespace — one of the three stats surfaces unified by the
+    /// [`mpx_obs::MetricsSnapshot`] schema.
+    pub fn fill_registry(&self, reg: &mpx_obs::TelemetryRegistry) {
+        reg.set_gauge("sim.now_secs", self.now.as_secs());
+        reg.set_counter("sim.flows_issued", self.flows_issued);
+        reg.set_counter("sim.flows_completed", self.flows_completed);
+        reg.set_counter("sim.events_processed", self.events_processed);
+        reg.set_counter("sim.events_scheduled", self.events_scheduled);
+        reg.set_counter("sim.faults_fired", self.faults_fired);
+        reg.set_counter("sim.flows_stalled", self.flows_stalled);
+        reg.set_counter("sim.links_down", self.links_down);
+        let total_bytes: f64 = self.links.iter().map(|l| l.bytes).sum();
+        reg.set_gauge("sim.link_bytes_total", total_bytes);
+    }
+}
+
 struct FlowState {
     route: Vec<LinkId>,
     demand: FlowDemand,
@@ -284,6 +303,9 @@ struct State {
     any_down: bool,
     faults_fired: u64,
     flows_stalled: u64,
+    /// Telemetry sink; when present, every completed flow becomes a span
+    /// on its lane track and on each link it crossed (see `mpx-obs`).
+    recorder: Option<Recorder>,
 }
 
 struct Shared {
@@ -370,6 +392,29 @@ impl<'a> Ctx<'a> {
     pub fn note_fault(&mut self) {
         self.st.faults_fired += 1;
     }
+
+    /// The telemetry recorder installed on the engine, if any.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.st.recorder.as_ref()
+    }
+
+    /// Records a fault instant on the affected link's track (no-op
+    /// without a recorder).
+    pub fn record_fault_instant(&mut self, kind: &str, link: LinkId) {
+        if let Some(rec) = self.st.recorder.as_ref() {
+            let track = match self.topo.link(link) {
+                Ok(l) => format!("link:{}->{}", l.src, l.dst),
+                Err(_) => "fabric".to_string(),
+            };
+            rec.instant(
+                Phase::Fault,
+                track,
+                format!("fault:{kind} {link}"),
+                self.st.now.as_secs(),
+                kind.to_string(),
+            );
+        }
+    }
 }
 
 impl Engine {
@@ -415,6 +460,7 @@ impl Engine {
                     any_down: false,
                     faults_fired: 0,
                     flows_stalled: 0,
+                    recorder: None,
                 }),
                 cv: Condvar::new(),
             }),
@@ -424,6 +470,21 @@ impl Engine {
     /// The simulated topology.
     pub fn topology(&self) -> &Arc<Topology> {
         &self.shared.topo
+    }
+
+    /// Installs a telemetry recorder: from now on every completed flow is
+    /// recorded as a span on its lane track *and* on each link of its
+    /// route, and fault events mark instants (see `mpx-obs`). Install
+    /// before building runtimes on top of the engine — they cache the
+    /// recorder handle at construction.
+    pub fn set_recorder(&self, recorder: Recorder) {
+        self.shared.state.lock().recorder = Some(recorder);
+    }
+
+    /// The installed telemetry recorder, if any (cheap clone of a shared
+    /// handle).
+    pub fn recorder(&self) -> Option<Recorder> {
+        self.shared.state.lock().recorder.clone()
     }
 
     /// Changes a link's capacity at the current virtual time (hardware
@@ -641,7 +702,9 @@ impl Engine {
         }
     }
 
-    /// Takes the accumulated trace (tracing must have been enabled).
+    /// Takes the accumulated trace. Returns an empty `Vec` when tracing
+    /// was never enabled (see [`Engine::with_tracing`]) — callers need
+    /// no enablement check before draining.
     pub fn take_trace(&self) -> Vec<TraceRecord> {
         let mut st = self.shared.state.lock();
         match st.trace.as_mut() {
@@ -781,6 +844,17 @@ impl Drop for SimThread {
 // ---------------------------------------------------------------------
 // Lock-held internals. Every function below expects the engine mutex.
 // ---------------------------------------------------------------------
+
+/// Collapses a flow label to its Perfetto lane: the chunk field is
+/// dropped (`xfer0.p1.c3.leg2` → `xfer0.p1.leg2`) so a chunked path
+/// renders one row per leg, mirroring `stats::trace_to_chrome_json`.
+fn lane_of(label: &str) -> String {
+    let mut parts: Vec<&str> = label.split('.').collect();
+    parts.retain(|p| {
+        !(p.starts_with('c') && p.len() > 1 && p[1..].bytes().all(|b| b.is_ascii_digit()))
+    });
+    parts.join(".")
+}
 
 fn push_event(st: &mut State, at: SimTime, ev: Event) {
     let seq = st.seq;
@@ -1068,6 +1142,33 @@ fn complete_flow(st: &mut State, topo: &Topology, id: FlowId) {
     }
     fs.remaining = 0.0;
     st.flows_completed += 1;
+    if let Some(rec) = st.recorder.as_ref() {
+        let label = if fs.label.is_empty() {
+            format!("flow{}", id.0)
+        } else {
+            fs.label.clone()
+        };
+        // Probe flows carry a `probe` label prefix; everything else on
+        // the fabric is a chunk leg (or direct-path flow) of a transfer.
+        let phase = if label.starts_with("probe") {
+            Phase::Probe
+        } else {
+            Phase::ChunkLeg
+        };
+        let start = if fs.activated == SimTime::NEVER {
+            fs.issued
+        } else {
+            fs.activated
+        };
+        let (start, end) = (start.as_secs(), st.now.as_secs());
+        let detail = format!("{} bytes", fs.bytes);
+        rec.span(phase, lane_of(&label), label.clone(), start, end, &detail);
+        for &(l, _) in &fs.demand.links {
+            let link = &topo.links[l];
+            let track = format!("link:{}->{}", link.src, link.dst);
+            rec.span(phase, track, label.clone(), start, end, &detail);
+        }
+    }
     if let Some(trace) = st.trace.as_mut() {
         trace.push(TraceRecord {
             flow: id,
@@ -1280,6 +1381,43 @@ mod tests {
         assert_eq!(r.label, "probe");
         assert_eq!(r.bytes, 1_000_000);
         assert!(r.issued <= r.activated && r.activated <= r.completed);
+    }
+
+    #[test]
+    fn take_trace_without_tracing_returns_empty() {
+        // Regression: draining a never-enabled trace must not panic and
+        // must yield an empty Vec, even after flows completed.
+        let eng = engine();
+        let route = direct_route(&eng);
+        eng.start_flow(FlowSpec::new(route, 1 << 20), OnComplete::Nothing);
+        eng.run_until_idle();
+        assert!(eng.take_trace().is_empty());
+    }
+
+    #[test]
+    fn recorder_captures_flow_spans_on_lane_and_link_tracks() {
+        let eng = engine();
+        let rec = mpx_obs::Recorder::new();
+        eng.set_recorder(rec.clone());
+        assert!(eng.recorder().is_some());
+        let route = direct_route(&eng);
+        eng.start_flow(
+            FlowSpec::new(route.clone(), 1 << 20).labeled("xfer0.p0.c1.leg1"),
+            OnComplete::Nothing,
+        );
+        eng.start_flow(
+            FlowSpec::new(route, 1 << 10).labeled("probe0"),
+            OnComplete::Nothing,
+        );
+        eng.run_until_idle();
+        let events = rec.drain();
+        // Each flow spans its lane track and its one link track.
+        assert_eq!(events.len(), 4, "{events:?}");
+        let tracks: Vec<&str> = events.iter().map(|e| e.track()).collect();
+        assert!(tracks.contains(&"xfer0.p0.leg1"), "{tracks:?}");
+        assert!(tracks.iter().any(|t| t.starts_with("link:dev")));
+        assert!(events.iter().any(|e| e.phase() == Phase::Probe));
+        assert!(events.iter().any(|e| e.phase() == Phase::ChunkLeg));
     }
 
     #[test]

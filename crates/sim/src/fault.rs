@@ -180,6 +180,7 @@ impl FaultInjector {
                     at,
                     OnComplete::Call(Box::new(move |ctx| {
                         ctx.note_fault();
+                        ctx.record_fault_instant("degrade", link);
                         ctx.scale_link_capacity(link, factor);
                     })),
                 ),
@@ -187,6 +188,7 @@ impl FaultInjector {
                     at,
                     OnComplete::Call(Box::new(move |ctx| {
                         ctx.note_fault();
+                        ctx.record_fault_instant("latency-spike", link);
                         ctx.set_link_latency_scale(link, factor);
                         ctx.schedule_in(
                             duration,
@@ -200,6 +202,7 @@ impl FaultInjector {
                     at,
                     OnComplete::Call(Box::new(move |ctx| {
                         ctx.note_fault();
+                        ctx.record_fault_instant("flap", link);
                         ctx.set_link_down(link);
                         ctx.schedule_in(
                             duration,
@@ -213,6 +216,7 @@ impl FaultInjector {
                     at,
                     OnComplete::Call(Box::new(move |ctx| {
                         ctx.note_fault();
+                        ctx.record_fault_instant("kill", link);
                         ctx.set_link_down(link);
                     })),
                 ),

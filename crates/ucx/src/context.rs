@@ -7,12 +7,13 @@
 //! a statically tuned table — and hands the resulting configuration to
 //! the pipeline engine (Step 5).
 
-use crate::pipeline::{execute_plan, execute_plan_at, TransferHandle};
+use crate::pipeline::{execute_plan_at_obs, TransferHandle, TransferObs};
 use crate::probe::probe_all_with;
 use crate::recover::{ResilienceCounters, ResilienceStats};
 use crate::tuner::{manual_plan, tune_exhaustive, TuneResult};
 use mpx_gpu::{Buffer, GpuRuntime};
 use mpx_model::{PairKey, PlanCache, Planner, PlannerConfig, ShardedMap, TransferPlan};
+use mpx_obs::{Phase, Recorder, ResidualReport, ResidualTracker, TelemetryRegistry};
 use mpx_sim::SimThread;
 use mpx_topo::path::{enumerate_paths_auto, PathSelection, TransferPath};
 use mpx_topo::{DeviceId, TopologyError};
@@ -121,12 +122,22 @@ struct ContextInner {
     static_shares: RwLock<Option<Vec<f64>>>,
     seq: AtomicU64,
     resilience: ResilienceCounters,
+    /// Telemetry recorder, cached from the engine at construction.
+    /// `None` keeps every instrumentation site to a single branch.
+    obs: Option<Recorder>,
+    /// Online predicted-vs-measured residual tracker, fed by the
+    /// pipeline's whole-message completion tail.
+    residual: Arc<ResidualTracker>,
 }
 
 impl UcxContext {
     /// Creates a context over an existing runtime.
+    ///
+    /// The engine's telemetry recorder (if any) is cached here, so call
+    /// [`mpx_sim::Engine::set_recorder`] *before* constructing contexts.
     pub fn new(rt: GpuRuntime, cfg: UcxConfig) -> UcxContext {
         let planner = Planner::with_config(rt.engine().topology().clone(), cfg.planner);
+        let obs = rt.engine().recorder();
         UcxContext {
             inner: Arc::new(ContextInner {
                 rt,
@@ -139,6 +150,8 @@ impl UcxContext {
                 static_shares: RwLock::new(None),
                 seq: AtomicU64::new(0),
                 resilience: ResilienceCounters::default(),
+                obs,
+                residual: Arc::new(ResidualTracker::new()),
             }),
         }
     }
@@ -193,7 +206,40 @@ impl UcxContext {
 
     /// Resolves the configuration for an `n`-byte transfer (Fig. 2(a)
     /// Steps 3–4).
+    ///
+    /// When telemetry is attached, every resolution drops a `plan`
+    /// instant on the pair's track recording the wall-clock planning
+    /// cost and the chosen configuration — cache hits and misses alike,
+    /// so planning-time regressions show up in the trace.
     pub fn plan_for(
+        &self,
+        src: DeviceId,
+        dst: DeviceId,
+        n: usize,
+    ) -> Result<Arc<TransferPlan>, TopologyError> {
+        match &self.inner.obs {
+            None => self.plan_for_inner(src, dst, n),
+            Some(rec) => {
+                let wall = std::time::Instant::now();
+                let plan = self.plan_for_inner(src, dst, n)?;
+                rec.instant(
+                    Phase::Plan,
+                    format!("pair:{src}->{dst}"),
+                    format!("plan {n}B"),
+                    self.inner.rt.engine().now().as_secs(),
+                    format!(
+                        "wall_us={:.1} paths={} predicted_us={:.3}",
+                        wall.elapsed().as_secs_f64() * 1e6,
+                        plan.active_path_count(),
+                        plan.predicted_time * 1e6
+                    ),
+                );
+                Ok(plan)
+            }
+        }
+    }
+
+    fn plan_for_inner(
         &self,
         src: DeviceId,
         dst: DeviceId,
@@ -257,6 +303,15 @@ impl UcxContext {
                     let p = eng.with_capacities(|caps| {
                         probe_all_with(eng.topology(), Some(caps), &paths).map(Arc::new)
                     })?;
+                    if let Some(rec) = &self.inner.obs {
+                        rec.instant(
+                            Phase::Probe,
+                            format!("pair:{src}->{dst}"),
+                            "probe-calibrate",
+                            eng.now().as_secs(),
+                            format!("paths={}", paths.len()),
+                        );
+                    }
                     self.inner.probed.insert(&pair, pair, p.clone());
                     p
                 }
@@ -287,6 +342,19 @@ impl UcxContext {
         self.inner
             .static_plans
             .insert(&pair, (pair, n), result.plan.clone());
+        if let Some(rec) = &self.inner.obs {
+            rec.instant(
+                Phase::Tune,
+                format!("pair:{src}->{dst}"),
+                format!("tune-static {n}B"),
+                self.inner.rt.engine().now().as_secs(),
+                format!(
+                    "grid={} predicted_us={:.3}",
+                    self.inner.cfg.static_grid,
+                    result.plan.predicted_time * 1e6
+                ),
+            );
+        }
         Ok(result)
     }
 
@@ -350,7 +418,18 @@ impl UcxContext {
         let plan = self.plan_for(src.device(), dst.device(), n)?;
         let paths = self.paths_for(src.device(), dst.device(), self.effective_selection())?;
         let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
-        Ok(execute_plan(&self.inner.rt, &plan, &paths, src, dst, seq))
+        Ok(execute_plan_at_obs(
+            &self.inner.rt,
+            &plan,
+            &paths,
+            src,
+            0,
+            dst,
+            0,
+            seq,
+            &[],
+            self.transfer_obs(src.device(), dst.device()),
+        ))
     }
 
     /// Like [`UcxContext::put_async`], additionally firing every waker in
@@ -366,7 +445,7 @@ impl UcxContext {
         let plan = self.plan_for(src.device(), dst.device(), n)?;
         let paths = self.paths_for(src.device(), dst.device(), self.effective_selection())?;
         let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
-        Ok(execute_plan_at(
+        Ok(execute_plan_at_obs(
             &self.inner.rt,
             &plan,
             &paths,
@@ -376,6 +455,7 @@ impl UcxContext {
             0,
             seq,
             notify,
+            self.transfer_obs(src.device(), dst.device()),
         ))
     }
 
@@ -395,7 +475,7 @@ impl UcxContext {
         let plan = self.plan_for(src.device(), dst.device(), n)?;
         let paths = self.paths_for(src.device(), dst.device(), self.effective_selection())?;
         let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
-        Ok(execute_plan_at(
+        Ok(execute_plan_at_obs(
             &self.inner.rt,
             &plan,
             &paths,
@@ -405,6 +485,7 @@ impl UcxContext {
             dst_off,
             seq,
             notify,
+            self.transfer_obs(src.device(), dst.device()),
         ))
     }
 
@@ -446,6 +527,58 @@ impl UcxContext {
         self.inner.seq.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// The telemetry recorder cached at construction, if the engine had
+    /// one installed. `None` means every instrumentation site in this
+    /// context is a single never-taken branch.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.inner.obs.as_ref()
+    }
+
+    /// The online predicted-vs-measured residual tracker. Only fed when
+    /// telemetry is attached (the pipeline's completion tail records one
+    /// sample per whole message).
+    pub fn residuals(&self) -> &Arc<ResidualTracker> {
+        &self.inner.residual
+    }
+
+    /// Renders the residual tracker's per-pair, per-size-class error
+    /// table — the online counterpart of the paper's offline error
+    /// tables.
+    pub fn residual_report(&self) -> ResidualReport {
+        self.inner.residual.report()
+    }
+
+    /// Publishes the context's counters into a [`TelemetryRegistry`]
+    /// under `ucx.cache.*`, `ucx.resilience.*`, and `ucx.residual.*`.
+    pub fn fill_registry(&self, reg: &TelemetryRegistry) {
+        let c = self.cache_stats();
+        reg.set_counter("ucx.cache.hits", c.hits);
+        reg.set_counter("ucx.cache.misses", c.misses);
+        reg.set_counter("ucx.cache.class_hits", c.class_hits);
+        reg.set_counter("ucx.cache.class_fallbacks", c.class_fallbacks);
+        reg.set_counter("ucx.cache.invalidations", c.invalidations);
+        let r = self.resilience_stats();
+        reg.set_counter("ucx.resilience.retries", r.retries);
+        reg.set_counter("ucx.resilience.replans", r.replans);
+        reg.set_counter("ucx.resilience.timeouts", r.timeouts);
+        reg.set_counter("ucx.resilience.cache_invalidations", r.cache_invalidations);
+        reg.set_counter("ucx.residual.samples", self.inner.residual.count());
+        reg.set_gauge(
+            "ucx.residual.mean_abs_error_pct",
+            self.inner.residual.mean_abs_error() * 100.0,
+        );
+    }
+
+    /// Bundles the recorder and residual tracker into the per-transfer
+    /// handle the pipeline's completion tail consumes.
+    pub(crate) fn transfer_obs(&self, src: DeviceId, dst: DeviceId) -> Option<TransferObs> {
+        self.inner.obs.as_ref().map(|rec| TransferObs {
+            rec: rec.clone(),
+            residual: self.inner.residual.clone(),
+            pair: format!("{src}->{dst}"),
+        })
+    }
+
     /// Feeds back an observed end-to-end bandwidth for an `n`-byte
     /// `src → dst` transfer. If it drifts from the cached plan's
     /// prediction by more than [`UcxConfig::drift_tolerance`], the pair's
@@ -484,6 +617,30 @@ impl UcxContext {
             .resilience
             .cache_invalidations
             .fetch_add(1, Ordering::Relaxed);
+        if let Some(rec) = &self.inner.obs {
+            // Make the invalidation explainable: cite the drift that
+            // tripped it and what the residual tracker has seen for the
+            // pair so far.
+            let pair_label = format!("{src}->{dst}");
+            let residual = match self.inner.residual.pair_stats(&pair_label) {
+                Some(s) => format!(
+                    " residual_p50_pct={:.1} residual_samples={}",
+                    s.p50_abs_pct, s.count
+                ),
+                None => String::new(),
+            };
+            rec.instant(
+                Phase::Recovery,
+                format!("pair:{pair_label}"),
+                "cache-invalidate",
+                self.inner.rt.engine().now().as_secs(),
+                format!(
+                    "drift_pct={:.1} tolerance_pct={:.1}{residual}",
+                    drift * 100.0,
+                    self.inner.cfg.drift_tolerance * 100.0
+                ),
+            );
+        }
         true
     }
 
@@ -603,6 +760,55 @@ mod tests {
             .paths_for(gpus[0], gpus[1], PathSelection::THREE_GPUS)
             .unwrap();
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn telemetry_records_plan_transfer_and_residual() {
+        let topo = Arc::new(presets::beluga());
+        let eng = Engine::new(topo);
+        let rec = mpx_obs::Recorder::new();
+        eng.set_recorder(rec.clone());
+        let rt = GpuRuntime::new(eng);
+        let c = UcxContext::new(rt, UcxConfig::default());
+        assert!(c.recorder().is_some());
+        let gpus = c.runtime().engine().topology().gpus();
+        let n = 8 * MIB;
+        let src = c.runtime().alloc(gpus[0], n);
+        let dst = c.runtime().alloc(gpus[1], n);
+        let h = c.put_async(&src, &dst, n).unwrap();
+        c.runtime().engine().run_until_idle();
+        assert!(h.is_complete());
+        let events = rec.drain();
+        for phase in [
+            mpx_obs::Phase::Plan,
+            mpx_obs::Phase::Probe,
+            mpx_obs::Phase::Transfer,
+            mpx_obs::Phase::ChunkLeg,
+        ] {
+            assert!(
+                events.iter().any(|e| e.phase() == phase),
+                "missing {phase:?} event"
+            );
+        }
+        // The whole-message tail fed the residual tracker exactly once.
+        assert_eq!(c.residuals().count(), 1);
+        assert_eq!(c.residual_report().rows.len(), 1);
+        // The model should be close on a quiescent fabric.
+        assert!(c.residuals().mean_abs_error() < 0.5);
+    }
+
+    #[test]
+    fn without_recorder_no_residuals_are_tracked() {
+        let c = ctx(TuningMode::Dynamic);
+        let gpus = c.runtime().engine().topology().gpus();
+        let n = 4 * MIB;
+        let src = c.runtime().alloc(gpus[0], n);
+        let dst = c.runtime().alloc(gpus[1], n);
+        let h = c.put_async(&src, &dst, n).unwrap();
+        c.runtime().engine().run_until_idle();
+        assert!(h.is_complete());
+        assert!(c.recorder().is_none());
+        assert_eq!(c.residuals().count(), 0);
     }
 
     #[test]

@@ -19,11 +19,24 @@
 
 use mpx_gpu::{Buffer, GpuRuntime};
 use mpx_model::TransferPlan;
+use mpx_obs::{Phase, Recorder, ResidualTracker};
 use mpx_sim::{SimTime, Waker};
 use mpx_topo::path::TransferPath;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Telemetry attached to one transfer by the context: whole-message
+/// completion records a `Phase::Transfer` span on the pair's track and
+/// feeds the plan's prediction vs the simulated duration to the residual
+/// tracker.
+#[derive(Clone)]
+pub(crate) struct TransferObs {
+    pub(crate) rec: Recorder,
+    pub(crate) residual: Arc<ResidualTracker>,
+    /// Pair label, e.g. `dev0->dev1`.
+    pub(crate) pair: String,
+}
 
 /// A transfer did not drain all paths before its deadline. Carries the
 /// deadline so callers can report how much slack was granted.
@@ -203,6 +216,35 @@ pub fn execute_plan_at(
     transfer_seq: u64,
     notify: &[Waker],
 ) -> TransferHandle {
+    execute_plan_at_obs(
+        rt,
+        plan,
+        paths,
+        src,
+        src_off,
+        dst,
+        dst_off,
+        transfer_seq,
+        notify,
+        None,
+    )
+}
+
+/// [`execute_plan_at`] with optional per-transfer telemetry (what the
+/// context passes when a recorder is installed on the engine).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_plan_at_obs(
+    rt: &GpuRuntime,
+    plan: &TransferPlan,
+    paths: &[TransferPath],
+    src: &Buffer,
+    src_off: usize,
+    dst: &Buffer,
+    dst_off: usize,
+    transfer_seq: u64,
+    notify: &[Waker],
+    obs: Option<TransferObs>,
+) -> TransferHandle {
     assert_eq!(plan.paths.len(), paths.len(), "plan/path set mismatch");
     assert!(
         src.len() >= src_off + plan.n,
@@ -227,12 +269,42 @@ pub fn execute_plan_at(
 
     let active = plan.active_path_count();
     let remaining = Arc::new(AtomicUsize::new(active));
+    // The tail closure fires once per active path; the last one signals
+    // the whole-message wakers and (when telemetry is attached) records
+    // the transfer span and its model residual.
+    let want_tail = !notify.is_empty() || obs.is_some();
+    let issue_secs = if want_tail {
+        rt.engine().now().as_secs()
+    } else {
+        0.0
+    };
+    let tail_obs = Arc::new(obs);
+    let predicted = plan.predicted_time;
+    let n_total = plan.n;
     let make_tail = |wakers: Vec<Waker>| {
         let remaining = remaining.clone();
+        let tail_obs = tail_obs.clone();
         move |ctx: &mut mpx_sim::Ctx<'_>| {
             if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                 for w in &wakers {
                     ctx.signal(w);
+                }
+                if let Some(o) = tail_obs.as_ref() {
+                    let end = ctx.now().as_secs();
+                    let measured = end - issue_secs;
+                    o.rec.span(
+                        Phase::Transfer,
+                        format!("pair:{}", o.pair),
+                        format!("xfer{transfer_seq} {n_total}B"),
+                        issue_secs,
+                        end,
+                        format!(
+                            "predicted_us={:.3} measured_us={:.3}",
+                            predicted * 1e6,
+                            measured * 1e6
+                        ),
+                    );
+                    o.residual.record(&o.pair, n_total, predicted, measured);
                 }
             }
         }
@@ -265,7 +337,7 @@ pub fn execute_plan_at(
                     format!("xfer{transfer_seq}.p{pi}.direct"),
                 );
                 s.signal(&done);
-                if !notify.is_empty() {
+                if want_tail {
                     s.callback(Box::new(make_tail(notify.to_vec())));
                 }
             }
@@ -335,7 +407,7 @@ pub fn execute_plan_at(
                     chunk_off += len;
                 }
                 s2.signal(&done);
-                if !notify.is_empty() {
+                if want_tail {
                     s2.callback(Box::new(make_tail(notify.to_vec())));
                 }
             }

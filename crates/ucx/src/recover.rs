@@ -18,10 +18,11 @@
 //! to a single surviving path.
 
 use crate::context::UcxContext;
-use crate::pipeline::{execute_plan_at, TransferHandle};
+use crate::pipeline::{execute_plan_at_obs, TransferHandle};
 use crate::probe::probe_all_with;
 use mpx_gpu::Buffer;
 use mpx_model::TransferPlan;
+use mpx_obs::Phase;
 use mpx_sim::SimThread;
 use mpx_topo::path::TransferPath;
 use mpx_topo::units::Secs;
@@ -200,7 +201,20 @@ impl UcxContext {
         let all_paths = self.paths_for(src.device(), dst.device(), self.effective_selection())?;
         report.final_paths = all_paths.len();
         let seq = self.next_seq();
-        let h = execute_plan_at(self.runtime(), &plan, &all_paths, src, 0, dst, 0, seq, &[]);
+        let obs = self.transfer_obs(src.device(), dst.device());
+        let pair_track = format!("pair:{}->{}", src.device(), dst.device());
+        let h = execute_plan_at_obs(
+            self.runtime(),
+            &plan,
+            &all_paths,
+            src,
+            0,
+            dst,
+            0,
+            seq,
+            &[],
+            obs.clone(),
+        );
         let deadline = thread
             .now()
             .after((plan.predicted_time * slack).max(rcfg.min_deadline));
@@ -208,7 +222,18 @@ impl UcxContext {
             Ok(()) => Vec::new(),
             Err(_) => {
                 self.resilience().timeouts.fetch_add(1, Ordering::Relaxed);
-                coalesce(residuals_of(&h, 0))
+                let residuals = coalesce(residuals_of(&h, 0));
+                if let Some(rec) = self.recorder() {
+                    let unfinished: u64 = residuals.iter().map(|r| r.bytes as u64).sum();
+                    rec.instant(
+                        Phase::Recovery,
+                        pair_track.clone(),
+                        format!("deadline-miss xfer{seq}"),
+                        thread.now().as_secs(),
+                        format!("unfinished_bytes={unfinished} slack={slack:.1}"),
+                    );
+                }
+                residuals
             }
         };
 
@@ -251,6 +276,20 @@ impl UcxContext {
             let caps: Vec<f64> =
                 eng.with_capacities(|c| c.iter().map(|&v| if v > 0.0 { v } else { 1.0 }).collect());
             let params = probe_all_with(eng.topology(), Some(&caps), &survivors)?;
+            if let Some(rec) = self.recorder() {
+                rec.instant(
+                    Phase::Recovery,
+                    pair_track.clone(),
+                    format!("replan round{round}"),
+                    thread.now().as_secs(),
+                    format!(
+                        "survivors={} of {} residual_ranges={}",
+                        survivors.len(),
+                        all_paths.len(),
+                        pending.len()
+                    ),
+                );
+            }
 
             // One residual plan per *distinct* coalesced-range size, all
             // in flight concurrently, sharing one backed-off deadline.
@@ -278,7 +317,7 @@ impl UcxContext {
                 worst = worst.max(plan.predicted_time);
                 report.recovered_bytes += r.bytes as u64;
                 let seq = self.next_seq();
-                let h = execute_plan_at(
+                let h = execute_plan_at_obs(
                     self.runtime(),
                     &plan,
                     &survivors,
@@ -288,6 +327,7 @@ impl UcxContext {
                     r.offset,
                     seq,
                     &[],
+                    obs.clone(),
                 );
                 handles.push((h, r.offset));
             }

@@ -12,8 +12,12 @@
 //! mpx collective --op allreduce|alltoall --size 64M [--topo T] [--paths P]
 //! mpx fault-plan --topo beluga --scenario degrade|flap|kill|random > faults.json
 //! mpx resilient --topo beluga --size 64M --faults faults.json [--slack S] [--retries R]
+//! mpx plan --topo beluga --size 64M --json          # machine-readable snapshot
+//! mpx trace --topo beluga --size 64M [--trace-out trace.json] [--metrics-out metrics.json]
+//! mpx metrics --topo beluga --size 64M              # metrics snapshot to stdout
 //! ```
 
+use multipath_gpu::mpi::allreduce;
 use multipath_gpu::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -58,7 +62,7 @@ fn selection(name: &str) -> PathSelection {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: mpx <topo|export|plan|bw|bibw|collective|fault-plan|resilient> [--topo T | --topo-file F] [--size N] [--window W] [--mode M] [--paths P] [--src I] [--dst J] [--op C] [--scenario S] [--faults F] [--slack X] [--retries R] [--seed N] [--count N] [--horizon T]");
+    eprintln!("usage: mpx <topo|export|plan|bw|bibw|collective|fault-plan|resilient|trace|metrics> [--topo T | --topo-file F] [--size N] [--window W] [--mode M] [--paths P] [--src I] [--dst J] [--op C] [--scenario S] [--faults F] [--slack X] [--retries R] [--seed N] [--count N] [--horizon T] [--json] [--trace-out F] [--metrics-out F]");
     std::process::exit(2)
 }
 
@@ -68,7 +72,7 @@ fn main() {
         die("missing command");
     };
     // Boolean flags take no value; everything else is `--key value`.
-    const BOOL_FLAGS: [&str; 2] = ["stats", "quantize"];
+    const BOOL_FLAGS: [&str; 3] = ["stats", "quantize", "json"];
     let mut opts: HashMap<String, String> = HashMap::new();
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -154,14 +158,35 @@ fn main() {
             let plan = planner
                 .plan(src, dst, n, sel)
                 .unwrap_or_else(|e| die(&e.to_string()));
-            println!("{src} -> {dst} ({}):", sel.label());
-            print!("{}", plan.describe());
-            if opts.contains_key("stats") {
-                let s = planner.stats();
-                println!(
-                    "cache: hits={} misses={} class_hits={} class_fallbacks={} invalidations={}",
-                    s.hits, s.misses, s.class_hits, s.class_fallbacks, s.invalidations
+            if opts.contains_key("json") {
+                let reg = TelemetryRegistry::new();
+                reg.set_counter("plan.bytes", plan.n as u64);
+                reg.set_counter("plan.active_paths", plan.active_path_count() as u64);
+                reg.set_gauge("plan.predicted_us", plan.predicted_time * 1e6);
+                reg.set_gauge(
+                    "plan.predicted_bandwidth_gbps",
+                    plan.predicted_bandwidth / 1e9,
                 );
+                let s = planner.stats();
+                reg.set_counter("cache.hits", s.hits);
+                reg.set_counter("cache.misses", s.misses);
+                reg.set_counter("cache.class_hits", s.class_hits);
+                reg.set_counter("cache.class_fallbacks", s.class_fallbacks);
+                reg.set_counter("cache.invalidations", s.invalidations);
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&reg.snapshot()).expect("snapshot serializes")
+                );
+            } else {
+                println!("{src} -> {dst} ({}):", sel.label());
+                print!("{}", plan.describe());
+                if opts.contains_key("stats") {
+                    let s = planner.stats();
+                    println!(
+                        "cache: hits={} misses={} class_hits={} class_fallbacks={} invalidations={}",
+                        s.hits, s.misses, s.class_hits, s.class_fallbacks, s.invalidations
+                    );
+                }
             }
         }
         "collective" => {
@@ -361,6 +386,20 @@ fn main() {
                         cache.invalidations,
                         if intact { "intact" } else { "CORRUPT" },
                     );
+                    if opts.contains_key("json") {
+                        let reg = TelemetryRegistry::new();
+                        stats.fill_registry(&reg);
+                        ctx.fill_registry(&reg);
+                        reg.set_counter("resilient.retries", report.retries);
+                        reg.set_counter("resilient.replans", report.replans);
+                        reg.set_counter("resilient.recovered_bytes", report.recovered_bytes);
+                        reg.set_counter("resilient.final_paths", report.final_paths as u64);
+                        println!(
+                            "{}",
+                            serde_json::to_string_pretty(&reg.snapshot())
+                                .expect("snapshot serializes")
+                        );
+                    }
                     if !intact {
                         std::process::exit(1);
                     }
@@ -373,6 +412,99 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+        }
+        "trace" | "metrics" => {
+            // Instrumented workload: install a recorder on the engine,
+            // run a resilient PUT through a synthesized mid-transfer
+            // degradation (so recovery and fault telemetry fires), then
+            // a small allreduce over the same engine (rank tracks).
+            let eng = Engine::new(topo.clone());
+            let rec = Recorder::new();
+            eng.set_recorder(rec.clone());
+            let rt = GpuRuntime::new(eng);
+            let cfg = UcxConfig {
+                mode,
+                selection: sel,
+                ..UcxConfig::default()
+            };
+            let ctx = UcxContext::new(rt, cfg);
+            // One statically tuned entry so the tune phase appears.
+            ctx.tune_static(src, dst, n)
+                .unwrap_or_else(|e| die(&e.to_string()));
+            let plan = ctx
+                .plan_for(src, dst, n)
+                .unwrap_or_else(|e| die(&e.to_string()));
+            let paths = ctx
+                .paths_for(src, dst, sel)
+                .unwrap_or_else(|e| die(&e.to_string()));
+            // The fault-plan `degrade` scenario: throttle the direct
+            // link hard mid-transfer so the recovery loop must
+            // re-balance onto the other paths.
+            let fplan = FaultPlan::empty().with(
+                plan.predicted_time * 0.25,
+                paths[0].legs[0].route[0],
+                FaultKind::Degrade { factor: 0.05 },
+            );
+            FaultInjector::install(ctx.runtime().engine(), &fplan);
+            let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+            let srcb = ctx.runtime().alloc_bytes(src, data.clone());
+            let dstb = ctx.runtime().alloc_zeroed(dst, n);
+            let thread = ctx.runtime().engine().register_thread("mpx-trace");
+            let c = ctx.clone();
+            let d = dstb.clone();
+            let rcfg = RecoveryConfig::default();
+            let report = std::thread::spawn(move || c.put_resilient(&thread, &srcb, &d, n, &rcfg))
+                .join()
+                .expect("driver thread panicked")
+                .unwrap_or_else(|e| die(&format!("trace workload failed: {e}")));
+            if dstb.to_vec().map(|v| v != data).unwrap_or(true) {
+                die("trace workload corrupted data");
+            }
+            let w = World::over(ctx.runtime().clone(), cfg);
+            let ranks = topo.gpus().len().min(4);
+            let cn = 1usize << 20;
+            w.run(ranks, move |r| {
+                let buf = r.alloc(cn);
+                allreduce(&r, &buf, cn, ReduceOp::Sum);
+            });
+
+            // One snapshot unifying engine and transport counters.
+            let reg = TelemetryRegistry::new();
+            ctx.runtime().engine().stats().fill_registry(&reg);
+            ctx.fill_registry(&reg);
+            let snapshot = reg.snapshot();
+            let metrics_json =
+                serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+            if cmd == "metrics" {
+                println!("{metrics_json}");
+                return;
+            }
+
+            let events = rec.drain();
+            let trace = export_chrome_trace(&events);
+            // Self-check: the emitted trace must be valid JSON.
+            serde_json::from_str::<serde_json::Value>(&trace)
+                .unwrap_or_else(|e| die(&format!("generated trace is not valid JSON: {e}")));
+            let trace_out = get("trace-out", "trace.json");
+            let metrics_out = get("metrics-out", "metrics.json");
+            std::fs::write(&trace_out, &trace)
+                .unwrap_or_else(|e| die(&format!("cannot write {trace_out}: {e}")));
+            std::fs::write(&metrics_out, &metrics_json)
+                .unwrap_or_else(|e| die(&format!("cannot write {metrics_out}: {e}")));
+            let phases: Vec<&str> = phases_present(&events)
+                .into_iter()
+                .map(|p| p.label())
+                .collect();
+            println!(
+                "trace {} mode={mode:?}: {} events ({}) -> {trace_out} | {} metrics -> {metrics_out} | retries={} replans={}",
+                mpx_topo::units::format_bytes(n),
+                events.len(),
+                phases.join(","),
+                snapshot.entries.len(),
+                report.retries,
+                report.replans,
+            );
+            print!("{}", ctx.residual_report().render());
         }
         other => die(&format!("unknown command `{other}`")),
     }

@@ -31,6 +31,7 @@
 pub use mpx_gpu as gpu;
 pub use mpx_model as model;
 pub use mpx_mpi as mpi;
+pub use mpx_obs as obs;
 pub use mpx_omb as omb;
 pub use mpx_sim as sim;
 pub use mpx_topo as topo;
@@ -41,6 +42,10 @@ pub mod prelude {
     pub use mpx_gpu::{Buffer, GpuRuntime, ReduceOp};
     pub use mpx_model::{Planner, PlannerConfig, SizeClassConfig, TransferPlan};
     pub use mpx_mpi::{waitall, Rank, World};
+    pub use mpx_obs::{
+        export_chrome_trace, phases_present, MetricsSnapshot, Phase, Recorder, ResidualTracker,
+        TelemetryRegistry,
+    };
     pub use mpx_omb::{osu_bibw, osu_bw, osu_latency, P2pConfig};
     pub use mpx_sim::{
         Engine, FaultInjector, FaultKind, FaultPlan, FlowSpec, OnComplete, SimTime, Waker,

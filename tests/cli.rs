@@ -62,6 +62,69 @@ fn export_then_plan_via_file_roundtrips() {
 }
 
 #[test]
+fn plan_json_emits_metrics_snapshot() {
+    let (stdout, _, ok) = mpx(&["plan", "--topo", "beluga", "--size", "64M", "--json"]);
+    assert!(ok, "{stdout}");
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert!(!v["entries"].as_array().expect("entries array").is_empty());
+    assert!(stdout.contains("plan.predicted_us"), "{stdout}");
+    assert!(stdout.contains("cache.misses"), "{stdout}");
+}
+
+#[test]
+fn trace_writes_perfetto_trace_and_metrics() {
+    let dir = std::env::temp_dir().join("mpx-cli-trace-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.json");
+    let metrics = dir.join("metrics.json");
+    let (stdout, stderr, ok) = mpx(&[
+        "trace",
+        "--topo",
+        "beluga",
+        "--size",
+        "16M",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    // Summary line lists the phases present plus the residual table.
+    assert!(stdout.contains("events"), "{stdout}");
+    assert!(stdout.contains("dev0->dev1"), "{stdout}");
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&trace_text).expect("valid trace JSON");
+    let events = v.as_array().expect("trace root is the event array");
+    assert!(!events.is_empty());
+    for phase in [
+        "plan",
+        "transfer",
+        "chunk-leg",
+        "recovery",
+        "collective",
+        "fault",
+    ] {
+        assert!(
+            events.iter().any(|e| e["cat"].as_str() == Some(phase)),
+            "no {phase} events in trace"
+        );
+    }
+    // Rank and link tracks are announced via thread_name metadata.
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|e| e["name"].as_str() == Some("thread_name"))
+        .filter_map(|e| e["args"]["name"].as_str())
+        .collect();
+    assert!(names.iter().any(|t| t.starts_with("link:")), "{names:?}");
+    assert!(names.iter().any(|t| t.starts_with("rank")), "{names:?}");
+    let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+    let m: serde_json::Value = serde_json::from_str(&metrics_text).expect("valid metrics JSON");
+    let text = serde_json::to_string(&m).unwrap();
+    assert!(text.contains("sim.flows_completed"), "{text}");
+    assert!(text.contains("ucx.resilience.retries"), "{text}");
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let (_, stderr, ok) = mpx(&["frobnicate"]);
     assert!(!ok);

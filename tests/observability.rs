@@ -1,0 +1,136 @@
+//! Cross-crate telemetry integration: the online residual tracker must
+//! reproduce the offline predicted-vs-measured comparison (the paper's
+//! error-table methodology, `table_error`) within rounding, and the
+//! exporter must produce a loadable Chrome/Perfetto trace.
+
+use multipath_gpu::prelude::*;
+use std::sync::Arc;
+
+/// Runs one PUT per size on an instrumented context, returning the
+/// context plus the offline `(bytes, predicted, measured)` triples
+/// gathered the way `table_error` does — plan prediction vs simulated
+/// elapsed time.
+fn run_instrumented(sizes: &[usize]) -> (UcxContext, Recorder, Vec<(usize, f64, f64)>) {
+    let eng = Engine::new(Arc::new(presets::beluga()));
+    let rec = Recorder::new();
+    eng.set_recorder(rec.clone());
+    let ctx = UcxContext::new(GpuRuntime::new(eng), UcxConfig::default());
+    let gpus = ctx.runtime().engine().topology().gpus();
+    let mut offline = Vec::new();
+    for &n in sizes {
+        let plan = ctx.plan_for(gpus[0], gpus[1], n).unwrap();
+        let src = ctx.runtime().alloc(gpus[0], n);
+        let dst = ctx.runtime().alloc(gpus[1], n);
+        let t0 = ctx.runtime().engine().now().as_secs();
+        let h = ctx.put_async(&src, &dst, n).unwrap();
+        ctx.runtime().engine().run_until_idle();
+        assert!(h.is_complete());
+        let measured = ctx.runtime().engine().now().as_secs() - t0;
+        offline.push((n, plan.predicted_time, measured));
+    }
+    (ctx, rec, offline)
+}
+
+#[test]
+fn online_residuals_match_offline_predicted_vs_measured() {
+    let sizes = [4 << 20, 16 << 20, 64 << 20];
+    let (ctx, _rec, offline) = run_instrumented(&sizes);
+    let tracker = ctx.residuals();
+    assert_eq!(tracker.count(), sizes.len() as u64);
+
+    // Aggregate: online mean |error| equals the offline computation.
+    let offline_mean = offline
+        .iter()
+        .map(|(_, p, m)| ((p - m) / m).abs())
+        .sum::<f64>()
+        / offline.len() as f64;
+    let online = tracker.mean_abs_error();
+    assert!(
+        (online - offline_mean).abs() < 1e-9,
+        "online {online} vs offline {offline_mean}"
+    );
+
+    // Row-level: each size lands in its own log2 class with the same
+    // signed relative error (within float rounding of the % scaling).
+    let report = ctx.residual_report();
+    assert_eq!(report.rows.len(), sizes.len());
+    for (n, p, m) in &offline {
+        let class = format!("[{}MiB", n >> 20);
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.size_class.starts_with(&class))
+            .unwrap_or_else(|| panic!("no row for class {class}"));
+        assert_eq!(row.pair, "dev0->dev1");
+        assert_eq!(row.count, 1);
+        let want = (p - m) / m * 100.0;
+        assert!(
+            (row.mean_rel_err_pct - want).abs() < 1e-6,
+            "class {class}: online {}% vs offline {want}%",
+            row.mean_rel_err_pct
+        );
+    }
+
+    // The rendered table carries every class label.
+    let text = report.render();
+    for (n, _, _) in &offline {
+        assert!(
+            text.contains(&format!("{}MiB", n >> 20)),
+            "no {}MiB bucket in:\n{text}",
+            n >> 20
+        );
+    }
+}
+
+#[test]
+fn trace_export_covers_transfer_phases_and_tracks() {
+    let (_ctx, rec, _offline) = run_instrumented(&[8 << 20]);
+    let events = rec.drain();
+    let trace = export_chrome_trace(&events);
+    let v: serde_json::Value = serde_json::from_str(&trace).expect("valid trace JSON");
+    // Chrome's array form: the document root is the event list.
+    let list = v.as_array().unwrap();
+    for phase in [Phase::Plan, Phase::Probe, Phase::Transfer, Phase::ChunkLeg] {
+        assert!(
+            list.iter()
+                .any(|e| e["cat"].as_str() == Some(phase.label())),
+            "no {} events",
+            phase.label()
+        );
+    }
+    // One track per link plus the pair track, announced as thread names.
+    let names: Vec<&str> = list
+        .iter()
+        .filter(|e| e["name"].as_str() == Some("thread_name"))
+        .filter_map(|e| e["args"]["name"].as_str())
+        .collect();
+    assert!(names.iter().any(|t| t.starts_with("link:dev")), "{names:?}");
+    assert!(
+        names.contains(&"pair:dev0->dev1"),
+        "no pair track: {names:?}"
+    );
+}
+
+#[test]
+fn unified_snapshot_merges_sim_and_transport_counters() {
+    let (ctx, _rec, _offline) = run_instrumented(&[4 << 20]);
+    let reg = TelemetryRegistry::new();
+    ctx.runtime().engine().stats().fill_registry(&reg);
+    ctx.fill_registry(&reg);
+    let snap = reg.snapshot();
+    for name in [
+        "sim.flows_completed",
+        "sim.link_bytes_total",
+        "ucx.cache.misses",
+        "ucx.resilience.retries",
+        "ucx.residual.samples",
+    ] {
+        assert!(snap.get(name).is_some(), "missing metric {name}");
+    }
+    assert_eq!(snap.get("ucx.residual.samples"), Some(1.0));
+    // The snapshot round-trips through JSON (the machine-readable form
+    // `mpx metrics` emits).
+    let json = serde_json::to_string(&snap).unwrap();
+    let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, snap);
+}
