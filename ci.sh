@@ -35,7 +35,7 @@ echo "fault-matrix smoke: ok"
   --trace-out "$tmp/trace.json" --metrics-out "$tmp/metrics.json"
 python3 -c "import json, sys; json.load(open(sys.argv[1])); json.load(open(sys.argv[2]))" \
   "$tmp/trace.json" "$tmp/metrics.json"
-for phase in plan probe transfer chunk-leg recovery collective fault tune; do
+for phase in plan probe transfer chunk-leg recovery collective fault tune graph.capture graph.replay; do
   if ! grep -q "\"cat\": \"$phase\"" "$tmp/trace.json"; then
     echo "trace smoke: no $phase events in trace.json" >&2; exit 1
   fi
@@ -46,6 +46,8 @@ echo "trace-export smoke: ok"
 # zero cache-hit rate, on falling far below the committed after numbers
 # in results/BENCH_transport.json, or on dipping under the committed
 # mutex-baseline throughput. Thresholds are generous — this catches a
-# concurrency regression, not run-to-run noise.
+# concurrency regression, not run-to-run noise. The same quick run gates
+# the compiled-graph replay path: zero replays or a replay slowdown
+# versus the interpreted pipeline fails the run.
 ./target/release/bench_transport --quick
 echo "bench_transport smoke: ok"

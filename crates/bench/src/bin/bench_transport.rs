@@ -144,6 +144,8 @@ fn main() {
 
     verify_transfer_integrity(&topo);
 
+    let replay_report = bench_replay(&topo, quick);
+
     let baseline = read_baseline();
     let report = match &baseline {
         Some(before) => {
@@ -156,12 +158,151 @@ fn main() {
         // Smoke mode gates against the committed artifact and must not
         // overwrite it with short-run numbers.
         gate(&report);
+        gate_replay(&replay_report);
     } else {
         mpx_bench::emit_json("BENCH_transport", &report);
+        mpx_bench::emit_json("BENCH_replay", &replay_report);
         if std::env::var("MPX_BENCH_SAVE_BASELINE").is_ok_and(|v| v == "1") {
             mpx_bench::emit_json("BENCH_transport_baseline", &report["after"]);
         }
     }
+}
+
+/// Issue-side PUT throughput of the compiled-graph replay path against
+/// the per-transfer interpreted pipeline, on the repeated-same-size
+/// workload graphs exist for. Only the `put_*` call is timed — the
+/// simulated bytes drain between iterations — so the measured quantity
+/// is the CPU cost of standing up one transfer: plan lookup plus either
+/// a full interpret (streams, events, staging, chunk-loop wiring) or a
+/// pointer-patched replay.
+fn bench_replay(topo: &Arc<mpx_topo::Topology>, quick: bool) -> Value {
+    let iters: usize = if quick { 200 } else { 2_000 };
+    let reps: usize = if quick { 1 } else { 3 };
+    let n = 32 * MIB;
+
+    println!(
+        "\n{:>16} {:>10} {:>10} {:>14} {:>9} {:>9} {:>9}",
+        "replay bench", "puts", "ms", "puts/s", "captures", "replays", "fallback"
+    );
+    let mut rows: Vec<Value> = Vec::new();
+    let mut rates = [0.0f64; 2];
+    for (slot, replayed) in [(0, false), (1, true)] {
+        let r = (0..reps)
+            .map(|_| measure_replay(topo, replayed, n, iters))
+            .max_by(|a, b| {
+                (a.puts as f64 / a.issue_seconds)
+                    .partial_cmp(&(b.puts as f64 / b.issue_seconds))
+                    .expect("finite rates")
+            })
+            .expect("at least one rep");
+        let rate = r.puts as f64 / r.issue_seconds;
+        rates[slot] = rate;
+        let name = if replayed { "replayed" } else { "interpreted" };
+        println!(
+            "{name:>16} {:>10} {:>10.2} {rate:>14.0} {:>9} {:>9} {:>9}",
+            r.puts,
+            r.issue_seconds * 1e3,
+            r.captures,
+            r.replays,
+            r.fallbacks
+        );
+        rows.push(json!({
+            "mode": name,
+            "bytes": n,
+            "puts": r.puts,
+            "issue_seconds": r.issue_seconds,
+            "puts_per_sec": rate,
+            "captures": r.captures,
+            "replays": r.replays,
+            "fallbacks": r.fallbacks,
+        }));
+    }
+    let speedup = rates[1] / rates[0];
+    println!("{:>16} {speedup:>10.2}x", "replay speedup");
+    json!({ "runs": rows, "speedup": speedup })
+}
+
+struct ReplayResult {
+    puts: u64,
+    issue_seconds: f64,
+    captures: u64,
+    replays: u64,
+    fallbacks: u64,
+}
+
+fn measure_replay(
+    topo: &Arc<mpx_topo::Topology>,
+    replayed: bool,
+    n: usize,
+    iters: usize,
+) -> ReplayResult {
+    let ctx = UcxContext::new(
+        GpuRuntime::new(Engine::new(topo.clone())),
+        UcxConfig {
+            mode: TuningMode::Dynamic,
+            params: ParamSource::Datasheet,
+            ..UcxConfig::default()
+        },
+    );
+    let gpus = ctx.runtime().engine().topology().gpus();
+    // Real payload, as production transfers move: the interpreted
+    // pipeline then stands up a real staging ring per put, while the
+    // graph amortizes its persistent ring across replays.
+    let data: Vec<u8> = (0..n).map(|i| (i * 131 % 251) as u8).collect();
+    let src = ctx.runtime().alloc_bytes(gpus[0], data);
+    let dst = ctx.runtime().alloc_zeroed(gpus[1], n);
+    let put = |ctx: &UcxContext| {
+        if replayed {
+            ctx.put_replayed(&src, &dst, n).expect("replayed put")
+        } else {
+            ctx.put_async(&src, &dst, n).expect("interpreted put")
+        }
+    };
+    // Warmup: plan cache, path enumeration, IPC open, and (replay mode)
+    // the one-time graph capture all land off the timed path.
+    for _ in 0..2 {
+        let h = put(&ctx);
+        ctx.runtime().engine().run_until_idle();
+        assert!(h.is_complete());
+    }
+
+    let mut issue = std::time::Duration::ZERO;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let h = put(&ctx);
+        issue += t.elapsed();
+        std::hint::black_box(&h);
+        ctx.runtime().engine().run_until_idle();
+    }
+    let g = ctx.graph_stats();
+    ReplayResult {
+        puts: iters as u64,
+        issue_seconds: issue.as_secs_f64(),
+        captures: g.captures,
+        replays: g.replays,
+        fallbacks: g.fallbacks,
+    }
+}
+
+/// CI gate for the replay cells (`--quick`): the compiled path must not
+/// be slower to issue than the interpreted pipeline it bypasses, and
+/// must actually have replayed (capture working, no silent fallback).
+fn gate_replay(report: &Value) {
+    let speedup = report["speedup"].as_f64().expect("replay speedup");
+    let replays = report["runs"]
+        .as_array()
+        .and_then(|rows| rows.iter().find(|r| r["mode"] == "replayed"))
+        .and_then(|r| r["replays"].as_u64())
+        .unwrap_or(0);
+    if replays == 0 {
+        eprintln!("bench_transport gate: replay cell never replayed a graph");
+        std::process::exit(1);
+    }
+    if speedup < 1.0 {
+        eprintln!("bench_transport gate: replayed puts slower than interpreted ({speedup:.2}x)");
+        std::process::exit(1);
+    }
+    println!("bench_transport gate: ok (replay speedup {speedup:.2}x)");
 }
 
 struct PhaseResult {
@@ -269,7 +410,26 @@ fn verify_transfer_integrity(topo: &Arc<mpx_topo::Topology>) {
     ctx.runtime().engine().run_until_idle();
     assert!(h.is_complete());
     assert_eq!(dst.to_vec().expect("readback"), data, "transfer corrupted");
-    println!("integrity: {n}-byte put bit-identical");
+    // The replay fast path must land the very same bytes (capture, then
+    // a replay of the captured graph).
+    for round in 0..2 {
+        let dst_r = ctx.runtime().alloc_zeroed(gpus[1], n);
+        let h = ctx.put_replayed(&src, &dst_r, n).expect("replayed put");
+        ctx.runtime().engine().run_until_idle();
+        assert!(h.is_complete());
+        assert_eq!(
+            dst_r.to_vec().expect("readback"),
+            data,
+            "replayed transfer corrupted (round {round})"
+        );
+    }
+    let g = ctx.graph_stats();
+    assert_eq!(
+        (g.captures, g.replays),
+        (1, 2),
+        "replay path inactive: {g:?}"
+    );
+    println!("integrity: {n}-byte put bit-identical (interpreted and replayed)");
 }
 
 fn read_baseline() -> Option<Vec<Value>> {

@@ -1,0 +1,39 @@
+//! Compiled-graph replay panel: OMB window-16 unidirectional bandwidth
+//! of the interpreted chunk pipeline vs the capture/replay fast path on
+//! Beluga and Narval. Both series run identical model-driven planning;
+//! the gap is purely per-PUT issue cost, so it is widest at small
+//! message sizes (where launch overhead dominates the wire time) and
+//! closes as transfers grow — the replay companion to Figure 5.
+
+use mpx_bench::{emit_json, full_run, print_panel};
+use mpx_omb::replay_panel;
+use mpx_topo::{presets, PathSelection};
+use std::sync::Arc;
+
+fn main() {
+    // Sweep down into the launch-overhead regime: 16 KiB – 64 MiB
+    // (two-point doubling ladder trimmed for quick runs).
+    let max_shift = if full_run() { 12 } else { 10 };
+    let sizes: Vec<usize> = (0..=max_shift).map(|i| (16 << 10) << i).collect();
+    let mut all = Vec::new();
+    for (cluster, topo) in [
+        ("beluga", Arc::new(presets::beluga())),
+        ("narval", Arc::new(presets::narval())),
+    ] {
+        let panel = replay_panel(&topo, PathSelection::THREE_GPUS, 16, &sizes);
+        let title = format!("Replay BW {cluster} 3_GPUs win=16");
+        print_panel(&title, &panel, 1e9, "GB/s");
+        let small = sizes[0];
+        let large = *sizes.last().expect("non-empty sweep");
+        let gain = |n: usize| panel[1].at(n).unwrap() / panel[0].at(n).unwrap();
+        println!(
+            "   replay gain: {:.2}x at {} -> {:.2}x at {}",
+            gain(small),
+            mpx_topo::units::format_bytes(small),
+            gain(large),
+            mpx_topo::units::format_bytes(large),
+        );
+        all.push((title, panel));
+    }
+    emit_json("fig_replay", &all);
+}

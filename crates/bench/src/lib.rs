@@ -8,6 +8,7 @@
 //! | `fig5_bw` | Fig. 5: unidirectional BW panels (Beluga/Narval × path sets × window 1/16) |
 //! | `fig6_bibw` | Fig. 6: bidirectional BW panels |
 //! | `fig7_collectives` | Fig. 7: Alltoall/Allreduce latency speedups (+ model prediction) |
+//! | `fig_replay` | extension: interpreted vs compiled-graph replay BW (window 16) |
 //! | `fig8_internode` | extension: inter-node multi-rail bandwidth |
 //! | `fig9_contention` | extension: loaded patterns under blind vs joint planning |
 //! | `table_error` | headline numbers: mean prediction error, max speedups, Algorithm-1 overhead |

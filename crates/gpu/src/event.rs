@@ -1,11 +1,14 @@
-//! GPU events: one-shot cross-stream synchronization points.
+//! GPU events: cross-stream synchronization points.
 //!
 //! The multi-path pipeline's chunk protocol is "copy → **record event** on
 //! the first-leg stream → **wait event** on the second-leg stream → copy"
-//! (paper Section 3.4). We model events as *one-shot*: created unrecorded,
-//! completed exactly once, after which waits pass immediately. (CUDA
-//! events are reusable; the pipeline engine allocates one per sync point,
-//! so the one-shot model is sufficient and simpler to reason about.)
+//! (paper Section 3.4). Events fire once per cycle: created unrecorded,
+//! completed by a `Record` op, after which waits pass immediately. The
+//! *interpreted* pipeline allocates one per sync point and never touches
+//! it again; compiled [`crate::TransferGraph`]s instead keep their event
+//! set alive across replays and rearm it with [`GpuEvent::reset`] —
+//! matching CUDA, where events are reusable and graph replay recycles
+//! them rather than allocating fresh ones per launch.
 
 use crate::stream::Stream;
 use parking_lot::Mutex;
@@ -65,6 +68,26 @@ impl GpuEvent {
             false
         }
     }
+
+    /// Rearms a completed (or never-recorded) event so the next `Record`
+    /// completes it again — the recycling a replayed
+    /// [`crate::TransferGraph`] performs instead of allocating a fresh
+    /// event per sync point per launch.
+    ///
+    /// # Panics
+    /// Panics if a stream is still parked on the event: resetting under a
+    /// live waiter would strand that stream forever, so it is a caller
+    /// bug (a graph must be quiescent before relaunch).
+    pub fn reset(&self) {
+        let mut st = self.state.lock();
+        assert!(
+            st.waiters.is_empty(),
+            "reset of event '{}' with {} stream(s) still parked on it",
+            self.name,
+            st.waiters.len()
+        );
+        st.complete = false;
+    }
 }
 
 impl fmt::Debug for GpuEvent {
@@ -73,5 +96,59 @@ impl fmt::Debug for GpuEvent {
             .field("name", &self.name)
             .field("complete", &self.is_complete())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::Stream;
+    use mpx_sim::Engine;
+    use mpx_topo::presets;
+    use std::sync::Arc;
+
+    fn engine() -> Engine {
+        Engine::new(Arc::new(presets::synthetic_default()))
+    }
+
+    #[test]
+    fn reset_rearms_a_completed_event() {
+        let eng = engine();
+        let gpus = eng.topology().gpus();
+        let ev = GpuEvent::new("recycled");
+        // Cycle 1: record completes the event.
+        let p = Stream::new(eng.clone(), gpus[0], "p1");
+        p.record(&ev);
+        eng.run_until_idle();
+        assert!(ev.is_complete());
+        // Rearm: a fresh waiter must park again instead of passing.
+        ev.reset();
+        assert!(!ev.is_complete());
+        let w = Stream::new(eng.clone(), gpus[1], "w");
+        let done = mpx_sim::Waker::new("cycle2");
+        w.wait_event(&ev);
+        w.signal(&done);
+        eng.run_until_idle();
+        assert!(
+            !done.is_signaled(),
+            "waiter passed a reset (unrecorded) event"
+        );
+        // Cycle 2: a second record releases it.
+        let p2 = Stream::new(eng.clone(), gpus[0], "p2");
+        p2.record(&ev);
+        eng.run_until_idle();
+        assert!(done.is_signaled());
+    }
+
+    #[test]
+    #[should_panic(expected = "still parked")]
+    fn reset_with_parked_waiter_panics() {
+        let eng = engine();
+        let gpus = eng.topology().gpus();
+        let ev = GpuEvent::new("live");
+        let w = Stream::new(eng.clone(), gpus[0], "w");
+        w.wait_event(&ev);
+        eng.run_until_idle();
+        ev.reset();
     }
 }

@@ -28,6 +28,7 @@
 
 pub mod buffer;
 pub mod event;
+pub mod graph;
 pub mod ipc;
 pub mod memory;
 pub mod reduce;
@@ -36,6 +37,7 @@ pub mod stream;
 
 pub use buffer::Buffer;
 pub use event::GpuEvent;
+pub use graph::{GraphBuf, GraphBuilder, GraphLaunchError, GraphPathEnd, TransferGraph};
 pub use ipc::{IpcCache, IpcStats, IPC_OPEN_COST};
 pub use memory::{MemTracker, MemoryStats};
 pub use reduce::ReduceOp;

@@ -63,16 +63,19 @@ impl Issuer<'_, '_> {
 /// the kernel retires; must not block.
 pub type KernelEffect = Box<dyn FnOnce() + Send>;
 
-enum Op {
+pub(crate) enum Op {
     Copy {
         src: Buffer,
         src_off: usize,
         dst: Buffer,
         dst_off: usize,
         len: usize,
-        route: Vec<LinkId>,
+        /// Shared, not owned: a compiled graph re-enqueues the same
+        /// route/label on every replay, so cloning an op must be a
+        /// refcount bump, not a heap copy.
+        route: Arc<[LinkId]>,
         extra_latency: Secs,
-        label: String,
+        label: Arc<str>,
     },
     Record(GpuEvent),
     WaitEvent(GpuEvent),
@@ -174,9 +177,9 @@ impl Stream {
             dst: dst.clone(),
             dst_off,
             len,
-            route,
+            route: route.into(),
             extra_latency,
-            label: label.into(),
+            label: label.into().into(),
         });
     }
 
@@ -227,6 +230,15 @@ impl Stream {
         self.advance(&mut Issuer::Api(&self.inner.engine));
     }
 
+    /// Enqueues a pre-built op sequence with one lock acquisition and one
+    /// advance — the replay fast path of [`crate::TransferGraph`], which
+    /// materializes a whole stream program at once instead of paying a
+    /// lock/advance cycle per op.
+    pub(crate) fn enqueue_batch(&self, ops: impl IntoIterator<Item = Op>) {
+        self.inner.state.lock().queue.extend(ops);
+        self.advance(&mut Issuer::Api(&self.inner.engine));
+    }
+
     /// Runs ops until the stream blocks (async op in flight, parked on an
     /// event, or queue empty). Called from enqueue sites and from
     /// completion callbacks.
@@ -257,9 +269,9 @@ impl Stream {
                     label,
                 } => {
                     let this = self.clone();
-                    let spec = FlowSpec::new(route, len)
+                    let spec = FlowSpec::new(route.to_vec(), len)
                         .with_extra_latency(extra_latency)
-                        .labeled(label);
+                        .labeled(&*label);
                     issuer.start_flow(
                         spec,
                         OnComplete::Call(Box::new(move |ctx| {

@@ -34,11 +34,15 @@ pub enum Phase {
     Fault,
     /// Static tuner activity.
     Tune,
+    /// Compiling a plan into a replayable transfer graph.
+    GraphCapture,
+    /// Launching a compiled transfer graph (replay fast path).
+    GraphReplay,
 }
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 8] = [
+    pub const ALL: [Phase; 10] = [
         Phase::Plan,
         Phase::Probe,
         Phase::Transfer,
@@ -47,6 +51,8 @@ impl Phase {
         Phase::Collective,
         Phase::Fault,
         Phase::Tune,
+        Phase::GraphCapture,
+        Phase::GraphReplay,
     ];
 
     /// Stable lower-case label (the trace `cat` field).
@@ -60,6 +66,8 @@ impl Phase {
             Phase::Collective => "collective",
             Phase::Fault => "fault",
             Phase::Tune => "tune",
+            Phase::GraphCapture => "graph.capture",
+            Phase::GraphReplay => "graph.replay",
         }
     }
 }
@@ -354,7 +362,9 @@ mod tests {
                 "recovery",
                 "collective",
                 "fault",
-                "tune"
+                "tune",
+                "graph.capture",
+                "graph.replay"
             ]
         );
     }

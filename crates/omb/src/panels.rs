@@ -113,6 +113,43 @@ pub fn p2p_panel(
     vec![direct, stat, dynamic, predicted]
 }
 
+/// Runs the compiled-graph replay panel: windowed OMB bandwidth of the
+/// interpreted chunk pipeline vs the capture/replay fast path, swept
+/// over message sizes. Both series run the same model-driven `Dynamic`
+/// tuning; the only difference is `UcxConfig::graph_replay`, so the gap
+/// is purely per-PUT issue cost (chunk launches, rendezvous handshakes,
+/// staging-ring setup) that replay amortizes into one capture. That
+/// fixed cost is a constant per message, so the gap is widest at small
+/// `n` and closes as transfer time swamps launch time — the window-16
+/// companion to the paper's Observation 2 on fixed-cost amortization.
+///
+/// Returns `[Interpreted, Replayed]`. The warmup iteration of the OMB
+/// protocol absorbs the one-time graph captures, exactly as it absorbs
+/// IPC handle opens, so the timed window measures steady-state replay.
+pub fn replay_panel(
+    topo: &Arc<Topology>,
+    sel: PathSelection,
+    window: usize,
+    sizes: &[usize],
+) -> Vec<Series> {
+    let cfg = P2pConfig::with_window(window);
+    [("Interpreted", false), ("Replayed", true)]
+        .into_iter()
+        .map(|(label, replay)| {
+            let ucx_cfg = UcxConfig {
+                graph_replay: replay,
+                ..ucx(TuningMode::Dynamic, sel)
+            };
+            let world = World::new(topo.clone(), ucx_cfg);
+            let mut series = Series::new(label);
+            for &n in sizes {
+                series.push(n, osu_bw_on(&world, n, cfg));
+            }
+            series
+        })
+        .collect()
+}
+
 /// Runs one collective panel: latency **speedups** of `Static` and
 /// `Dynamic` over the single-path baseline, per per-rank message size.
 pub fn collective_panel(
@@ -283,6 +320,49 @@ mod tests {
         let predicted = panel[3].at(n).unwrap();
         assert!(dynamic > 1.5 * direct);
         assert!((predicted - dynamic).abs() / dynamic < 0.15);
+    }
+
+    #[test]
+    fn replay_panel_closes_launch_gap_at_small_n() {
+        let topo = Arc::new(presets::beluga());
+        let sizes = [16 * 1024, 64 * 1024, MIB, 32 * MIB];
+        let panel = replay_panel(&topo, PathSelection::THREE_GPUS, 16, &sizes);
+        assert_eq!(panel.len(), 2);
+        assert_eq!(panel[0].label, "Interpreted");
+        assert_eq!(panel[1].label, "Replayed");
+        for s in &panel {
+            assert_eq!(s.points.len(), sizes.len(), "{}", s.label);
+            for p in &s.points {
+                assert!(p.value > 0.0, "{} at {}", s.label, p.bytes);
+            }
+        }
+        let gain = |n: usize| panel[1].at(n).unwrap() / panel[0].at(n).unwrap();
+        // Replay pays off most where per-message launch overhead
+        // dominates (gap widest at the smallest size), shrinks
+        // monotonically up the sweep, and never regresses: the two
+        // pipelines converge once transfer time swamps launch time.
+        assert!(
+            gain(16 * 1024) > 1.3,
+            "replay gain at 16 KiB must be large: {:.3}x",
+            gain(16 * 1024)
+        );
+        for w in sizes.windows(2) {
+            assert!(
+                gain(w[0]) > gain(w[1]) - 0.005,
+                "gap must close as n grows: {:.3}x at {} B vs {:.3}x at {} B",
+                gain(w[0]),
+                w[0],
+                gain(w[1]),
+                w[1]
+            );
+        }
+        for &n in &sizes {
+            assert!(
+                gain(n) > 0.99,
+                "replay must never regress: {:.3}x at {n} B",
+                gain(n)
+            );
+        }
     }
 
     #[test]

@@ -7,11 +7,12 @@
 //! a statically tuned table — and hands the resulting configuration to
 //! the pipeline engine (Step 5).
 
-use crate::pipeline::{execute_plan_at_obs, TransferHandle, TransferObs};
+use crate::compile::{compile_plan, graph_key, GraphCache, GraphStats, MAX_GRAPHS_PER_KEY};
+use crate::pipeline::{execute_plan_at_obs, PathSlot, TransferHandle, TransferObs};
 use crate::probe::probe_all_with;
 use crate::recover::{ResilienceCounters, ResilienceStats};
 use crate::tuner::{manual_plan, tune_exhaustive, TuneResult};
-use mpx_gpu::{Buffer, GpuRuntime};
+use mpx_gpu::{Buffer, GpuRuntime, GraphLaunchError, TransferGraph};
 use mpx_model::{PairKey, PlanCache, Planner, PlannerConfig, ShardedMap, TransferPlan};
 use mpx_obs::{Phase, Recorder, ResidualReport, ResidualTracker, TelemetryRegistry};
 use mpx_sim::SimThread;
@@ -67,6 +68,15 @@ pub struct UcxConfig {
     /// assumes a quiescent fabric; this is the escape hatch when it
     /// isn't.
     pub drift_tolerance: f64,
+    /// Compile plans into replayable transfer graphs and serve repeated
+    /// `(pair, size-class)` PUTs from the graph cache (capture →
+    /// instantiate → replay, after the follow-up CUDA-Graphs paper).
+    /// Off by default: the interpreted pipeline reproduces the source
+    /// paper's per-transfer overhead model bit for bit; replay strips
+    /// the per-op software costs, which is exactly its point. Misses,
+    /// busy pools, and recovery traffic fall back to the interpreter —
+    /// see [`UcxContext::put_replayed`] and `DESIGN.md` §4e.
+    pub graph_replay: bool,
 }
 
 impl Default for UcxConfig {
@@ -78,6 +88,7 @@ impl Default for UcxConfig {
             planner: PlannerConfig::default(),
             static_grid: 8,
             drift_tolerance: 0.25,
+            graph_replay: false,
         }
     }
 }
@@ -120,6 +131,9 @@ struct ContextInner {
     /// exact entry — the env-var-style policy of the engine in [35] that
     /// collectives run under.
     static_shares: RwLock<Option<Vec<f64>>>,
+    /// Compiled transfer graphs, pooled per (pair, size-class key) and
+    /// evicted by the same drift signals as the plan caches.
+    graphs: GraphCache,
     seq: AtomicU64,
     resilience: ResilienceCounters,
     /// Telemetry recorder, cached from the engine at construction.
@@ -148,6 +162,7 @@ impl UcxContext {
                 probed: ShardedMap::new(),
                 static_plans: ShardedMap::new(),
                 static_shares: RwLock::new(None),
+                graphs: GraphCache::new(),
                 seq: AtomicU64::new(0),
                 resilience: ResilienceCounters::default(),
                 obs,
@@ -366,6 +381,9 @@ impl UcxContext {
     pub fn recalibrate(&self) {
         self.inner.probed.clear();
         self.inner.dynamic.clear();
+        // Compiled graphs bake in chunk schedules derived from the old
+        // parameters; drop them wholesale with the plans.
+        self.inner.graphs.clear();
     }
 
     /// Installs a fixed share distribution (one fraction per candidate
@@ -408,28 +426,16 @@ impl UcxContext {
     }
 
     /// Starts an asynchronous `n`-byte PUT of `src[..n]` into `dst[..n]`
-    /// (both GPU buffers). Returns immediately.
+    /// (both GPU buffers). Returns immediately. When
+    /// [`UcxConfig::graph_replay`] is on, repeated transfers are served
+    /// by compiled-graph replay transparently.
     pub fn put_async(
         &self,
         src: &Buffer,
         dst: &Buffer,
         n: usize,
     ) -> Result<TransferHandle, TopologyError> {
-        let plan = self.plan_for(src.device(), dst.device(), n)?;
-        let paths = self.paths_for(src.device(), dst.device(), self.effective_selection())?;
-        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
-        Ok(execute_plan_at_obs(
-            &self.inner.rt,
-            &plan,
-            &paths,
-            src,
-            0,
-            dst,
-            0,
-            seq,
-            &[],
-            self.transfer_obs(src.device(), dst.device()),
-        ))
+        self.put_inner(src, 0, dst, 0, n, &[], false)
     }
 
     /// Like [`UcxContext::put_async`], additionally firing every waker in
@@ -442,21 +448,7 @@ impl UcxContext {
         n: usize,
         notify: &[mpx_sim::Waker],
     ) -> Result<TransferHandle, TopologyError> {
-        let plan = self.plan_for(src.device(), dst.device(), n)?;
-        let paths = self.paths_for(src.device(), dst.device(), self.effective_selection())?;
-        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
-        Ok(execute_plan_at_obs(
-            &self.inner.rt,
-            &plan,
-            &paths,
-            src,
-            0,
-            dst,
-            0,
-            seq,
-            notify,
-            self.transfer_obs(src.device(), dst.device()),
-        ))
+        self.put_inner(src, 0, dst, 0, n, notify, false)
     }
 
     /// The most general PUT: `n` bytes from `src[src_off..]` into
@@ -472,9 +464,51 @@ impl UcxContext {
         n: usize,
         notify: &[mpx_sim::Waker],
     ) -> Result<TransferHandle, TopologyError> {
+        self.put_inner(src, src_off, dst, dst_off, n, notify, false)
+    }
+
+    /// An asynchronous PUT forced through the compiled-graph fast path
+    /// regardless of [`UcxConfig::graph_replay`]: the plan is compiled on
+    /// first use and replayed afterwards. Falls back to the interpreted
+    /// pipeline only when the graph pool is exhausted (every pooled
+    /// instance mid-replay at the [`MAX_GRAPHS_PER_KEY`] cap) or the
+    /// buffers don't fit the captured shape — the transfer itself never
+    /// fails for graph reasons.
+    pub fn put_replayed(
+        &self,
+        src: &Buffer,
+        dst: &Buffer,
+        n: usize,
+    ) -> Result<TransferHandle, TopologyError> {
+        self.put_inner(src, 0, dst, 0, n, &[], true)
+    }
+
+    /// Every PUT funnels through here: plan (cached), resolve paths,
+    /// then either replay a compiled graph or interpret the plan.
+    /// The graph path still goes through [`UcxContext::plan_for`], so
+    /// plan-cache counters and drift detection see identical traffic
+    /// whichever executor runs the bytes.
+    #[allow(clippy::too_many_arguments)]
+    fn put_inner(
+        &self,
+        src: &Buffer,
+        src_off: usize,
+        dst: &Buffer,
+        dst_off: usize,
+        n: usize,
+        notify: &[mpx_sim::Waker],
+        force_graph: bool,
+    ) -> Result<TransferHandle, TopologyError> {
         let plan = self.plan_for(src.device(), dst.device(), n)?;
         let paths = self.paths_for(src.device(), dst.device(), self.effective_selection())?;
         let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        if self.inner.cfg.graph_replay || force_graph {
+            if let Some(h) = self.try_replay(&plan, &paths, src, src_off, dst, dst_off, seq, notify)
+            {
+                return Ok(h);
+            }
+            self.inner.graphs.fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
         Ok(execute_plan_at_obs(
             &self.inner.rt,
             &plan,
@@ -487,6 +521,120 @@ impl UcxContext {
             notify,
             self.transfer_obs(src.device(), dst.device()),
         ))
+    }
+
+    /// The replay fast path: find (or capture) a compiled graph for the
+    /// transfer's (pair, graph key) and launch it. `None` means the
+    /// caller should interpret instead — pool exhausted or shape
+    /// mismatch; never an error.
+    #[allow(clippy::too_many_arguments)]
+    fn try_replay(
+        &self,
+        plan: &TransferPlan,
+        paths: &[TransferPath],
+        src: &Buffer,
+        src_off: usize,
+        dst: &Buffer,
+        dst_off: usize,
+        seq: u64,
+        notify: &[mpx_sim::Waker],
+    ) -> Option<TransferHandle> {
+        let pair = self.pair_key(src.device(), dst.device(), self.effective_selection());
+        let gc = &self.inner.graphs;
+        let key = graph_key(&self.inner.cfg.planner.size_classes, plan.n);
+        let pool = gc.pool(&pair, key, plan.n, src.is_synthetic());
+
+        // Per-replay first-copy cost: one graph launch plus whatever the
+        // IPC cache still charges for this destination handle. The per-op
+        // launch/ε/rendezvous/initiation costs the interpreter would add
+        // were compiled away — that is the point of replay.
+        let oh = self.inner.rt.engine().topology().overheads;
+        let first_extra = oh.copy_launch + self.inner.rt.ipc().open_cost(src.device().0, dst.id());
+
+        // Telemetry tail, rebuilt per launch attempt (FnOnce).
+        let make_hook = || -> Option<mpx_sim::EventFn> {
+            self.inner.obs.as_ref().map(|rec| {
+                let rec = rec.clone();
+                let track = format!("pair:{}->{}", src.device(), dst.device());
+                let issue = self.inner.rt.engine().now().as_secs();
+                let predicted = plan.predicted_time;
+                let n = plan.n;
+                Box::new(move |ctx: &mut mpx_sim::Ctx<'_>| {
+                    let end = ctx.now().as_secs();
+                    rec.span(
+                        Phase::GraphReplay,
+                        track,
+                        format!("replay xfer{seq} {n}B"),
+                        issue,
+                        end,
+                        format!(
+                            "predicted_us={:.3} measured_us={:.3}",
+                            predicted * 1e6,
+                            (end - issue) * 1e6
+                        ),
+                    );
+                }) as mpx_sim::EventFn
+            })
+        };
+        let wrap = |g: &TransferGraph, wakers: Vec<mpx_sim::Waker>| {
+            gc.replays.fetch_add(1, Ordering::Relaxed);
+            let slots = g
+                .ends()
+                .iter()
+                .map(|e| PathSlot {
+                    path_index: e.path_index,
+                    offset: e.offset,
+                    bytes: e.bytes,
+                })
+                .collect();
+            TransferHandle::from_parts(wakers, slots, plan.n)
+        };
+
+        let snapshot: Vec<Arc<TransferGraph>> = pool.graphs.lock().clone();
+        for g in &snapshot {
+            match g.launch(src, src_off, dst, dst_off, first_extra, notify, make_hook()) {
+                Ok(w) => return Some(wrap(g, w)),
+                Err(GraphLaunchError::Busy) => continue,
+                Err(GraphLaunchError::Mismatch(_)) => return None,
+            }
+        }
+        // Every pooled instance is mid-replay (deep transfer windows) or
+        // the pool is empty: capture another, up to the cap.
+        if snapshot.len() >= MAX_GRAPHS_PER_KEY {
+            return None;
+        }
+        let wall = std::time::Instant::now();
+        let g = Arc::new(compile_plan(
+            &self.inner.rt,
+            plan,
+            paths,
+            src.device(),
+            dst.device(),
+            src.is_synthetic(),
+        ));
+        gc.captures.fetch_add(1, Ordering::Relaxed);
+        if let Some(rec) = &self.inner.obs {
+            rec.instant(
+                Phase::GraphCapture,
+                format!("pair:{}->{}", src.device(), dst.device()),
+                format!("capture g{} {}B", g.id(), plan.n),
+                self.inner.rt.engine().now().as_secs(),
+                format!(
+                    "wall_us={:.1} pool_size={}",
+                    wall.elapsed().as_secs_f64() * 1e6,
+                    snapshot.len() + 1
+                ),
+            );
+        }
+        match g.launch(src, src_off, dst, dst_off, first_extra, notify, make_hook()) {
+            Ok(w) => {
+                pool.graphs.lock().push(g.clone());
+                Some(wrap(&g, w))
+            }
+            // A fresh graph can only be refused on a shape race (the
+            // buffers changed class under us); interpret this one.
+            Err(_) => None,
+        }
     }
 
     /// Counters of the degradation-aware runtime (retries, re-plans,
@@ -521,6 +669,12 @@ impl UcxContext {
 
     pub(crate) fn resilience(&self) -> &ResilienceCounters {
         &self.inner.resilience
+    }
+
+    /// Snapshot of the compiled-graph cache counters: captures, replays,
+    /// interpreted fallbacks, and invalidation sweeps.
+    pub fn graph_stats(&self) -> GraphStats {
+        self.inner.graphs.stats()
     }
 
     pub(crate) fn next_seq(&self) -> u64 {
@@ -562,6 +716,11 @@ impl UcxContext {
         reg.set_counter("ucx.resilience.replans", r.replans);
         reg.set_counter("ucx.resilience.timeouts", r.timeouts);
         reg.set_counter("ucx.resilience.cache_invalidations", r.cache_invalidations);
+        let g = self.graph_stats();
+        reg.set_counter("ucx.graph.captures", g.captures);
+        reg.set_counter("ucx.graph.replays", g.replays);
+        reg.set_counter("ucx.graph.fallbacks", g.fallbacks);
+        reg.set_counter("ucx.graph.invalidations", g.invalidations);
         reg.set_counter("ucx.residual.samples", self.inner.residual.count());
         reg.set_gauge(
             "ucx.residual.mean_abs_error_pct",
@@ -613,6 +772,7 @@ impl UcxContext {
         self.inner.probed.remove(&pair, &pair);
         self.inner.dynamic.invalidate_pair(pair);
         self.inner.planner.invalidate_pair(pair);
+        self.inner.graphs.invalidate_pair(&pair);
         self.inner
             .resilience
             .cache_invalidations

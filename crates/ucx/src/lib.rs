@@ -26,12 +26,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod compile;
 pub mod context;
 pub mod pipeline;
 pub mod probe;
 pub mod recover;
 pub mod tuner;
 
+pub use compile::{graph_key, GraphStats, CLASS_TAG, MAX_GRAPHS_PER_KEY};
 pub use context::{CacheStats, ParamSource, TuningMode, UcxConfig, UcxContext};
 pub use pipeline::{
     execute_plan, execute_plan_at, execute_plan_notify, PathSlot, TimedOut, TransferHandle,

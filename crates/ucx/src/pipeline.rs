@@ -155,6 +155,24 @@ impl TransferHandle {
     pub fn path_count(&self) -> usize {
         self.wakers.len()
     }
+
+    /// Assembles a handle from per-path wakers and their message ranges —
+    /// how the graph-replay fast path wraps a
+    /// [`mpx_gpu::TransferGraph::launch`] so callers see the same handle
+    /// either way.
+    pub(crate) fn from_parts(
+        wakers: Vec<Waker>,
+        slots: Vec<PathSlot>,
+        bytes: usize,
+    ) -> TransferHandle {
+        let drained = wakers.iter().map(|_| AtomicBool::new(false)).collect();
+        TransferHandle {
+            wakers,
+            slots,
+            drained,
+            bytes,
+        }
+    }
 }
 
 /// Executes `plan` moving `src → dst`, returning immediately.

@@ -1,0 +1,158 @@
+//! Property tests of size-class *boundary* behavior for plan reuse and
+//! graph-cache keying.
+//!
+//! PR-3 quantization buckets message sizes geometrically; this PR keys
+//! compiled transfer graphs by the same classes. A transfer whose size
+//! lands exactly on a class edge must resolve to one consistent class —
+//! the same one every time, on both sides of the key derivation (planner
+//! class entries and [`graph_key`]) — or a replayed graph could be
+//! patched with a plan from the neighboring class.
+
+use mpx_gpu::GpuRuntime;
+use mpx_model::{Planner, PlannerConfig, SizeClassConfig};
+use mpx_sim::Engine;
+use mpx_topo::presets;
+use mpx_topo::units::MIB;
+use mpx_topo::PathSelection;
+use mpx_ucx::{graph_key, ParamSource, TuningMode, UcxConfig, UcxContext, CLASS_TAG};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Smallest size (≥ `exact_below`) belonging to the same class as `n`,
+/// found against the real `class_of` by binary search — no float
+/// reimplementation that could round differently than production code.
+fn class_floor(sc: &SizeClassConfig, n: usize) -> usize {
+    let c = sc.class_of(n);
+    let (mut lo, mut hi) = (sc.exact_below, n);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if sc.class_of(mid) >= c {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+fn quantized_context() -> UcxContext {
+    let topo = Arc::new(presets::beluga());
+    UcxContext::new(
+        GpuRuntime::new(Engine::new(topo)),
+        UcxConfig {
+            mode: TuningMode::Dynamic,
+            params: ParamSource::Probed,
+            planner: PlannerConfig {
+                size_classes: SizeClassConfig::ENABLED,
+                ..PlannerConfig::default()
+            },
+            graph_replay: true,
+            ..UcxConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `class_of` is monotone in `n`, and the graph key splits exactly
+    /// where the class does: the first byte count of a class and its
+    /// predecessor get different keys, while every classmate — edge
+    /// included — shares one key.
+    #[test]
+    fn class_edges_split_graph_keys_consistently(
+        n in (8 * MIB)..(256 * MIB),
+    ) {
+        let sc = SizeClassConfig::ENABLED;
+        let edge = class_floor(&sc, n);
+        prop_assert_eq!(sc.class_of(edge), sc.class_of(n));
+
+        // Monotone: the predecessor is in a strictly earlier class (or
+        // below the threshold entirely).
+        if edge > sc.exact_below {
+            prop_assert!(sc.class_of(edge - 1) < sc.class_of(edge));
+        }
+
+        // The edge size keys with its own class, not the neighbor's,
+        // and agrees with every other member of the class.
+        prop_assert!(graph_key(&sc, edge) & CLASS_TAG != 0);
+        prop_assert_eq!(graph_key(&sc, edge), graph_key(&sc, n));
+        prop_assert_ne!(graph_key(&sc, edge), graph_key(&sc, edge - 1));
+
+        // Determinism at the edge: repeated derivations never waver.
+        for _ in 0..4 {
+            prop_assert_eq!(graph_key(&sc, edge), graph_key(&sc, n));
+        }
+    }
+
+    /// The `exact_below` threshold is itself a boundary: one byte under
+    /// it keys by exact size (no class tag), at it the class key takes
+    /// over — and the planner's cache behavior matches (sub-threshold
+    /// sizes never consult class entries).
+    #[test]
+    fn exact_threshold_is_a_hard_edge(delta in 1usize..=4096) {
+        let sc = SizeClassConfig::ENABLED;
+        let under = sc.exact_below - delta;
+        prop_assert_eq!(graph_key(&sc, under), under as u64);
+        prop_assert_eq!(graph_key(&sc, under) & CLASS_TAG, 0);
+        prop_assert!(graph_key(&sc, sc.exact_below) & CLASS_TAG != 0);
+
+        let topo = Arc::new(presets::beluga());
+        let gpus = topo.gpus();
+        let planner = Planner::with_config(
+            topo.clone(),
+            PlannerConfig {
+                size_classes: SizeClassConfig::ENABLED,
+                ..PlannerConfig::default()
+            },
+        );
+        let under = under & !3;
+        planner
+            .plan(gpus[0], gpus[1], under, PathSelection::TWO_GPUS)
+            .unwrap();
+        planner
+            .plan(gpus[0], gpus[1], under, PathSelection::TWO_GPUS)
+            .unwrap();
+        let s = planner.stats();
+        prop_assert_eq!(s.class_hits, 0, "sub-threshold size hit a class entry");
+        prop_assert_eq!(s.hits, 1, "repeat of an exact size must hit its exact entry");
+    }
+}
+
+/// Behavioral edge check through the full context: a transfer sized
+/// exactly on a class edge reuses one plan-cache entry *and* one
+/// compiled graph across repeats, while its immediate predecessor (one
+/// step under the edge) compiles into a distinct pool — no
+/// cross-contamination in either direction.
+#[test]
+fn edge_sizes_reuse_one_graph_and_split_from_neighbors() {
+    let ctx = quantized_context();
+    let sc = SizeClassConfig::ENABLED;
+    let gpus = ctx.runtime().engine().topology().gpus();
+    let edge = class_floor(&sc, 32 * MIB) & !3;
+    assert_eq!(
+        sc.class_of(edge),
+        sc.class_of(32 * MIB),
+        "aligned edge fell out of the class"
+    );
+    let neighbor = edge - 4;
+    assert_ne!(graph_key(&sc, edge), graph_key(&sc, neighbor));
+
+    for (round, &n) in [edge, neighbor, edge, neighbor, edge].iter().enumerate() {
+        let data: Vec<u8> = (0..n).map(|i| ((i + round) * 13 % 251) as u8).collect();
+        let src = ctx.runtime().alloc_bytes(gpus[0], data.clone());
+        let dst = ctx.runtime().alloc_zeroed(gpus[1], n);
+        let h = ctx.put_replayed(&src, &dst, n).expect("replayed put");
+        ctx.runtime().engine().run_until_idle();
+        assert!(h.is_complete());
+        assert_eq!(dst.to_vec().unwrap(), data, "round {round} corrupted bytes");
+    }
+
+    let g = ctx.graph_stats();
+    assert_eq!(
+        g.captures, 2,
+        "edge and neighbor must compile exactly one graph each: {g:?}"
+    );
+    assert_eq!(g.replays, 5, "every put must have replayed a graph: {g:?}");
+    assert_eq!(g.fallbacks, 0, "no interpreted fallback expected: {g:?}");
+}

@@ -1,0 +1,259 @@
+//! Data-equivalence guarantees of the compiled-graph replay fast path.
+//!
+//! Three contracts from DESIGN §4e, verified end to end:
+//!
+//! 1. A replayed transfer is bit-identical to the interpreted pipeline's
+//!    output for the same plan — capture changes CPU cost, never bytes.
+//! 2. Drift invalidation evicts compiled graphs: after an invalidate,
+//!    the next put re-captures instead of replaying a stale schedule
+//!    (and `recalibrate` clears the whole graph cache).
+//! 3. The fault-matrix fallback rule: `put_resilient` stays fully
+//!    interpreted even with `graph_replay` on, recovered bytes are
+//!    intact, and replay resumes cleanly once the fabric is healthy.
+
+use mpx_gpu::GpuRuntime;
+use mpx_sim::{Engine, FaultInjector, FaultKind, FaultPlan};
+use mpx_topo::presets;
+use mpx_topo::units::MIB;
+use mpx_topo::PathSelection;
+use mpx_ucx::{RecoveryConfig, UcxConfig, UcxContext};
+use std::sync::Arc;
+
+fn ctx_with(selection: PathSelection, graph_replay: bool) -> UcxContext {
+    let topo = Arc::new(presets::beluga());
+    UcxContext::new(
+        GpuRuntime::new(Engine::new(topo)),
+        UcxConfig {
+            selection,
+            graph_replay,
+            ..UcxConfig::default()
+        },
+    )
+}
+
+/// Interpreted and replayed executions of the same plan land identical
+/// bytes — on the 3-path + host-staged selection, the richest graph
+/// shape (direct copy plus two chunked staging rings).
+#[test]
+fn replayed_transfers_match_interpreted_bit_for_bit() {
+    let sel = PathSelection::THREE_GPUS_WITH_HOST;
+    let interp = ctx_with(sel, false);
+    let replay = ctx_with(sel, true);
+    let n = 24 * MIB + 20;
+    let data: Vec<u8> = (0..n).map(|i| (i * 31 % 251) as u8).collect();
+
+    let gpus = interp.runtime().engine().topology().gpus();
+    let src_i = interp.runtime().alloc_bytes(gpus[0], data.clone());
+    let dst_i = interp.runtime().alloc_zeroed(gpus[1], n);
+    let h = interp
+        .put_async(&src_i, &dst_i, n)
+        .expect("interpreted put");
+    interp.runtime().engine().run_until_idle();
+    assert!(h.is_complete());
+    let reference = dst_i.to_vec().unwrap();
+    assert_eq!(reference, data);
+    assert_eq!(interp.graph_stats().replays, 0, "graph path must be off");
+
+    let gpus = replay.runtime().engine().topology().gpus();
+    let src_r = replay.runtime().alloc_bytes(gpus[0], data.clone());
+    for round in 0..3 {
+        let dst_r = replay.runtime().alloc_zeroed(gpus[1], n);
+        let h = replay
+            .put_replayed(&src_r, &dst_r, n)
+            .expect("replayed put");
+        replay.runtime().engine().run_until_idle();
+        assert!(h.is_complete());
+        assert_eq!(
+            dst_r.to_vec().unwrap(),
+            reference,
+            "round {round}: replayed bytes diverge from interpreted bytes"
+        );
+    }
+    let g = replay.graph_stats();
+    assert_eq!((g.captures, g.replays, g.fallbacks), (1, 3, 0), "{g:?}");
+}
+
+/// After a drift invalidation the evicted graph must never replay
+/// again: the next put re-captures. `recalibrate` does the same for
+/// every pair at once.
+#[test]
+fn invalidation_forces_recapture_not_stale_replay() {
+    let ctx = ctx_with(PathSelection::THREE_GPUS, true);
+    let gpus = ctx.runtime().engine().topology().gpus();
+    let n = 16 * MIB;
+    let data: Vec<u8> = (0..n).map(|i| (i * 7 % 253) as u8).collect();
+    let src = ctx.runtime().alloc_bytes(gpus[0], data.clone());
+    let dst = ctx.runtime().alloc_zeroed(gpus[1], n);
+
+    let put = |expect: &str| {
+        let h = ctx.put_replayed(&src, &dst, n).expect(expect);
+        ctx.runtime().engine().run_until_idle();
+        assert!(h.is_complete());
+        assert_eq!(dst.to_vec().unwrap(), data, "{expect}: bytes corrupted");
+    };
+
+    put("capture");
+    put("first replay");
+    let g = ctx.graph_stats();
+    assert_eq!((g.captures, g.replays), (1, 2), "{g:?}");
+
+    let plan = ctx.plan_for(gpus[0], gpus[1], n).unwrap();
+    assert!(
+        ctx.record_observation(gpus[0], gpus[1], n, plan.predicted_bandwidth * 10.0),
+        "10x drift must purge the pair"
+    );
+    assert_eq!(ctx.graph_stats().invalidations, 1);
+
+    put("post-invalidate put");
+    let g = ctx.graph_stats();
+    assert_eq!(
+        (g.captures, g.replays),
+        (2, 3),
+        "put after invalidate must re-capture, not replay stale: {g:?}"
+    );
+
+    ctx.recalibrate();
+    put("post-recalibrate put");
+    let g = ctx.graph_stats();
+    assert_eq!(
+        g.captures, 3,
+        "recalibrate must clear the whole graph cache: {g:?}"
+    );
+    assert_eq!(g.fallbacks, 0, "{g:?}");
+}
+
+/// The fault matrix's fallback rule end to end: warm the graph cache,
+/// kill a path mid-`put_resilient` (which is interpreted by design —
+/// its re-plans would invalidate any captured schedule), verify the
+/// recovered bytes, then flap a link and confirm replay resumes with
+/// intact data once the outage passes.
+#[test]
+fn fault_matrix_fallback_keeps_data_equivalence() {
+    let ctx = ctx_with(PathSelection::THREE_GPUS, true);
+    let gpus = ctx.runtime().engine().topology().gpus();
+    let n = 16 * MIB;
+
+    // Warm: compile + replay while the fabric is healthy.
+    let warm: Vec<u8> = (0..n).map(|i| (i * 11 % 251) as u8).collect();
+    let src = ctx.runtime().alloc_bytes(gpus[0], warm.clone());
+    let dst = ctx.runtime().alloc_zeroed(gpus[1], n);
+    for _ in 0..2 {
+        let h = ctx.put_replayed(&src, &dst, n).expect("warm put");
+        ctx.runtime().engine().run_until_idle();
+        assert!(h.is_complete());
+    }
+    assert_eq!(dst.to_vec().unwrap(), warm);
+    let warm_stats = ctx.graph_stats();
+    assert_eq!((warm_stats.captures, warm_stats.replays), (1, 2));
+
+    // Kill the staged path's forwarding leg mid-transfer; recovery must
+    // run interpreted and still land every byte.
+    let plan = ctx.plan_for(gpus[0], gpus[1], n).unwrap();
+    let paths = ctx
+        .paths_for(gpus[0], gpus[1], PathSelection::THREE_GPUS)
+        .unwrap();
+    let fault = FaultPlan::empty().with(
+        plan.predicted_time * 0.5,
+        paths[1].legs[1].route[0],
+        FaultKind::Kill,
+    );
+    FaultInjector::install(ctx.runtime().engine(), &fault);
+
+    let killed: Vec<u8> = (0..n).map(|i| (i * 13 % 251) as u8).collect();
+    src.write(0, &killed);
+    let thread = ctx.runtime().engine().register_thread("driver");
+    let c = ctx.clone();
+    let (s, d) = (src.clone(), dst.clone());
+    let report = std::thread::spawn(move || {
+        c.put_resilient(&thread, &s, &d, n, &RecoveryConfig::default())
+            .expect("recovery must survive a single path failure")
+    })
+    .join()
+    .unwrap();
+    assert!(report.replans >= 1, "kill must force a re-plan");
+    assert_eq!(
+        dst.to_vec().unwrap(),
+        killed,
+        "recovered bytes diverge from source"
+    );
+    assert_eq!(
+        ctx.graph_stats().replays,
+        warm_stats.replays,
+        "put_resilient must stay fully interpreted (no graph replay)"
+    );
+}
+
+/// After a *transient* outage the fabric restores itself, and the
+/// replay fast path must resume with intact data: warm → flap →
+/// interpreted recovery → replay again. (A permanent kill cannot be
+/// re-probed — capacity 0 is unplannable — which is why resumption is
+/// proven on a flap.)
+#[test]
+fn replay_resumes_with_intact_data_after_transient_flap() {
+    let ctx = ctx_with(PathSelection::THREE_GPUS, true);
+    let gpus = ctx.runtime().engine().topology().gpus();
+    let n = 16 * MIB;
+
+    let warm: Vec<u8> = (0..n).map(|i| (i * 23 % 251) as u8).collect();
+    let src = ctx.runtime().alloc_bytes(gpus[0], warm.clone());
+    let dst = ctx.runtime().alloc_zeroed(gpus[1], n);
+    for _ in 0..2 {
+        let h = ctx.put_replayed(&src, &dst, n).expect("warm put");
+        ctx.runtime().engine().run_until_idle();
+        assert!(h.is_complete());
+    }
+    assert_eq!(dst.to_vec().unwrap(), warm);
+    let warm_stats = ctx.graph_stats();
+
+    // Take the staged path's forwarding leg down briefly mid-transfer.
+    let plan = ctx.plan_for(gpus[0], gpus[1], n).unwrap();
+    let paths = ctx
+        .paths_for(gpus[0], gpus[1], PathSelection::THREE_GPUS)
+        .unwrap();
+    let fault = FaultPlan::empty().with(
+        plan.predicted_time * 0.5,
+        paths[1].legs[1].route[0],
+        FaultKind::Flap {
+            duration: plan.predicted_time * 2.0,
+        },
+    );
+    FaultInjector::install(ctx.runtime().engine(), &fault);
+
+    let flapped: Vec<u8> = (0..n).map(|i| (i * 29 % 251) as u8).collect();
+    src.write(0, &flapped);
+    let thread = ctx.runtime().engine().register_thread("driver");
+    let c = ctx.clone();
+    let (s, d) = (src.clone(), dst.clone());
+    std::thread::spawn(move || {
+        c.put_resilient(&thread, &s, &d, n, &RecoveryConfig::default())
+            .expect("recovery must ride out a transient flap")
+    })
+    .join()
+    .unwrap();
+    assert_eq!(
+        dst.to_vec().unwrap(),
+        flapped,
+        "flap recovery corrupted bytes"
+    );
+
+    // The link is back at nominal capacity; replay must pick up again
+    // (re-capturing first if recovery's drift feedback evicted the
+    // graph) and keep landing exact bytes.
+    let after: Vec<u8> = (0..n).map(|i| (i * 31 % 251) as u8).collect();
+    src.write(0, &after);
+    for round in 0..2 {
+        let h = ctx.put_replayed(&src, &dst, n).expect("post-flap put");
+        ctx.runtime().engine().run_until_idle();
+        assert!(h.is_complete(), "post-flap replay round {round} stuck");
+        assert_eq!(
+            dst.to_vec().unwrap(),
+            after,
+            "post-flap replayed bytes corrupted (round {round})"
+        );
+    }
+    let g = ctx.graph_stats();
+    assert!(
+        g.replays >= warm_stats.replays + 2,
+        "replay must resume after the flap: {g:?}"
+    );
+}

@@ -37,6 +37,25 @@ fn stress_context() -> UcxContext {
     )
 }
 
+/// Like [`stress_context`], with the compiled-graph replay fast path on
+/// — the configuration the graph-eviction stress exercises.
+fn graph_stress_context() -> UcxContext {
+    let topo = Arc::new(presets::beluga());
+    UcxContext::new(
+        GpuRuntime::new(Engine::new(topo)),
+        UcxConfig {
+            mode: TuningMode::Dynamic,
+            params: ParamSource::Probed,
+            planner: PlannerConfig {
+                size_classes: SizeClassConfig::ENABLED,
+                ..PlannerConfig::default()
+            },
+            graph_replay: true,
+            ..UcxConfig::default()
+        },
+    )
+}
+
 fn ordered_pairs(ctx: &UcxContext) -> Vec<(DeviceId, DeviceId)> {
     let gpus = ctx.runtime().engine().topology().gpus();
     (0..gpus.len())
@@ -150,6 +169,85 @@ fn data_stays_deterministic_after_cache_churn() {
             "transfer corrupted after cache churn"
         );
     }
+}
+
+/// Drift invalidation must evict *compiled graphs*, not just plans,
+/// under the full 8-thread harness: eight rank threads replay their own
+/// (pair, size) through blocking PUTs while periodically reporting a
+/// 10× drifted bandwidth. With per-thread pairs and sequential puts the
+/// counters are exactly determined: every put replays a graph, every
+/// purge forces exactly one re-capture, and nothing ever falls back to
+/// the interpreter — a stale graph surviving an eviction would surface
+/// as a missing capture (and wrong bytes if the schedule drifted).
+#[test]
+fn graph_eviction_is_not_lost_under_concurrent_replay() {
+    const GRAPH_ITERS: usize = 60;
+    let ctx = graph_stress_context();
+    let pairs = ordered_pairs(&ctx);
+    let purges = AtomicU64::new(0);
+
+    // Quorum rule: register every rank thread before spawning any.
+    let threads: Vec<_> = (0..THREADS)
+        .map(|t| ctx.runtime().engine().register_thread(format!("rank{t}")))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for (t, sim) in threads.into_iter().enumerate() {
+            let (src_dev, dst_dev) = pairs[t];
+            let ctx = ctx.clone();
+            let purges = &purges;
+            scope.spawn(move || {
+                // Fixed per-thread size (4-aligned, spanning the class
+                // threshold across threads) and persistent buffers, so
+                // each thread replays one compiled graph repeatedly.
+                let n = (2 * MIB + t * 3 * MIB + 4 * t) & !3;
+                let data: Vec<u8> = (0..n).map(|i| ((i * 17 + t) % 251) as u8).collect();
+                let src = ctx.runtime().alloc_bytes(src_dev, data.clone());
+                let dst = ctx.runtime().alloc_zeroed(dst_dev, n);
+                for i in 0..GRAPH_ITERS {
+                    ctx.put(&sim, &src, &dst, n).expect("replayed put");
+                    assert_eq!(
+                        dst.to_vec().expect("readback"),
+                        data,
+                        "thread {t} iter {i}: replayed bytes corrupted"
+                    );
+                    // Purge points sit mid-run (never on the final
+                    // iteration), so every eviction is followed by at
+                    // least one put that must re-capture.
+                    if i % 20 == 9 {
+                        let plan = ctx.plan_for(src_dev, dst_dev, n).expect("plan");
+                        if ctx.record_observation(
+                            src_dev,
+                            dst_dev,
+                            n,
+                            plan.predicted_bandwidth * 10.0,
+                        ) {
+                            purges.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let purged = purges.load(Ordering::Relaxed);
+    assert!(purged > 0, "drift observations never purged anything");
+    let g = ctx.graph_stats();
+    assert_eq!(
+        g.replays,
+        (THREADS * GRAPH_ITERS) as u64,
+        "every put must have replayed a compiled graph: {g:?}"
+    );
+    assert_eq!(
+        g.captures,
+        THREADS as u64 + purged,
+        "each purge must evict the pair's graph and force one re-capture: {g:?}"
+    );
+    assert_eq!(g.fallbacks, 0, "no interpreted fallback expected: {g:?}");
+    assert_eq!(
+        g.invalidations, purged,
+        "graph-cache invalidations must match reported purges: {g:?}"
+    );
 }
 
 /// Stats snapshots are served from atomics and must keep flowing while

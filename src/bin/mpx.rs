@@ -7,8 +7,8 @@
 //! mpx plan  --topo-file my_node.json --size 64M   # plan on a custom node
 //! mpx plan  --topo narval --size 64M [--paths 3_GPUs_w_host] [--src 0 --dst 1]
 //! mpx plan  --topo beluga --size 64M --quantize --stats   # size-class reuse + cache counters
-//! mpx bw    --topo beluga --size 64M [--window 16] [--mode single|dynamic]
-//! mpx bibw  --topo beluga --size 64M [--window 16] [--mode single|dynamic]
+//! mpx bw    --topo beluga --size 64M [--window 16] [--mode single|dynamic] [--replay]
+//! mpx bibw  --topo beluga --size 64M [--window 16] [--mode single|dynamic] [--replay]
 //! mpx collective --op allreduce|alltoall --size 64M [--topo T] [--paths P]
 //! mpx fault-plan --topo beluga --scenario degrade|flap|kill|random > faults.json
 //! mpx resilient --topo beluga --size 64M --faults faults.json [--slack S] [--retries R]
@@ -62,7 +62,7 @@ fn selection(name: &str) -> PathSelection {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: mpx <topo|export|plan|bw|bibw|collective|fault-plan|resilient|trace|metrics> [--topo T | --topo-file F] [--size N] [--window W] [--mode M] [--paths P] [--src I] [--dst J] [--op C] [--scenario S] [--faults F] [--slack X] [--retries R] [--seed N] [--count N] [--horizon T] [--json] [--trace-out F] [--metrics-out F]");
+    eprintln!("usage: mpx <topo|export|plan|bw|bibw|collective|fault-plan|resilient|trace|metrics> [--topo T | --topo-file F] [--size N] [--window W] [--mode M] [--paths P] [--src I] [--dst J] [--op C] [--scenario S] [--faults F] [--slack X] [--retries R] [--seed N] [--count N] [--horizon T] [--json] [--replay] [--trace-out F] [--metrics-out F]");
     std::process::exit(2)
 }
 
@@ -72,7 +72,7 @@ fn main() {
         die("missing command");
     };
     // Boolean flags take no value; everything else is `--key value`.
-    const BOOL_FLAGS: [&str; 3] = ["stats", "quantize", "json"];
+    const BOOL_FLAGS: [&str; 4] = ["stats", "quantize", "json", "replay"];
     let mut opts: HashMap<String, String> = HashMap::new();
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -245,9 +245,11 @@ fn main() {
             );
         }
         "bw" | "bibw" => {
+            let replay = opts.contains_key("replay");
             let cfg = UcxConfig {
                 mode,
                 selection: sel,
+                graph_replay: replay,
                 ..UcxConfig::default()
             };
             let p2p = P2pConfig::with_window(window);
@@ -257,8 +259,9 @@ fn main() {
                 osu_bibw(&topo, cfg, n, p2p)
             };
             println!(
-                "{cmd} {} window={window} mode={mode:?}: {:.2} GB/s",
+                "{cmd} {} window={window} mode={mode:?}{}: {:.2} GB/s",
                 mpx_topo::units::format_bytes(n),
+                if replay { " replay=on" } else { "" },
                 bw / 1e9
             );
         }
@@ -425,6 +428,7 @@ fn main() {
             let cfg = UcxConfig {
                 mode,
                 selection: sel,
+                graph_replay: true,
                 ..UcxConfig::default()
             };
             let ctx = UcxContext::new(rt, cfg);
@@ -437,6 +441,25 @@ fn main() {
             let paths = ctx
                 .paths_for(src, dst, sel)
                 .unwrap_or_else(|e| die(&e.to_string()));
+            // Two same-size PUTs through the compiled-graph fast path
+            // while the fabric is still healthy: the first captures
+            // (graph.capture instant), the second replays
+            // (graph.replay span), so both phases land in the trace.
+            let gdata: Vec<u8> = (0..n).map(|i| (i * 3 % 251) as u8).collect();
+            let gsrc = ctx.runtime().alloc_bytes(src, gdata.clone());
+            let gdst = ctx.runtime().alloc_zeroed(dst, n);
+            for _ in 0..2 {
+                let h = ctx
+                    .put_async(&gsrc, &gdst, n)
+                    .unwrap_or_else(|e| die(&e.to_string()));
+                ctx.runtime().engine().run_until_idle();
+                if !h.is_complete() {
+                    die("graph workload stalled");
+                }
+            }
+            if gdst.to_vec().map(|v| v != gdata).unwrap_or(true) {
+                die("graph workload corrupted data");
+            }
             // The fault-plan `degrade` scenario: throttle the direct
             // link hard mid-transfer so the recovery loop must
             // re-balance onto the other paths.
