@@ -35,7 +35,7 @@ echo "fault-matrix smoke: ok"
   --trace-out "$tmp/trace.json" --metrics-out "$tmp/metrics.json"
 python3 -c "import json, sys; json.load(open(sys.argv[1])); json.load(open(sys.argv[2]))" \
   "$tmp/trace.json" "$tmp/metrics.json"
-for phase in plan probe transfer chunk-leg recovery collective fault tune graph.capture graph.replay; do
+for phase in plan probe transfer chunk-leg recovery collective fault tune graph.capture graph.replay health hedge; do
   if ! grep -q "\"cat\": \"$phase\"" "$tmp/trace.json"; then
     echo "trace smoke: no $phase events in trace.json" >&2; exit 1
   fi
@@ -51,3 +51,12 @@ echo "trace-export smoke: ok"
 # versus the interpreted pipeline fails the run.
 ./target/release/bench_transport --quick
 echo "bench_transport smoke: ok"
+
+# Chaos-soak smoke: two fixed seeds of randomized degrade/flap/kill over
+# concurrent resilient, plain/replayed, and hedged PUTs. Exits nonzero on
+# data corruption, unbounded recovery (virtual-time ceiling), an
+# unbalanced breaker ledger, a graph replay served while the pair's
+# breaker was open, or a degraded hedged-PUT p99 above 2x the healthy
+# p99. Never rewrites results/BENCH_chaos.json (full runs do that).
+./target/release/chaos_soak --quick
+echo "chaos-soak smoke: ok"

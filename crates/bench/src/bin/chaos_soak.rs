@@ -1,0 +1,419 @@
+//! Chaos soak: seeded random fault storms over concurrent resilient,
+//! plain/replayed, and hedged PUTs, asserting the supervision layer's
+//! end-to-end guarantees.
+//!
+//! Per seed, a [`mpx_sim::FaultPlan::random_soak`] storm (degrades,
+//! latency spikes, flaps, rationed kills — the drivers' direct links are
+//! protected so a route always survives) rains on one engine while three
+//! driver threads push transfers through it concurrently:
+//!
+//! * a **resilient** driver (`put_resilient`: deadlines, retries,
+//!   re-plans),
+//! * a **plain** driver (`put` with the compiled-graph replay fast path
+//!   on; a stuck pipeline surfaces as [`mpx_ucx::TransferError::Stuck`]
+//!   and escalates to `put_resilient`),
+//! * a **hedged** driver (`put_hedged`: stalled primaries race their
+//!   residual on healthy paths).
+//!
+//! After every storm the harness asserts: every byte bit-exact, the run
+//! bounded in virtual time (no deadlock, no unbounded recovery), the
+//! breaker ledger balanced (`trips == resets + breakers_open`), and —
+//! from the recorded telemetry — that no compiled-graph replay was
+//! served on a pair while one of its breakers was open.
+//!
+//! A separate two-regime phase measures hedged-PUT tail latency: p99
+//! over 100 transfers on a healthy fabric vs the same with the direct
+//! link degraded to 5% under a one-strike breaker. The acceptance bound
+//! is p99(degraded) ≤ 2 × p99(healthy).
+//!
+//! Usage:
+//!   chaos_soak           # full seed set, write results/BENCH_chaos.json
+//!   chaos_soak --quick   # CI smoke: two seeds, same invariants, no
+//!                        # artifact overwrite; exits nonzero on any
+//!                        # violation
+
+use mpx_gpu::GpuRuntime;
+use mpx_obs::{Event, Phase, Recorder};
+use mpx_sim::{Engine, FaultInjector, FaultKind, FaultPlan, SimTime};
+use mpx_topo::units::MIB;
+use mpx_topo::{presets, DeviceId, LinkId, PathSelection, Topology};
+use mpx_ucx::{HealthConfig, HedgeConfig, RecoveryConfig, TransferError, UcxConfig, UcxContext};
+use serde_json::{json, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Committed seeds: the acceptance runs exactly these.
+const STANDARD_SEEDS: [u64; 4] = [11, 23, 47, 92];
+const QUICK_SEEDS: [u64; 2] = [11, 23];
+
+/// Longest plausible honest run: three drivers' transfers plus every
+/// recovery window. A soak exceeding this virtual time has livelocked.
+const MAX_VIRTUAL_SECS: f64 = 60.0;
+
+/// Transfers per driver per seed.
+const PUTS_PER_DRIVER: usize = 8;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seeds: &[u64] = if quick { &QUICK_SEEDS } else { &STANDARD_SEEDS };
+    let topo = Arc::new(presets::beluga());
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut seed_rows: Vec<Value> = Vec::new();
+    println!(
+        "{:>6} {:>7} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9} {:>10}",
+        "seed",
+        "puts",
+        "escalate",
+        "trips",
+        "resets",
+        "open",
+        "gated",
+        "hedges",
+        "virt_ms",
+        "replay_ok"
+    );
+    for &seed in seeds {
+        seed_rows.push(soak_one(&topo, seed, &mut violations));
+    }
+
+    let tail = tail_latency_phase(&topo, &mut violations);
+
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("chaos_soak violation: {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("chaos_soak: ok ({} seeds, zero violations)", seeds.len());
+    if !quick {
+        let report = json!({ "seeds": seed_rows, "tail_latency": tail });
+        mpx_bench::emit_json("BENCH_chaos", &report);
+    }
+}
+
+/// Data pattern for one (driver, iteration) — distinct across drivers so
+/// cross-driver corruption cannot cancel out.
+fn pattern(driver: usize, iter: usize, n: usize) -> Vec<u8> {
+    (0..n)
+        .map(|i| ((i * (13 + 2 * driver) + iter * 101) % 251) as u8)
+        .collect()
+}
+
+/// Message size walk per driver: 4-byte aligned, 4–24 MiB, irregular so
+/// planning, size classes, and graph keying all churn.
+fn size_at(driver: usize, iter: usize) -> usize {
+    4 * MIB + 4 * (((iter * 37987 + driver * 104729) * 1021) % (20 * MIB / 4))
+}
+
+struct DriverOutcome {
+    puts: u64,
+    escalations: u64,
+}
+
+/// One seeded storm over one engine with three concurrent drivers.
+/// Appends human-readable violation strings; panics (itself a reportable
+/// failure) only on corrupted bytes.
+fn soak_one(topo: &Arc<Topology>, seed: u64, violations: &mut Vec<String>) -> Value {
+    let engine = Engine::new(topo.clone());
+    let rec = Recorder::new();
+    engine.set_recorder(rec.clone());
+    let ctx = UcxContext::new(
+        GpuRuntime::new(engine),
+        UcxConfig {
+            selection: PathSelection::THREE_GPUS_WITH_HOST,
+            graph_replay: true,
+            ..UcxConfig::default()
+        },
+    );
+    let gpus = topo.gpus();
+    // One pair per driver, disjoint endpoints where the 4-GPU node
+    // allows, so per-pair health state is single-writer.
+    let pairs: [(DeviceId, DeviceId); 3] =
+        [(gpus[0], gpus[1]), (gpus[2], gpus[3]), (gpus[1], gpus[3])];
+    // Protect each driver pair's direct link from kills and flaps: a
+    // usable route always survives, so recovery stays bounded by
+    // construction and anything unbounded is a harness bug.
+    let protect: Vec<LinkId> = pairs
+        .iter()
+        .filter_map(|&(a, b)| topo.link_between(a, b).ok().map(|l| l.id))
+        .collect();
+    let storm = FaultPlan::random_soak(topo, seed, 0.01, 24, &protect);
+    FaultInjector::install(ctx.runtime().engine(), &storm);
+
+    // Quorum rule: register every driver thread before spawning any.
+    let threads: Vec<_> = (0..3)
+        .map(|d| ctx.runtime().engine().register_thread(format!("chaos{d}")))
+        .collect();
+    let escalations = AtomicU64::new(0);
+    let hedge_rounds = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for (driver, thread) in threads.into_iter().enumerate() {
+            let ctx = ctx.clone();
+            let (src_dev, dst_dev) = pairs[driver];
+            let escalations = &escalations;
+            let hedge_rounds = &hedge_rounds;
+            scope.spawn(move || {
+                let mut out = DriverOutcome {
+                    puts: 0,
+                    escalations: 0,
+                };
+                for iter in 0..PUTS_PER_DRIVER {
+                    let n = size_at(driver, iter);
+                    let data = pattern(driver, iter, n);
+                    let src = ctx.runtime().alloc_bytes(src_dev, data.clone());
+                    let dst = ctx.runtime().alloc_zeroed(dst_dev, n);
+                    let rcfg = RecoveryConfig::default();
+                    match driver {
+                        // Resilient driver: deadline/retry/re-plan loop.
+                        0 => {
+                            ctx.put_resilient(&thread, &src, &dst, n, &rcfg)
+                                .expect("resilient put must survive the storm");
+                        }
+                        // Plain driver: replay fast path; a stuck
+                        // pipeline escalates instead of panicking.
+                        1 => {
+                            if let Err(TransferError::Stuck { .. }) =
+                                ctx.put(&thread, &src, &dst, n)
+                            {
+                                out.escalations += 1;
+                                ctx.put_resilient(&thread, &src, &dst, n, &rcfg)
+                                    .expect("escalated put must survive");
+                            }
+                        }
+                        // Hedged driver: race stalled residuals.
+                        _ => {
+                            let hcfg = HedgeConfig {
+                                min_trigger: 1e-5,
+                                max_hedges: 4,
+                                ..HedgeConfig::default()
+                            };
+                            match ctx.put_hedged(&thread, &src, &dst, n, &hcfg) {
+                                Ok(r) => {
+                                    hedge_rounds.fetch_add(r.hedges, Ordering::Relaxed);
+                                }
+                                Err(_) => {
+                                    out.escalations += 1;
+                                    ctx.put_resilient(&thread, &src, &dst, n, &rcfg)
+                                        .expect("escalated hedge must survive");
+                                }
+                            }
+                        }
+                    }
+                    assert_eq!(
+                        dst.to_vec().expect("readback"),
+                        data,
+                        "seed {seed} driver {driver} iter {iter}: bytes corrupted"
+                    );
+                    out.puts += 1;
+                }
+                escalations.fetch_add(out.escalations, Ordering::Relaxed);
+                out
+            });
+        }
+    });
+
+    let virtual_secs = ctx.runtime().engine().stats().now.as_secs();
+    if virtual_secs > MAX_VIRTUAL_SECS {
+        violations.push(format!(
+            "seed {seed}: soak took {virtual_secs:.3}s virtual (> {MAX_VIRTUAL_SECS}s): unbounded recovery"
+        ));
+    }
+    let h = ctx.health_stats();
+    if h.trips != h.resets + h.breakers_open {
+        violations.push(format!("seed {seed}: breaker ledger unbalanced: {h:?}"));
+    }
+    let gate_violations = replay_gate_violations(&rec.drain());
+    if gate_violations > 0 {
+        violations.push(format!(
+            "seed {seed}: {gate_violations} graph replays served on breaker-open pairs"
+        ));
+    }
+    println!(
+        "{seed:>6} {:>7} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9.2} {:>10}",
+        3 * PUTS_PER_DRIVER as u64,
+        escalations.load(Ordering::Relaxed),
+        h.trips,
+        h.resets,
+        h.breakers_open,
+        h.replays_gated,
+        h.hedges,
+        virtual_secs * 1e3,
+        if gate_violations == 0 {
+            "ok"
+        } else {
+            "VIOLATED"
+        },
+    );
+    json!({
+        "seed": seed,
+        "puts": 3 * PUTS_PER_DRIVER as u64,
+        "escalations": escalations.load(Ordering::Relaxed),
+        "trips": h.trips,
+        "retrips": h.retrips,
+        "resets": h.resets,
+        "probes": h.probes,
+        "breakers_open": h.breakers_open,
+        "replays_gated": h.replays_gated,
+        "hedges": h.hedges,
+        "hedge_wins": h.hedge_wins,
+        "hedge_rounds_observed": hedge_rounds.load(Ordering::Relaxed),
+        "virtual_secs": virtual_secs,
+        "replay_gate_violations": gate_violations,
+    })
+}
+
+/// Counts compiled-graph replay spans issued on a pair while one of the
+/// pair's breakers was open: from each `breaker.trip`/`breaker.retrip`
+/// instant until the matching `breaker.reset` (or forever if the storm
+/// ends with the breaker still open), no `graph.replay` span may START
+/// on that pair's track. Health instants and replay spans share the
+/// `pair:src->dst` track naming and the engine's virtual clock, so the
+/// comparison is exact.
+fn replay_gate_violations(events: &[Event]) -> u64 {
+    // (track, path) -> open intervals [start, end).
+    let mut open: std::collections::HashMap<(String, String), f64> =
+        std::collections::HashMap::new();
+    let mut intervals: std::collections::HashMap<String, Vec<(f64, f64)>> =
+        std::collections::HashMap::new();
+    let path_of = |detail: &str| -> String {
+        detail
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix("path="))
+            .unwrap_or("?")
+            .to_string()
+    };
+    for e in events {
+        let Event::Instant(i) = e else { continue };
+        if i.phase != Phase::Health {
+            continue;
+        }
+        let key = (i.track.clone(), path_of(&i.detail));
+        if i.name.starts_with("breaker.trip") || i.name.starts_with("breaker.retrip") {
+            open.entry(key).or_insert(i.at);
+        } else if i.name.starts_with("breaker.reset") {
+            if let Some(start) = open.remove(&key) {
+                intervals.entry(key.0).or_default().push((start, i.at));
+            }
+        }
+    }
+    for ((track, _), start) in open {
+        intervals.entry(track).or_default().push((start, f64::MAX));
+    }
+    let mut bad = 0u64;
+    for e in events {
+        let Event::Span(s) = e else { continue };
+        if s.phase != Phase::GraphReplay {
+            continue;
+        }
+        if let Some(windows) = intervals.get(&s.track) {
+            if windows.iter().any(|&(a, b)| s.start >= a && s.start < b) {
+                bad += 1;
+            }
+        }
+    }
+    bad
+}
+
+/// Two-regime hedged tail latency. Healthy: 100 hedged PUTs on a clean
+/// fabric. Degraded: the direct link drops to 5% *after* parameters were
+/// probed (stale plan), under a one-strike breaker with a long open
+/// window — the first PUT blows its trigger and hedges, the drift
+/// feedback re-probes the pair, and every later PUT plans around the
+/// sick path. p99 therefore measures the supervised steady state, and
+/// the acceptance bound is p99(degraded) ≤ 2 × p99(healthy).
+fn tail_latency_phase(topo: &Arc<Topology>, violations: &mut Vec<String>) -> Value {
+    const SAMPLES: usize = 100;
+    let n = 16 * MIB;
+    let hcfg = HedgeConfig {
+        min_trigger: 1e-5,
+        ..HedgeConfig::default()
+    };
+
+    let run = |degrade: bool| -> (Vec<f64>, u64) {
+        let ctx = UcxContext::new(
+            GpuRuntime::new(Engine::new(topo.clone())),
+            UcxConfig {
+                selection: PathSelection::THREE_GPUS_WITH_HOST,
+                health: HealthConfig {
+                    failure_threshold: 1,
+                    open_window: 10.0,
+                    ..HealthConfig::default()
+                },
+                ..UcxConfig::default()
+            },
+        );
+        let gpus = topo.gpus();
+        // Probe and plan against the healthy fabric first, so the
+        // degradation lands on a *stale* plan — the regime hedging
+        // exists for.
+        ctx.plan_for(gpus[0], gpus[1], n).expect("warm plan");
+        if degrade {
+            let link = topo.link_between(gpus[0], gpus[1]).expect("direct").id;
+            let fault = FaultPlan::empty().with(0.0, link, FaultKind::Degrade { factor: 0.05 });
+            FaultInjector::install(ctx.runtime().engine(), &fault);
+            ctx.runtime().engine().run_until(SimTime::from_secs(1e-9));
+        }
+        let thread = ctx.runtime().engine().register_thread(if degrade {
+            "tail-degraded"
+        } else {
+            "tail-healthy"
+        });
+        let c = ctx.clone();
+        std::thread::spawn(move || {
+            let mut elapsed = Vec::with_capacity(SAMPLES);
+            let mut hedges = 0u64;
+            for iter in 0..SAMPLES {
+                let data = pattern(7, iter, n);
+                let src = c.runtime().alloc_bytes(gpus[0], data.clone());
+                let dst = c.runtime().alloc_zeroed(gpus[1], n);
+                let r = c
+                    .put_hedged(&thread, &src, &dst, n, &hcfg)
+                    .expect("tail-latency put");
+                assert_eq!(
+                    dst.to_vec().expect("readback"),
+                    data,
+                    "tail bytes corrupted"
+                );
+                elapsed.push(r.elapsed);
+                hedges += r.hedges;
+            }
+            (elapsed, hedges)
+        })
+        .join()
+        .expect("tail driver")
+    };
+
+    let p99 = |samples: &mut Vec<f64>| -> f64 {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let idx = ((0.99 * samples.len() as f64).ceil() as usize).min(samples.len()) - 1;
+        samples[idx]
+    };
+    let (mut healthy, _) = run(false);
+    let (mut degraded, degraded_hedges) = run(true);
+    let (h99, d99) = (p99(&mut healthy), p99(&mut degraded));
+    let ratio = d99 / h99;
+    if degraded_hedges == 0 {
+        violations.push("tail latency: degraded regime never hedged".into());
+    }
+    if ratio > 2.0 {
+        violations.push(format!(
+            "tail latency: degraded p99 {:.1} us > 2x healthy p99 {:.1} us ({ratio:.2}x)",
+            d99 * 1e6,
+            h99 * 1e6
+        ));
+    }
+    println!(
+        "hedge tail: healthy p99 {:.1} us, degraded p99 {:.1} us ({ratio:.2}x, bound 2.00x), degraded hedges {degraded_hedges}",
+        h99 * 1e6,
+        d99 * 1e6,
+    );
+    json!({
+        "samples": SAMPLES,
+        "bytes": n,
+        "healthy_p99_secs": h99,
+        "degraded_p99_secs": d99,
+        "ratio": ratio,
+        "degraded_hedges": degraded_hedges,
+    })
+}

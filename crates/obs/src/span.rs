@@ -38,11 +38,15 @@ pub enum Phase {
     GraphCapture,
     /// Launching a compiled transfer graph (replay fast path).
     GraphReplay,
+    /// Path-health supervision: breaker trips, resets, half-open probes.
+    Health,
+    /// Hedged-transfer activity: hedge launches, wins, and losses.
+    Hedge,
 }
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 10] = [
+    pub const ALL: [Phase; 12] = [
         Phase::Plan,
         Phase::Probe,
         Phase::Transfer,
@@ -53,6 +57,8 @@ impl Phase {
         Phase::Tune,
         Phase::GraphCapture,
         Phase::GraphReplay,
+        Phase::Health,
+        Phase::Hedge,
     ];
 
     /// Stable lower-case label (the trace `cat` field).
@@ -68,6 +74,8 @@ impl Phase {
             Phase::Tune => "tune",
             Phase::GraphCapture => "graph.capture",
             Phase::GraphReplay => "graph.replay",
+            Phase::Health => "health",
+            Phase::Hedge => "hedge",
         }
     }
 }
@@ -364,7 +372,9 @@ mod tests {
                 "fault",
                 "tune",
                 "graph.capture",
-                "graph.replay"
+                "graph.replay",
+                "health",
+                "hedge"
             ]
         );
     }

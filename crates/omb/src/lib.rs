@@ -40,7 +40,8 @@ pub use collective_bench::{
 };
 pub use loaded::{osu_bw_loaded, LoadedConfig};
 pub use panels::{
-    collective_panel, degraded_fabric_panel, p2p_panel, replay_panel, CollectiveKind, P2pKind,
+    collective_panel, degraded_fabric_panel, p2p_panel, put_once, replay_panel, CollectiveKind,
+    P2pKind,
 };
 pub use pattern::{ring_pairs, run_pattern, PatternPlanning, PatternResult};
 pub use report::{mean_relative_error, size_ladder, Series, SeriesPoint};

@@ -21,7 +21,7 @@ use mpx_sim::{Engine, FaultInjector, FaultKind, FaultPlan, SimTime};
 use mpx_topo::path::PathSelection;
 use mpx_topo::units::Bandwidth;
 use mpx_topo::Topology;
-use mpx_ucx::{RecoveryConfig, TuningMode, UcxConfig, UcxContext};
+use mpx_ucx::{RecoveryConfig, TransferError, TuningMode, UcxConfig, UcxContext};
 use std::sync::Arc;
 
 /// Unidirectional or bidirectional P2P panel.
@@ -257,6 +257,35 @@ pub fn degraded_fabric_panel(
     vec![healthy, stale, recal]
 }
 
+/// One plain (non-resilient) PUT of `n` bytes GPU 0 → GPU 1 on a fresh
+/// fabric, with an optional fault plan installed before launch. Returns
+/// the achieved bandwidth — or the transport's typed error when the
+/// fabric strands the transfer, so benchmark drivers can report a
+/// degraded-fabric run as a result instead of dying mid-suite (plain
+/// `put` used to panic on a stuck pipeline).
+pub fn put_once(
+    topo: &Arc<Topology>,
+    ucx_cfg: UcxConfig,
+    n: usize,
+    faults: Option<&FaultPlan>,
+) -> Result<Bandwidth, TransferError> {
+    let rt = GpuRuntime::new(Engine::new(topo.clone()));
+    let ctx = UcxContext::new(rt, ucx_cfg);
+    if let Some(plan) = faults {
+        FaultInjector::install(ctx.runtime().engine(), plan);
+    }
+    let gpus = topo.gpus();
+    let src = ctx.runtime().alloc(gpus[0], n);
+    let dst = ctx.runtime().alloc(gpus[1], n);
+    let thread = ctx.runtime().engine().register_thread("put-once-driver");
+    let worker = std::thread::spawn(move || {
+        let t0 = thread.now();
+        ctx.put(&thread, &src, &dst, n)?;
+        Ok(n as f64 / thread.now().secs_since(t0))
+    });
+    worker.join().expect("driver thread")
+}
+
 fn run_collective(world: &World, kind: CollectiveKind, n: usize, coll: CollectiveConfig) -> f64 {
     // `n` is the per-rank message size (the paper's Fig. 7 x-axis).
     match kind {
@@ -383,6 +412,40 @@ mod tests {
             "recalibrated {recal} must not trail stale plan {stale}"
         );
         assert!(recal < healthy, "degraded fabric cannot reach healthy bw");
+    }
+
+    #[test]
+    fn put_once_measures_a_healthy_fabric() {
+        let topo = Arc::new(presets::beluga());
+        let bw = put_once(&topo, UcxConfig::default(), 32 * MIB, None)
+            .expect("healthy fabric must not strand a put");
+        assert!(bw > 0.0);
+    }
+
+    /// A mid-transfer kill with no surviving path surfaces as the typed
+    /// stuck error, naming the stranded bytes — not a panic.
+    #[test]
+    fn put_once_surfaces_a_stuck_fabric_as_an_error() {
+        let topo = Arc::new(presets::beluga());
+        let gpus = topo.gpus();
+        let link = topo.link_between(gpus[0], gpus[1]).expect("direct").id;
+        let cfg = UcxConfig {
+            selection: PathSelection::DIRECT_ONLY,
+            mode: TuningMode::SinglePath,
+            ..UcxConfig::default()
+        };
+        // Kill well inside any plausible transfer time of 32 MiB over a
+        // single NVLink, so the pipeline is stranded mid-flight.
+        let faults = FaultPlan::empty().with(2e-5, link, FaultKind::Kill);
+        let err = put_once(&topo, cfg, 32 * MIB, Some(&faults))
+            .expect_err("severed direct-only fabric must strand the put");
+        match err {
+            TransferError::Stuck { bytes, elapsed } => {
+                assert!(bytes > 0, "stuck error must name the stranded bytes");
+                assert!(elapsed > 0.0);
+            }
+            other => panic!("expected Stuck, got {other}"),
+        }
     }
 
     #[test]

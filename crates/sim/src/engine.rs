@@ -538,6 +538,13 @@ impl Engine {
         !self.shared.state.lock().down[link.index()]
     }
 
+    /// True iff *any* link is currently down — the same fast guard the
+    /// flow recomputation uses, exposed so transports can skip per-path
+    /// link scans entirely on a healthy fabric.
+    pub fn any_link_down(&self) -> bool {
+        self.shared.state.lock().any_down
+    }
+
     /// Sets a link's latency multiplier (applied to flows issued from now
     /// on). `1.0` restores nominal latency.
     pub fn set_link_latency_scale(&self, link: LinkId, scale: f64) {

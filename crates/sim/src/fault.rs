@@ -117,6 +117,73 @@ impl FaultPlan {
         FaultPlan { events }
     }
 
+    /// Generates a seeded **soak schedule**: `count` random faults spread
+    /// over `horizon` seconds, shaped so a supervised transport can always
+    /// make progress — the raw material of the chaos soak harness.
+    ///
+    /// Differences from [`FaultPlan::random`]:
+    ///
+    /// * links in `protect` are never killed or flapped (they may still
+    ///   degrade or see latency spikes, at bounded severity), so at least
+    ///   one route stays available and recovery time stays bounded;
+    /// * every transient window (flap, latency spike) lasts at most
+    ///   `horizon / 8`, so no single outage swallows the run;
+    /// * degrade factors are floored at 0.1 — throttled, never silently
+    ///   dead, matching how production links actually misbehave;
+    /// * kills are rationed to at most one per four events, so long soaks
+    ///   exercise flapping/recovering fabrics rather than converging to a
+    ///   graveyard.
+    ///
+    /// The same `(seed, horizon, count, protect)` yields the same plan.
+    pub fn random_soak(
+        topo: &Topology,
+        seed: u64,
+        horizon: Secs,
+        count: usize,
+        protect: &[LinkId],
+    ) -> FaultPlan {
+        assert!(horizon > 0.0, "horizon must be positive");
+        let links: Vec<LinkId> = topo.links.iter().map(|l| l.id).collect();
+        assert!(!links.is_empty(), "topology has no links");
+        let killable: Vec<LinkId> = links
+            .iter()
+            .copied()
+            .filter(|l| !protect.contains(l))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x736f_616b); // "soak"
+        let max_window = horizon / 8.0;
+        let mut kills_left = count / 4;
+        let mut events = Vec::with_capacity(count);
+        for _ in 0..count {
+            let at = rng.gen_range(0.0..horizon);
+            let link = links[rng.gen_range(0..links.len())];
+            let protected = protect.contains(&link);
+            let kind = match rng.gen_range(0..4u32) {
+                0 => FaultKind::Degrade {
+                    factor: rng.gen_range(0.1..0.9),
+                },
+                1 => FaultKind::LatencySpike {
+                    factor: rng.gen_range(2.0..20.0),
+                    duration: rng.gen_range(0.0..max_window),
+                },
+                2 if !protected => FaultKind::Flap {
+                    duration: rng.gen_range(0.0..max_window),
+                },
+                3 if !protected && !killable.is_empty() && kills_left > 0 => {
+                    kills_left -= 1;
+                    FaultKind::Kill
+                }
+                // Protected link drew a flap/kill, or the kill ration ran
+                // out: degrade instead (still a fault, still bounded).
+                _ => FaultKind::Degrade {
+                    factor: rng.gen_range(0.3..0.9),
+                },
+            };
+            events.push(FaultEvent { at, link, kind });
+        }
+        FaultPlan { events }
+    }
+
     /// Checks the plan against a topology. Returns human-readable issues
     /// (empty = clean), mirroring `mpx_topo::validate`.
     pub fn validate(&self, topo: &Topology) -> Vec<String> {
@@ -358,6 +425,43 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert!(a.validate(&topo).is_empty());
+    }
+
+    #[test]
+    fn soak_plans_respect_protection_and_bounds() {
+        let topo = presets::beluga();
+        let gpus = topo.gpus();
+        let direct = topo.link_between(gpus[0], gpus[1]).unwrap().id;
+        let protect = [direct];
+        let horizon = 4.0;
+        let plan = FaultPlan::random_soak(&topo, 7, horizon, 64, &protect);
+        assert_eq!(plan.events.len(), 64);
+        assert!(plan.validate(&topo).is_empty());
+        let mut kills = 0;
+        for ev in &plan.events {
+            match ev.kind {
+                FaultKind::Kill => {
+                    kills += 1;
+                    assert_ne!(ev.link, direct, "protected link was killed");
+                }
+                FaultKind::Flap { duration } => {
+                    assert_ne!(ev.link, direct, "protected link was flapped");
+                    assert!(duration <= horizon / 8.0, "flap window unbounded");
+                }
+                FaultKind::LatencySpike { duration, .. } => {
+                    assert!(duration <= horizon / 8.0, "spike window unbounded");
+                }
+                FaultKind::Degrade { factor } => {
+                    assert!(factor >= 0.1, "degrade floor violated: {factor}");
+                }
+            }
+        }
+        assert!(kills <= 64 / 4, "kill ration exceeded: {kills}");
+        // Deterministic under a fixed seed, distinct across seeds.
+        let again = FaultPlan::random_soak(&topo, 7, horizon, 64, &protect);
+        assert_eq!(plan, again);
+        let other = FaultPlan::random_soak(&topo, 8, horizon, 64, &protect);
+        assert_ne!(plan, other);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! the pipeline engine (Step 5).
 
 use crate::compile::{compile_plan, graph_key, GraphCache, GraphStats, MAX_GRAPHS_PER_KEY};
+use crate::health::{BreakerEvent, HealthConfig, HealthStats, HealthSupervisor, PathAdmissions};
 use crate::pipeline::{execute_plan_at_obs, PathSlot, TransferHandle, TransferObs};
 use crate::probe::probe_all_with;
 use crate::recover::{ResilienceCounters, ResilienceStats};
@@ -17,8 +18,10 @@ use mpx_model::{PairKey, PlanCache, Planner, PlannerConfig, ShardedMap, Transfer
 use mpx_obs::{Phase, Recorder, ResidualReport, ResidualTracker, TelemetryRegistry};
 use mpx_sim::SimThread;
 use mpx_topo::path::{enumerate_paths_auto, PathSelection, TransferPath};
+use mpx_topo::units::Secs;
 use mpx_topo::{DeviceId, TopologyError};
 use parking_lot::RwLock;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -77,6 +80,9 @@ pub struct UcxConfig {
     /// busy pools, and recovery traffic fall back to the interpreter —
     /// see [`UcxContext::put_replayed`] and `DESIGN.md` §4e.
     pub graph_replay: bool,
+    /// Path-health supervision tunables (circuit breakers, replay
+    /// gating, hedging) — see `DESIGN.md` §4f.
+    pub health: HealthConfig,
 }
 
 impl Default for UcxConfig {
@@ -89,7 +95,46 @@ impl Default for UcxConfig {
             static_grid: 8,
             drift_tolerance: 0.25,
             graph_replay: false,
+            health: HealthConfig::default(),
         }
+    }
+}
+
+/// A plain (non-resilient) PUT that could not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransferError {
+    /// Planning/topology failure.
+    Topology(TopologyError),
+    /// The transfer wedged: bytes still unfinished long past the plan's
+    /// prediction (three orders of magnitude of slack). The fabric is
+    /// degraded — escalate to [`UcxContext::put_resilient`] or
+    /// [`UcxContext::put_hedged`].
+    Stuck {
+        /// Bytes that never landed.
+        bytes: u64,
+        /// Virtual-time seconds spent waiting.
+        elapsed: Secs,
+    },
+}
+
+impl fmt::Display for TransferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferError::Topology(e) => write!(f, "transfer planning failed: {e}"),
+            TransferError::Stuck { bytes, elapsed } => write!(
+                f,
+                "transfer stuck: {bytes} bytes unfinished after {elapsed:.6}s; \
+                 fabric degraded? escalate to put_resilient or put_hedged"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransferError {}
+
+impl From<TopologyError> for TransferError {
+    fn from(e: TopologyError) -> TransferError {
+        TransferError::Topology(e)
     }
 }
 
@@ -136,6 +181,8 @@ struct ContextInner {
     graphs: GraphCache,
     seq: AtomicU64,
     resilience: ResilienceCounters,
+    /// Per-path circuit breakers and replay gating (DESIGN §4f).
+    health: HealthSupervisor,
     /// Telemetry recorder, cached from the engine at construction.
     /// `None` keeps every instrumentation site to a single branch.
     obs: Option<Recorder>,
@@ -165,6 +212,7 @@ impl UcxContext {
                 graphs: GraphCache::new(),
                 seq: AtomicU64::new(0),
                 resilience: ResilienceCounters::default(),
+                health: HealthSupervisor::new(cfg.health),
                 obs,
                 residual: Arc::new(ResidualTracker::new()),
             }),
@@ -186,7 +234,7 @@ impl UcxContext {
         &self.inner.cfg
     }
 
-    fn pair_key(&self, src: DeviceId, dst: DeviceId, sel: PathSelection) -> PairKey {
+    pub(crate) fn pair_key(&self, src: DeviceId, dst: DeviceId, sel: PathSelection) -> PairKey {
         (src, dst, sel.max_gpu_staged, sel.host_staged)
     }
 
@@ -315,8 +363,17 @@ impl UcxContext {
                 Some(p) => p,
                 None => {
                     let eng = self.inner.rt.engine();
+                    // Down links report capacity 0, which the probe
+                    // engine rejects; give them a dummy rate instead.
+                    // Supervised planning keeps dead routes out of the
+                    // candidate set, so the dummy never carries a share
+                    // worth anything.
                     let p = eng.with_capacities(|caps| {
-                        probe_all_with(eng.topology(), Some(caps), &paths).map(Arc::new)
+                        let caps: Vec<f64> = caps
+                            .iter()
+                            .map(|&v| if v > 0.0 { v } else { 1.0 })
+                            .collect();
+                        probe_all_with(eng.topology(), Some(&caps), &paths).map(Arc::new)
                     })?;
                     if let Some(rec) = &self.inner.obs {
                         rec.instant(
@@ -499,15 +556,46 @@ impl UcxContext {
         notify: &[mpx_sim::Waker],
         force_graph: bool,
     ) -> Result<TransferHandle, TopologyError> {
+        // Fast-path guard: on a healthy fabric with every breaker Closed
+        // the supervision layer costs two relaxed atomic loads and one
+        // lock-free engine flag — nothing else.
+        let hcfg = &self.inner.cfg.health;
+        let suspect = hcfg.enabled
+            && (!self.inner.health.is_quiet() || self.inner.rt.engine().any_link_down());
+        if suspect {
+            if let Some(h) = self.put_supervised(src, src_off, dst, dst_off, n, notify)? {
+                return Ok(h);
+            }
+            // No exclusions after all (e.g. the down link serves other
+            // pairs, or every open breaker just flipped to a half-open
+            // probe): fall through to the normal path.
+        }
         let plan = self.plan_for(src.device(), dst.device(), n)?;
         let paths = self.paths_for(src.device(), dst.device(), self.effective_selection())?;
         let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
         if self.inner.cfg.graph_replay || force_graph {
-            if let Some(h) = self.try_replay(&plan, &paths, src, src_off, dst, dst_off, seq, notify)
-            {
-                return Ok(h);
+            // Breaker-open or drift-gated pairs never serve replays: a
+            // compiled graph would put bytes straight back on the sick
+            // path. `is_quiet` short-circuits the per-pair scan on a
+            // healthy fabric.
+            let replay_ok = !hcfg.enabled || self.inner.health.is_quiet() || {
+                let pair = self.pair_key(src.device(), dst.device(), self.effective_selection());
+                let now = self.inner.rt.engine().now().as_secs();
+                let allowed = self.inner.health.replay_allowed(pair, now);
+                if !allowed {
+                    self.inner.health.note_replay_gated();
+                    self.inner.graphs.invalidate_pair(&pair);
+                }
+                allowed
+            };
+            if replay_ok {
+                if let Some(h) =
+                    self.try_replay(&plan, &paths, src, src_off, dst, dst_off, seq, notify)
+                {
+                    return Ok(h);
+                }
+                self.inner.graphs.fallbacks.fetch_add(1, Ordering::Relaxed);
             }
-            self.inner.graphs.fallbacks.fetch_add(1, Ordering::Relaxed);
         }
         Ok(execute_plan_at_obs(
             &self.inner.rt,
@@ -521,6 +609,82 @@ impl UcxContext {
             notify,
             self.transfer_obs(src.device(), dst.device()),
         ))
+    }
+
+    /// The supervised planning path, taken only when a breaker is open
+    /// somewhere or a link is down: trips breakers on dead routes,
+    /// collects this pair's exclusions, and — when any exist — plans the
+    /// transfer over the surviving candidates only (order-preserving, as
+    /// `Planner::plan_excluding` guarantees). Returns `Ok(None)` when
+    /// the pair has no exclusions and the normal cached path should run.
+    #[allow(clippy::too_many_arguments)]
+    fn put_supervised(
+        &self,
+        src: &Buffer,
+        src_off: usize,
+        dst: &Buffer,
+        dst_off: usize,
+        n: usize,
+        notify: &[mpx_sim::Waker],
+    ) -> Result<Option<TransferHandle>, TopologyError> {
+        let sel = self.effective_selection();
+        let pair = self.pair_key(src.device(), dst.device(), sel);
+        let eng = self.inner.rt.engine();
+        let paths = self.paths_for(src.device(), dst.device(), sel)?;
+        let now = eng.now().as_secs();
+        let adm = self.inner.health.admissions(pair, paths.len(), now);
+        self.health_record_probes(
+            &format!("pair:{}->{}", src.device(), dst.device()),
+            &adm,
+            now,
+        );
+        let mut excluded = adm.excluded;
+        if eng.any_link_down() {
+            for (i, p) in paths.iter().enumerate() {
+                if excluded.contains(&i) {
+                    continue;
+                }
+                if p.legs
+                    .iter()
+                    .any(|leg| leg.route.iter().any(|&l| !eng.link_is_up(l)))
+                {
+                    self.health_path_failure(pair, i, p, "link-down");
+                    excluded.push(i);
+                }
+            }
+        }
+        if excluded.is_empty() {
+            return Ok(None);
+        }
+        let mut survivors: Vec<TransferPath> = Vec::new();
+        let mut orig_idx: Vec<usize> = Vec::new();
+        for (i, p) in paths.iter().enumerate() {
+            if !excluded.contains(&i) {
+                survivors.push(p.clone());
+                orig_idx.push(i);
+            }
+        }
+        if survivors.is_empty() {
+            return Err(TopologyError::NoUsablePath(src.device(), dst.device()));
+        }
+        // Deliberately uncached: the fabric is in flux, and a cached
+        // survivor plan would outlive the exclusions that shaped it.
+        let plan = self.inner.planner.compute(n, &survivors)?;
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let mut h = execute_plan_at_obs(
+            &self.inner.rt,
+            &plan,
+            &survivors,
+            src,
+            src_off,
+            dst,
+            dst_off,
+            seq,
+            notify,
+            self.transfer_obs(src.device(), dst.device()),
+        );
+        h.remap_path_indices(&orig_idx);
+        Ok(Some(h))
     }
 
     /// The replay fast path: find (or capture) a compiled graph for the
@@ -632,8 +796,26 @@ impl UcxContext {
                 Some(wrap(&g, w))
             }
             // A fresh graph can only be refused on a shape race (the
-            // buffers changed class under us); interpret this one.
-            Err(_) => None,
+            // buffers changed class under us). Interpret this one — and
+            // treat the failed replay as a health signal: gate the
+            // pair's replays for a window and drop its pool.
+            Err(_) => {
+                if self.inner.cfg.health.enabled {
+                    let now = self.inner.rt.engine().now().as_secs();
+                    self.inner.health.suspend_replay(pair, now);
+                    self.inner.graphs.invalidate_pair(&pair);
+                    if let Some(rec) = &self.inner.obs {
+                        rec.instant(
+                            Phase::Health,
+                            format!("pair:{}->{}", src.device(), dst.device()),
+                            "replay-failure",
+                            now,
+                            format!("graph=g{} n={}", g.id(), plan.n),
+                        );
+                    }
+                }
+                None
+            }
         }
     }
 
@@ -726,6 +908,15 @@ impl UcxContext {
             "ucx.residual.mean_abs_error_pct",
             self.inner.residual.mean_abs_error() * 100.0,
         );
+        let h = self.inner.health.stats();
+        reg.set_counter("health.trips", h.trips);
+        reg.set_counter("health.retrips", h.retrips);
+        reg.set_counter("health.resets", h.resets);
+        reg.set_counter("health.probes", h.probes);
+        reg.set_counter("health.breakers_open", h.breakers_open);
+        reg.set_counter("health.replays_gated", h.replays_gated);
+        reg.set_counter("health.hedges", h.hedges);
+        reg.set_counter("health.hedge_wins", h.hedge_wins);
     }
 
     /// Bundles the recorder and residual tracker into the per-transfer
@@ -777,6 +968,23 @@ impl UcxContext {
             .resilience
             .cache_invalidations
             .fetch_add(1, Ordering::Relaxed);
+        // Sustained drift is a health signal too: enough strikes within
+        // a window and the pair's graph replays are gated until the
+        // fabric holds still (heals automatically after a quiet window).
+        if self.inner.cfg.health.enabled {
+            let now = self.inner.rt.engine().now().as_secs();
+            if self.inner.health.note_drift(pair, now) {
+                if let Some(rec) = &self.inner.obs {
+                    rec.instant(
+                        Phase::Health,
+                        format!("pair:{src}->{dst}"),
+                        "replay-gate",
+                        now,
+                        format!("drift_strikes={}", self.inner.cfg.health.drift_strikes),
+                    );
+                }
+            }
+        }
         if let Some(rec) = &self.inner.obs {
             // Make the invalidation explainable: cite the drift that
             // tripped it and what the residual tracker has seen for the
@@ -807,24 +1015,147 @@ impl UcxContext {
     /// Blocking PUT from a simulated rank thread.
     ///
     /// Guarded: waits with a deadline three orders of magnitude beyond
-    /// the plan's prediction, so a path stuck on a failed link panics
-    /// with a diagnostic instead of hanging the rank thread forever.
-    /// Callers that want graceful handling use
-    /// [`UcxContext::put_resilient`].
+    /// the plan's prediction, then returns [`TransferError::Stuck`] with
+    /// the residual byte count instead of hanging the rank thread
+    /// forever. A stuck PUT charges the stalled paths' circuit breakers,
+    /// so even plain traffic feeds the supervision layer. Callers that
+    /// want in-line recovery use [`UcxContext::put_resilient`] or
+    /// [`UcxContext::put_hedged`].
     pub fn put(
         &self,
         thread: &SimThread,
         src: &Buffer,
         dst: &Buffer,
         n: usize,
-    ) -> Result<(), TopologyError> {
+    ) -> Result<(), TransferError> {
         let plan = self.plan_for(src.device(), dst.device(), n)?;
+        let pair = self.pair_key(src.device(), dst.device(), self.effective_selection());
+        let t0 = thread.now();
         let h = self.put_async(src, dst, n)?;
-        let deadline = thread.now().after((plan.predicted_time * 1024.0).max(1.0));
-        if let Err(e) = h.wait_deadline(thread, deadline) {
-            panic!("put of {n} bytes stuck ({e}); fabric degraded? use put_resilient");
+        let deadline = t0.after((plan.predicted_time * 1024.0).max(1.0));
+        match h.wait_deadline(thread, deadline) {
+            Ok(()) => {
+                self.health_mark_success(pair, &h);
+                Ok(())
+            }
+            Err(_) => {
+                let mut bytes = 0u64;
+                let paths = self.paths_for(src.device(), dst.device(), self.effective_selection());
+                for s in h.unfinished() {
+                    bytes += s.bytes as u64;
+                    if let Ok(paths) = &paths {
+                        self.health_path_failure(
+                            pair,
+                            s.path_index,
+                            &paths[s.path_index],
+                            "stuck-put",
+                        );
+                    }
+                }
+                Err(TransferError::Stuck {
+                    bytes,
+                    elapsed: thread.now().secs_since(t0),
+                })
+            }
         }
-        Ok(())
+    }
+
+    /// The path-health supervisor: breaker states, admissions, counter
+    /// snapshots.
+    pub fn health(&self) -> &HealthSupervisor {
+        &self.inner.health
+    }
+
+    /// Snapshot of the supervision counters.
+    pub fn health_stats(&self) -> HealthStats {
+        self.inner.health.stats()
+    }
+
+    /// Charges one failure against `(pair, path)`. Routes over a down
+    /// link trip immediately; anything else accumulates strikes. Breaker
+    /// transitions become `breaker.*` instants, and a trip purges the
+    /// pair's compiled-graph pool so no replay revisits the sick path.
+    pub(crate) fn health_path_failure(
+        &self,
+        pair: PairKey,
+        path_index: usize,
+        path: &TransferPath,
+        why: &str,
+    ) {
+        if !self.inner.cfg.health.enabled {
+            return;
+        }
+        let eng = self.inner.rt.engine();
+        let now = eng.now().as_secs();
+        let dead = path
+            .legs
+            .iter()
+            .any(|leg| leg.route.iter().any(|&l| !eng.link_is_up(l)));
+        let ev = if dead {
+            self.inner.health.trip(pair, path_index, now)
+        } else {
+            self.inner.health.note_failure(pair, path_index, now)
+        };
+        match ev {
+            BreakerEvent::Tripped | BreakerEvent::Retripped => {
+                self.inner.graphs.invalidate_pair(&pair);
+                if let Some(rec) = &self.inner.obs {
+                    rec.instant(
+                        Phase::Health,
+                        format!("pair:{}->{}", pair.0, pair.1),
+                        if ev == BreakerEvent::Tripped {
+                            "breaker.trip"
+                        } else {
+                            "breaker.retrip"
+                        },
+                        now,
+                        format!("path={path_index} why={why} dead_link={dead}"),
+                    );
+                }
+            }
+            BreakerEvent::Reset | BreakerEvent::None => {}
+        }
+    }
+
+    /// Credits every active path of a cleanly completed handle; a
+    /// half-open breaker meeting its trial quota closes here (with a
+    /// `breaker.reset` instant).
+    pub(crate) fn health_mark_success(&self, pair: PairKey, h: &TransferHandle) {
+        if !self.inner.cfg.health.enabled {
+            return;
+        }
+        for s in h.slots() {
+            if self.inner.health.note_success(pair, s.path_index) == BreakerEvent::Reset {
+                if let Some(rec) = &self.inner.obs {
+                    rec.instant(
+                        Phase::Health,
+                        format!("pair:{}->{}", pair.0, pair.1),
+                        "breaker.reset",
+                        self.inner.rt.engine().now().as_secs(),
+                        format!("path={}", s.path_index),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Records a `breaker.probe` instant for each Open → HalfOpen
+    /// re-admission an admissions query just performed.
+    pub(crate) fn health_record_probes(&self, track: &str, adm: &PathAdmissions, now: Secs) {
+        if adm.probing.is_empty() {
+            return;
+        }
+        if let Some(rec) = &self.inner.obs {
+            for &i in &adm.probing {
+                rec.instant(
+                    Phase::Health,
+                    track.to_string(),
+                    "breaker.probe",
+                    now,
+                    format!("path={i} trials={}", self.inner.cfg.health.half_open_trials),
+                );
+            }
+        }
     }
 }
 

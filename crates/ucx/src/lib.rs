@@ -28,13 +28,18 @@
 
 pub mod compile;
 pub mod context;
+pub mod health;
 pub mod pipeline;
 pub mod probe;
 pub mod recover;
 pub mod tuner;
 
 pub use compile::{graph_key, GraphStats, CLASS_TAG, MAX_GRAPHS_PER_KEY};
-pub use context::{CacheStats, ParamSource, TuningMode, UcxConfig, UcxContext};
+pub use context::{CacheStats, ParamSource, TransferError, TuningMode, UcxConfig, UcxContext};
+pub use health::{
+    BreakerEvent, BreakerState, HealthConfig, HealthStats, HealthSupervisor, HedgeConfig,
+    HedgeReport, PathAdmissions,
+};
 pub use pipeline::{
     execute_plan, execute_plan_at, execute_plan_notify, PathSlot, TimedOut, TransferHandle,
     RING_DEPTH,

@@ -156,6 +156,21 @@ impl TransferHandle {
         self.wakers.len()
     }
 
+    /// The message range each active path owns (drained or not).
+    pub(crate) fn slots(&self) -> &[PathSlot] {
+        &self.slots
+    }
+
+    /// Rewrites each slot's `path_index` through `orig`, mapping indices
+    /// into a filtered survivor set back into the full candidate set —
+    /// so breaker attribution always speaks candidate-set indices no
+    /// matter which subset a plan executed over.
+    pub(crate) fn remap_path_indices(&mut self, orig: &[usize]) {
+        for s in &mut self.slots {
+            s.path_index = orig[s.path_index];
+        }
+    }
+
     /// Assembles a handle from per-path wakers and their message ranges —
     /// how the graph-replay fast path wraps a
     /// [`mpx_gpu::TransferGraph::launch`] so callers see the same handle

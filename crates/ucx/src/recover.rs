@@ -43,6 +43,18 @@ pub struct RecoveryConfig {
     /// Floor for any deadline, so tiny transfers are not declared dead
     /// on scheduling noise.
     pub min_deadline: Secs,
+    /// Decorrelated-jitter width on the backoff: each round's slack is
+    /// drawn uniformly from `[slack, slack × backoff × (1 + jitter)]`,
+    /// so concurrent tenants recovering from the same flap don't retry
+    /// in lockstep. `0.0` restores the deterministic geometric ladder.
+    /// The expected growth per round stays ≈ `backoff`.
+    pub jitter: f64,
+    /// Seed for the jitter draws, mixed with the transfer's sequence
+    /// number — deterministic for a fixed seed and issue order, while
+    /// distinct transfers still decorrelate.
+    pub seed: u64,
+    /// Ceiling on the backed-off slack multiplier.
+    pub max_slack: f64,
 }
 
 impl Default for RecoveryConfig {
@@ -52,8 +64,32 @@ impl Default for RecoveryConfig {
             backoff: 2.0,
             max_retries: 4,
             min_deadline: 1e-3,
+            jitter: 0.5,
+            seed: 0x7265_7472,
+            max_slack: 256.0,
         }
     }
+}
+
+/// One decorrelated-jitter step: the next slack, drawn uniformly from
+/// `[prev, prev × backoff × (1 + jitter)]` and capped. The draw comes
+/// from a caller-owned xorshift state, so the sequence is a pure
+/// function of the seed.
+pub(crate) fn jittered_slack(prev: f64, rcfg: &RecoveryConfig, state: &mut u64) -> f64 {
+    let step = rcfg.backoff.max(1.0);
+    let cap = rcfg.max_slack.max(rcfg.slack.max(1.0));
+    if rcfg.jitter <= 0.0 {
+        return (prev * step).min(cap);
+    }
+    // xorshift64* — tiny, seedable, plenty for retry spreading.
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    let u = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+    let hi = prev * step * (1.0 + rcfg.jitter);
+    (prev + u * (hi - prev)).min(cap)
 }
 
 /// What a resilient PUT went through.
@@ -144,14 +180,14 @@ pub struct ResilienceStats {
 /// A contiguous residual byte range of the message, in message-relative
 /// offsets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Range {
-    offset: usize,
-    bytes: usize,
+pub(crate) struct Range {
+    pub(crate) offset: usize,
+    pub(crate) bytes: usize,
 }
 
 /// Coalesces adjacent/overlapping ranges so each recovery round plans as
 /// few residual messages as possible.
-fn coalesce(mut ranges: Vec<Range>) -> Vec<Range> {
+pub(crate) fn coalesce(mut ranges: Vec<Range>) -> Vec<Range> {
     ranges.sort_by_key(|r| r.offset);
     let mut out: Vec<Range> = Vec::with_capacity(ranges.len());
     for r in ranges {
@@ -168,7 +204,7 @@ fn coalesce(mut ranges: Vec<Range>) -> Vec<Range> {
 
 /// Residual ranges of a timed-out handle, shifted into message-absolute
 /// offsets (`base` is where the handle's sub-message started).
-fn residuals_of(h: &TransferHandle, base: usize) -> Vec<Range> {
+pub(crate) fn residuals_of(h: &TransferHandle, base: usize) -> Vec<Range> {
     h.unfinished()
         .into_iter()
         .map(|s| Range {
@@ -198,9 +234,14 @@ impl UcxContext {
 
         // Attempt 0: the normal cached plan over the full candidate set.
         let plan = self.plan_for(src.device(), dst.device(), n)?;
+        let pair = self.pair_key(src.device(), dst.device(), self.effective_selection());
         let all_paths = self.paths_for(src.device(), dst.device(), self.effective_selection())?;
         report.final_paths = all_paths.len();
         let seq = self.next_seq();
+        // Jitter state: the config seed mixed with this transfer's
+        // sequence number, so concurrent transfers decorrelate while a
+        // fixed seed and issue order replay the same slack ladder.
+        let mut jitter_state = (rcfg.seed ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
         let obs = self.transfer_obs(src.device(), dst.device());
         let pair_track = format!("pair:{}->{}", src.device(), dst.device());
         let h = execute_plan_at_obs(
@@ -219,9 +260,20 @@ impl UcxContext {
             .now()
             .after((plan.predicted_time * slack).max(rcfg.min_deadline));
         let mut pending: Vec<Range> = match h.wait_deadline(thread, deadline) {
-            Ok(()) => Vec::new(),
+            Ok(()) => {
+                self.health_mark_success(pair, &h);
+                Vec::new()
+            }
             Err(_) => {
                 self.resilience().timeouts.fetch_add(1, Ordering::Relaxed);
+                for s in h.unfinished() {
+                    self.health_path_failure(
+                        pair,
+                        s.path_index,
+                        &all_paths[s.path_index],
+                        "deadline-miss",
+                    );
+                }
                 let residuals = coalesce(residuals_of(&h, 0));
                 if let Some(rec) = self.recorder() {
                     let unfinished: u64 = residuals.iter().map(|r| r.bytes as u64).sum();
@@ -249,20 +301,26 @@ impl UcxContext {
                 });
             }
             round += 1;
-            slack *= rcfg.backoff.max(1.0);
+            slack = jittered_slack(slack, rcfg, &mut jitter_state);
             report.retries += 1;
             self.resilience().retries.fetch_add(1, Ordering::Relaxed);
 
             // Surviving candidates: every link of every leg still up.
-            let survivors: Vec<TransferPath> = all_paths
-                .iter()
-                .filter(|p| {
-                    p.legs
-                        .iter()
-                        .all(|leg| leg.route.iter().all(|&l| eng.link_is_up(l)))
-                })
-                .cloned()
-                .collect();
+            // The parallel original-index vector keeps breaker
+            // attribution in candidate-set space after the filter.
+            let mut survivors: Vec<TransferPath> = Vec::new();
+            let mut orig_idx: Vec<usize> = Vec::new();
+            for (i, p) in all_paths.iter().enumerate() {
+                if p.legs
+                    .iter()
+                    .all(|leg| leg.route.iter().all(|&l| eng.link_is_up(l)))
+                {
+                    survivors.push(p.clone());
+                    orig_idx.push(i);
+                } else {
+                    self.health_path_failure(pair, i, p, "link-down");
+                }
+            }
             if survivors.is_empty() {
                 return Err(TopologyError::NoUsablePath(src.device(), dst.device()).into());
             }
@@ -317,7 +375,7 @@ impl UcxContext {
                 worst = worst.max(plan.predicted_time);
                 report.recovered_bytes += r.bytes as u64;
                 let seq = self.next_seq();
-                let h = execute_plan_at_obs(
+                let mut h = execute_plan_at_obs(
                     self.runtime(),
                     &plan,
                     &survivors,
@@ -329,6 +387,7 @@ impl UcxContext {
                     &[],
                     obs.clone(),
                 );
+                h.remap_path_indices(&orig_idx);
                 handles.push((h, r.offset));
             }
             let deadline = thread.now().after((worst * slack).max(rcfg.min_deadline));
@@ -336,7 +395,17 @@ impl UcxContext {
             for (h, base) in &handles {
                 if h.wait_deadline(thread, deadline).is_err() {
                     self.resilience().timeouts.fetch_add(1, Ordering::Relaxed);
+                    for s in h.unfinished() {
+                        self.health_path_failure(
+                            pair,
+                            s.path_index,
+                            &all_paths[s.path_index],
+                            "deadline-miss",
+                        );
+                    }
                     next.extend(residuals_of(h, *base));
+                } else {
+                    self.health_mark_success(pair, h);
                 }
             }
             pending = coalesce(next);
@@ -349,5 +418,69 @@ impl UcxContext {
             self.record_observation(src.device(), dst.device(), n, n as f64 / elapsed);
         }
         Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_ladder_is_deterministic_and_bounded() {
+        let rcfg = RecoveryConfig::default();
+        let run = |seed: u64| -> Vec<f64> {
+            let mut state = seed | 1;
+            let mut slack = rcfg.slack;
+            (0..6)
+                .map(|_| {
+                    slack = jittered_slack(slack, &rcfg, &mut state);
+                    slack
+                })
+                .collect()
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "same seed must replay the same ladder");
+        let c = run(91);
+        assert_ne!(a, c, "different seeds must decorrelate");
+        // Every step stays in [prev, prev·backoff·(1+jitter)] ∩ [0, cap].
+        let mut prev = rcfg.slack;
+        for &s in &a {
+            assert!(
+                s >= prev.min(rcfg.max_slack),
+                "slack regressed: {s} < {prev}"
+            );
+            assert!(s <= (prev * rcfg.backoff * (1.0 + rcfg.jitter)).min(rcfg.max_slack) + 1e-9);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn zero_jitter_restores_the_geometric_ladder() {
+        let rcfg = RecoveryConfig {
+            jitter: 0.0,
+            ..RecoveryConfig::default()
+        };
+        let mut state = 7u64;
+        let mut slack = rcfg.slack;
+        for round in 1..=4 {
+            slack = jittered_slack(slack, &rcfg, &mut state);
+            let expect = (rcfg.slack * rcfg.backoff.powi(round)).min(rcfg.max_slack);
+            assert!((slack - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn jitter_caps_at_max_slack() {
+        let rcfg = RecoveryConfig {
+            max_slack: 10.0,
+            ..RecoveryConfig::default()
+        };
+        let mut state = 1u64;
+        let mut slack = rcfg.slack;
+        for _ in 0..20 {
+            slack = jittered_slack(slack, &rcfg, &mut state);
+        }
+        assert!(slack <= 10.0);
     }
 }

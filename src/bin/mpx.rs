@@ -11,6 +11,7 @@
 //! mpx bibw  --topo beluga --size 64M [--window 16] [--mode single|dynamic] [--replay]
 //! mpx collective --op allreduce|alltoall --size 64M [--topo T] [--paths P]
 //! mpx fault-plan --topo beluga --scenario degrade|flap|kill|random > faults.json
+//! mpx put   --topo beluga --size 64M [--faults faults.json]   # plain PUT; stuck fabric exits 1
 //! mpx resilient --topo beluga --size 64M --faults faults.json [--slack S] [--retries R]
 //! mpx plan --topo beluga --size 64M --json          # machine-readable snapshot
 //! mpx trace --topo beluga --size 64M [--trace-out trace.json] [--metrics-out metrics.json]
@@ -62,7 +63,7 @@ fn selection(name: &str) -> PathSelection {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: mpx <topo|export|plan|bw|bibw|collective|fault-plan|resilient|trace|metrics> [--topo T | --topo-file F] [--size N] [--window W] [--mode M] [--paths P] [--src I] [--dst J] [--op C] [--scenario S] [--faults F] [--slack X] [--retries R] [--seed N] [--count N] [--horizon T] [--json] [--replay] [--trace-out F] [--metrics-out F]");
+    eprintln!("usage: mpx <topo|export|plan|bw|bibw|collective|fault-plan|put|resilient|trace|metrics> [--topo T | --topo-file F] [--size N] [--window W] [--mode M] [--paths P] [--src I] [--dst J] [--op C] [--scenario S] [--faults F] [--slack X] [--retries R] [--seed N] [--count N] [--horizon T] [--json] [--replay] [--trace-out F] [--metrics-out F]");
     std::process::exit(2)
 }
 
@@ -317,6 +318,73 @@ fn main() {
                 serde_json::to_string_pretty(&fplan).expect("fault plan serializes")
             );
         }
+        "put" => {
+            // Plain (non-resilient) PUT: no deadlines, no retries, no
+            // hedging — but a stranded pipeline now surfaces as the
+            // typed stuck error and a nonzero exit, never a panic.
+            let fplan = match opts.get("faults") {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+                    let p: FaultPlan = serde_json::from_str(&text)
+                        .unwrap_or_else(|e| die(&format!("bad fault plan JSON in {path}: {e}")));
+                    let issues = p.validate(&topo);
+                    if !issues.is_empty() {
+                        for i in &issues {
+                            eprintln!("error: {i}");
+                        }
+                        std::process::exit(2);
+                    }
+                    Some(p)
+                }
+                None => None,
+            };
+            let rt = GpuRuntime::new(Engine::new(topo.clone()));
+            let ctx = UcxContext::new(
+                rt,
+                UcxConfig {
+                    mode,
+                    selection: sel,
+                    ..UcxConfig::default()
+                },
+            );
+            if let Some(p) = &fplan {
+                FaultInjector::install(ctx.runtime().engine(), p);
+            }
+            let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+            let srcb = ctx.runtime().alloc_bytes(src, data.clone());
+            let dstb = ctx.runtime().alloc_zeroed(dst, n);
+            let thread = ctx.runtime().engine().register_thread("mpx-put");
+            let c = ctx.clone();
+            let d = dstb.clone();
+            let result = std::thread::spawn(move || {
+                let t0 = thread.now();
+                c.put(&thread, &srcb, &d, n)
+                    .map(|()| thread.now().secs_since(t0))
+            })
+            .join()
+            .expect("driver thread panicked");
+            match result {
+                Ok(elapsed) => {
+                    let intact = dstb.to_vec().map(|v| v == data).unwrap_or(false);
+                    println!(
+                        "put {} paths={} mode={mode:?}: {:.3} ms virtual, {:.2} GB/s | data {}",
+                        mpx_topo::units::format_bytes(n),
+                        sel.label(),
+                        elapsed * 1e3,
+                        n as f64 / elapsed / 1e9,
+                        if intact { "intact" } else { "CORRUPT" },
+                    );
+                    if !intact {
+                        std::process::exit(1);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: put failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         "resilient" => {
             let faults = opts
                 .get("faults")
@@ -483,6 +551,37 @@ fn main() {
             if dstb.to_vec().map(|v| v != data).unwrap_or(true) {
                 die("trace workload corrupted data");
             }
+            // Health/hedge segment: kill the staged path's forwarding
+            // leg mid-transfer and drive a hedged PUT through it. The
+            // stall trips the dead path's breaker (health instants) and
+            // the residual races to completion on the survivors (hedge
+            // instants); every later transfer plans around the breaker.
+            let hplan = ctx
+                .plan_for(src, dst, n)
+                .unwrap_or_else(|e| die(&e.to_string()));
+            // Fault times are relative to the engine's current virtual
+            // time at install.
+            let kplan = FaultPlan::empty().with(
+                hplan.predicted_time * 0.5,
+                paths[1].legs[1].route[0],
+                FaultKind::Kill,
+            );
+            FaultInjector::install(ctx.runtime().engine(), &kplan);
+            let hdata: Vec<u8> = (0..n).map(|i| (i * 7 % 251) as u8).collect();
+            let hsrc = ctx.runtime().alloc_bytes(src, hdata.clone());
+            let hdst = ctx.runtime().alloc_zeroed(dst, n);
+            let hthread = ctx.runtime().engine().register_thread("mpx-hedge");
+            let c = ctx.clone();
+            let hd = hdst.clone();
+            let hreport = std::thread::spawn(move || {
+                c.put_hedged(&hthread, &hsrc, &hd, n, &HedgeConfig::default())
+            })
+            .join()
+            .expect("hedge driver panicked")
+            .unwrap_or_else(|e| die(&format!("hedged trace workload failed: {e}")));
+            if hdst.to_vec().map(|v| v != hdata).unwrap_or(true) {
+                die("hedged trace workload corrupted data");
+            }
             let w = World::over(ctx.runtime().clone(), cfg);
             let ranks = topo.gpus().len().min(4);
             let cn = 1usize << 20;
@@ -519,13 +618,15 @@ fn main() {
                 .map(|p| p.label())
                 .collect();
             println!(
-                "trace {} mode={mode:?}: {} events ({}) -> {trace_out} | {} metrics -> {metrics_out} | retries={} replans={}",
+                "trace {} mode={mode:?}: {} events ({}) -> {trace_out} | {} metrics -> {metrics_out} | retries={} replans={} hedges={} hedge_won={}",
                 mpx_topo::units::format_bytes(n),
                 events.len(),
                 phases.join(","),
                 snapshot.entries.len(),
                 report.retries,
                 report.replans,
+                hreport.hedges,
+                hreport.hedge_won,
             );
             print!("{}", ctx.residual_report().render());
         }

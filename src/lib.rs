@@ -51,5 +51,8 @@ pub mod prelude {
         Engine, FaultInjector, FaultKind, FaultPlan, FlowSpec, OnComplete, SimTime, Waker,
     };
     pub use mpx_topo::{presets, PathSelection, Topology, TopologyBuilder};
-    pub use mpx_ucx::{RecoveryConfig, RecoveryError, TuningMode, UcxConfig, UcxContext};
+    pub use mpx_ucx::{
+        HealthConfig, HedgeConfig, RecoveryConfig, RecoveryError, TransferError, TuningMode,
+        UcxConfig, UcxContext,
+    };
 }

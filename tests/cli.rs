@@ -103,6 +103,8 @@ fn trace_writes_perfetto_trace_and_metrics() {
         "recovery",
         "collective",
         "fault",
+        "health",
+        "hedge",
     ] {
         assert!(
             events.iter().any(|e| e["cat"].as_str() == Some(phase)),
@@ -122,6 +124,56 @@ fn trace_writes_perfetto_trace_and_metrics() {
     let text = serde_json::to_string(&m).unwrap();
     assert!(text.contains("sim.flows_completed"), "{text}");
     assert!(text.contains("ucx.resilience.retries"), "{text}");
+    assert!(text.contains("health.trips"), "{text}");
+}
+
+#[test]
+fn put_succeeds_on_a_healthy_fabric() {
+    let (stdout, _, ok) = mpx(&["put", "--topo", "beluga", "--size", "32M"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("GB/s"), "{stdout}");
+    assert!(stdout.contains("data intact"), "{stdout}");
+}
+
+/// A plain `put` on a fabric that loses its only path mid-transfer must
+/// exit nonzero with the typed stuck diagnostic — the pre-supervision
+/// behavior was a panic deep in the pipeline.
+#[test]
+fn put_on_a_severed_fabric_exits_with_stuck_error() {
+    let dir = std::env::temp_dir().join("mpx-cli-put-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let faults = dir.join("kill.json");
+    // `fault-plan --scenario kill` targets the staged path's forwarding
+    // leg; with `--paths direct` the transfer has no alternative once
+    // its own link dies, so build the plan against the direct route.
+    let (plan_json, _, ok) = mpx(&[
+        "fault-plan",
+        "--topo",
+        "beluga",
+        "--size",
+        "32M",
+        "--paths",
+        "direct",
+        "--scenario",
+        "kill",
+    ]);
+    assert!(ok, "{plan_json}");
+    std::fs::write(&faults, &plan_json).unwrap();
+    let (stdout, stderr, ok) = mpx(&[
+        "put",
+        "--topo",
+        "beluga",
+        "--size",
+        "32M",
+        "--paths",
+        "direct",
+        "--mode",
+        "single",
+        "--faults",
+        faults.to_str().unwrap(),
+    ]);
+    assert!(!ok, "stuck put must fail: {stdout}");
+    assert!(stderr.contains("transfer stuck"), "{stderr}");
 }
 
 #[test]

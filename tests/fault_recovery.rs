@@ -2,6 +2,7 @@
 //! fabric survive injected link faults by re-planning residual bytes
 //! over the surviving paths (the PR-2 acceptance scenario).
 
+use mpx_obs::Event;
 use mpx_sim::plan_horizon;
 use mpx_ucx::TuningMode;
 use multipath_gpu::prelude::*;
@@ -148,6 +149,80 @@ fn flap_within_slack_needs_no_retry() {
     assert_eq!(report.retries, 0, "outage inside slack: no retry needed");
     assert_eq!(dst.to_vec().unwrap(), data);
     assert_eq!(ctx.runtime().engine().stats().links_down, 0);
+}
+
+/// The hedge row of the fault matrix: a mid-transfer kill on one of the
+/// primary's three paths stalls it past the hedge trigger; the residual
+/// races on the healthy paths and wins, the destination is bit-exact,
+/// and the telemetry stream carries both the `breaker.trip` for the
+/// dead path and the decisive `hedge.win` instant.
+#[test]
+fn mid_transfer_kill_completes_via_hedge() {
+    let topo = Arc::new(presets::beluga());
+    let engine = Engine::new(topo);
+    let rec = Recorder::new();
+    engine.set_recorder(rec.clone());
+    let ctx = UcxContext::new(
+        GpuRuntime::new(engine),
+        UcxConfig {
+            selection: PathSelection::THREE_GPUS,
+            ..UcxConfig::default()
+        },
+    );
+    let topo = ctx.runtime().engine().topology().clone();
+    let gpus = topo.gpus();
+    let n = 64 << 20;
+
+    let plan = ctx.plan_for(gpus[0], gpus[1], n).unwrap();
+    assert_eq!(plan.active_path_count(), 3, "scenario needs 3 live paths");
+    let paths = ctx
+        .paths_for(gpus[0], gpus[1], PathSelection::THREE_GPUS)
+        .unwrap();
+    // Same victim as the re-plan scenario: the staged path's forwarding
+    // leg, so exactly one of the primary's paths dies mid-flight.
+    let victim = paths[1].legs[1].route[0];
+    let fault = FaultPlan::empty().with(plan.predicted_time * 0.5, victim, FaultKind::Kill);
+    FaultInjector::install(ctx.runtime().engine(), &fault);
+
+    let data: Vec<u8> = (0..n).map(|i| (i * 13 % 251) as u8).collect();
+    let src = ctx.runtime().alloc_bytes(gpus[0], data.clone());
+    let dst = ctx.runtime().alloc_zeroed(gpus[1], n);
+    let thread = ctx.runtime().engine().register_thread("driver");
+    let c = ctx.clone();
+    let d = dst.clone();
+    let report = std::thread::spawn(move || {
+        c.put_hedged(&thread, &src, &d, n, &HedgeConfig::default())
+            .expect("hedge must finish what the primary cannot")
+    })
+    .join()
+    .unwrap();
+
+    assert!(report.hedges >= 1, "kill must push past the hedge trigger");
+    assert!(report.hedge_won, "the dead primary path cannot catch up");
+    assert!(report.hedged_bytes > 0);
+    assert_eq!(dst.to_vec().unwrap(), data, "hedged bytes corrupted");
+
+    let health = ctx.health_stats();
+    assert!(health.trips >= 1, "dead path must trip its breaker");
+    assert_eq!(health.hedges, report.hedges);
+    assert_eq!(health.hedge_wins, 1);
+
+    let events = rec.drain();
+    let instant_named = |name: &str| {
+        events.iter().any(|e| match e {
+            Event::Instant(i) => i.name.starts_with(name),
+            _ => false,
+        })
+    };
+    assert!(
+        instant_named("breaker.trip"),
+        "breaker trip must be recorded"
+    );
+    assert!(instant_named("hedge.win"), "hedge win must be recorded");
+    assert!(
+        events.iter().any(|e| e.phase() == Phase::Hedge),
+        "hedge phase events must land on the trace"
+    );
 }
 
 /// When every path dies and stays dead, the retry budget bounds the
