@@ -35,7 +35,7 @@ echo "fault-matrix smoke: ok"
   --trace-out "$tmp/trace.json" --metrics-out "$tmp/metrics.json"
 python3 -c "import json, sys; json.load(open(sys.argv[1])); json.load(open(sys.argv[2]))" \
   "$tmp/trace.json" "$tmp/metrics.json"
-for phase in plan probe transfer chunk-leg recovery collective fault tune graph.capture graph.replay health hedge; do
+for phase in plan probe transfer chunk-leg recovery collective fault tune graph.capture graph.replay health hedge broker; do
   if ! grep -q "\"cat\": \"$phase\"" "$tmp/trace.json"; then
     echo "trace smoke: no $phase events in trace.json" >&2; exit 1
   fi
@@ -60,3 +60,13 @@ echo "bench_transport smoke: ok"
 # p99. Never rewrites results/BENCH_chaos.json (full runs do that).
 ./target/release/chaos_soak --quick
 echo "chaos-soak smoke: ok"
+
+# Broker-saturation smoke: a short bench_broker run driving the multi-tenant
+# admission broker at 2x fabric capacity. Exits nonzero if overload sheds
+# nothing (admission control inert), if the admitted p99 sojourn exceeds 2x
+# the unloaded p99 (queues growing without bound), if per-tenant goodput
+# drifts off the configured 3:2:1 weights, or if the accounting invariant
+# (submitted = admitted + shed, admitted all terminal) breaks. Never
+# rewrites results/BENCH_broker.json (full runs do that).
+./target/release/bench_broker --quick
+echo "bench_broker smoke: ok"

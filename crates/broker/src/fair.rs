@@ -1,0 +1,176 @@
+//! Weighted-fair dequeue policy: the sim's max-min machinery applied to
+//! tenants instead of flows.
+//!
+//! Tenants contending for one GPU pair's service capacity are exactly
+//! flows contending for one link: model each pending tenant as a
+//! [`FlowDemand`] crossing a single unit-capacity link with its
+//! configured weight, and [`max_min_rates`] hands back the weighted fair
+//! share each tenant is entitled to this round. A deficit ledger (classic
+//! deficit round robin) turns those instantaneous shares into long-run
+//! byte-proportional service: each round credits `share × quantum` bytes
+//! per tenant, and a queued request is served once its tenant's credit
+//! covers it.
+//!
+//! Zero-weight ("best-effort") tenants never enter the fairness solve
+//! with their own weight — [`FlowDemand::from_route_weighted`] rightly
+//! rejects non-positive weights. In the Normal regime they ride along
+//! with a small epsilon weight ([`BEST_EFFORT_FRACTION`] of the smallest
+//! configured positive weight), so they see a trickle of service on a
+//! busy fabric. The Shedding regime drops the epsilon: best-effort
+//! tenants are starved outright until load recedes — the first and
+//! cheapest thing to degrade.
+
+use mpx_sim::{max_min_rates, FlowDemand};
+
+/// A zero-weight tenant's effective weight in the Normal regime, as a
+/// fraction of the smallest configured positive weight.
+pub const BEST_EFFORT_FRACTION: f64 = 1.0 / 16.0;
+
+/// Per-round weighted fair shares over one contended pair.
+///
+/// `pending[i]` marks tenants with queued work; `best_effort` controls
+/// whether zero-weight tenants receive the epsilon weight (Normal
+/// regime) or nothing (Shedding and Drain). Returns one share per
+/// tenant, summing to 1.0 over the served set (all zeros when nothing is
+/// pending or nothing is eligible).
+pub fn weighted_shares(weights: &[f64], pending: &[bool], best_effort: bool) -> Vec<f64> {
+    assert_eq!(weights.len(), pending.len());
+    let min_positive = weights
+        .iter()
+        .copied()
+        .filter(|&w| w > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    let epsilon = if min_positive.is_finite() {
+        min_positive * BEST_EFFORT_FRACTION
+    } else {
+        1.0 // only best-effort tenants exist: equal shares among them
+    };
+    let mut idx = Vec::new();
+    let mut flows = Vec::new();
+    for (i, (&w, &p)) in weights.iter().zip(pending).enumerate() {
+        if !p {
+            continue;
+        }
+        let eff = if w > 0.0 {
+            w
+        } else if best_effort {
+            epsilon
+        } else {
+            continue;
+        };
+        idx.push(i);
+        flows.push(FlowDemand::from_route_weighted(&[0], eff));
+    }
+    let mut shares = vec![0.0; weights.len()];
+    if flows.is_empty() {
+        return shares;
+    }
+    // One unit-capacity link: the pair's service budget for this round.
+    for (i, rate) in idx.into_iter().zip(max_min_rates(&[1.0], &flows)) {
+        shares[i] = rate;
+    }
+    shares
+}
+
+/// Deficit round-robin ledger: byte credit per tenant, spent as queued
+/// requests are served. Credit only accrues while a tenant has pending
+/// work (an emptied queue forfeits its balance — standard DRR, so an
+/// idle tenant cannot bank service and burst past its weight later).
+#[derive(Debug, Clone)]
+pub struct DeficitLedger {
+    deficit: Vec<f64>,
+}
+
+impl DeficitLedger {
+    /// A ledger for `tenants` tenants, all balances zero.
+    pub fn new(tenants: usize) -> DeficitLedger {
+        DeficitLedger {
+            deficit: vec![0.0; tenants],
+        }
+    }
+
+    /// One round of credit: `share × quantum` bytes per pending tenant;
+    /// non-pending tenants are reset to zero.
+    pub fn accrue(&mut self, shares: &[f64], pending: &[bool], quantum: f64) {
+        assert_eq!(shares.len(), self.deficit.len());
+        for (i, d) in self.deficit.iter_mut().enumerate() {
+            if pending[i] {
+                *d += shares[i] * quantum;
+            } else {
+                *d = 0.0;
+            }
+        }
+    }
+
+    /// Spends `bytes` from tenant `i`'s balance if covered; `false`
+    /// leaves the balance untouched (the request waits for more credit).
+    pub fn try_spend(&mut self, i: usize, bytes: f64) -> bool {
+        if self.deficit[i] + 1e-6 >= bytes {
+            self.deficit[i] -= bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current balance of tenant `i` (diagnostics).
+    pub fn balance(&self, i: usize) -> f64 {
+        self.deficit[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_divide_by_weight() {
+        let s = weighted_shares(&[3.0, 1.0], &[true, true], true);
+        assert!((s[0] - 0.75).abs() < 1e-9);
+        assert!((s[1] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_pending_tenants_get_nothing() {
+        let s = weighted_shares(&[3.0, 1.0], &[false, true], true);
+        assert_eq!(s[0], 0.0);
+        assert!((s[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_weight_rides_along_only_with_best_effort() {
+        let with = weighted_shares(&[1.0, 0.0], &[true, true], true);
+        assert!(with[1] > 0.0 && with[1] < 0.1);
+        let without = weighted_shares(&[1.0, 0.0], &[true, true], false);
+        assert_eq!(without[1], 0.0);
+        assert!((without[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn only_best_effort_tenants_split_evenly() {
+        let s = weighted_shares(&[0.0, 0.0], &[true, true], true);
+        assert!((s[0] - 0.5).abs() < 1e-9);
+        assert!((s[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ledger_serves_once_credit_covers() {
+        let mut l = DeficitLedger::new(1);
+        let pending = [true];
+        assert!(!l.try_spend(0, 10.0));
+        l.accrue(&[1.0], &pending, 6.0);
+        assert!(!l.try_spend(0, 10.0));
+        l.accrue(&[1.0], &pending, 6.0);
+        assert!(l.try_spend(0, 10.0));
+        assert!((l.balance(0) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_queue_forfeits_credit() {
+        let mut l = DeficitLedger::new(2);
+        l.accrue(&[0.5, 0.5], &[true, true], 8.0);
+        l.accrue(&[0.5, 0.5], &[false, true], 8.0);
+        assert_eq!(l.balance(0), 0.0);
+        assert!((l.balance(1) - 8.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,65 @@
+//! # mpx-broker — overload-safe multi-tenant transfer broker
+//!
+//! A front-end over the [`mpx_ucx`] transport for nodes shared by many
+//! tenants. Requests enter sharded per-GPU-pair queues with **bounded
+//! depth**; a scheduler thread dequeues by **per-tenant weighted fair
+//! share** (the sim's max-min machinery used as policy, see [`fair`]),
+//! performs **deadline-based admission control** using the performance
+//! model's predicted completion time, **coalesces** compatible same-pair
+//! requests into one planned multi-path flow, and consults the
+//! path-health supervisor so transfers never land on open-breaker paths
+//! without accounting for the lost lanes. Under saturation the broker
+//! degrades through explicit **load regimes** (Normal → Shedding →
+//! Drain) with hysteresis ([`regime`]) instead of queueing without
+//! bound: every refusal is an immediate, typed [`Rejected`] reason.
+//!
+//! DESIGN.md §4g describes the architecture, the regime state machine,
+//! and the admission math; `docs/OBSERVABILITY.md` lists the `broker.*`
+//! and `tenant.*` telemetry this crate publishes.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mpx_broker::{Broker, BrokerConfig, Outcome, TenantSpec};
+//! use mpx_gpu::GpuRuntime;
+//! use mpx_sim::Engine;
+//! use mpx_topo::presets;
+//! use mpx_ucx::{UcxConfig, UcxContext};
+//!
+//! let rt = GpuRuntime::new(Engine::new(Arc::new(presets::beluga())));
+//! let ctx = UcxContext::new(rt, UcxConfig::default());
+//! let engine = ctx.runtime().engine().clone();
+//! let gpus = engine.topology().gpus();
+//! let broker = Broker::new(
+//!     ctx,
+//!     BrokerConfig::default(),
+//!     vec![TenantSpec::new("train", 3.0), TenantSpec::new("eval", 1.0)],
+//! );
+//! broker.set_producers(1);
+//! let sched = engine.register_thread("broker-sched");
+//! let client = engine.register_thread("client");
+//! let b = broker.clone();
+//! std::thread::scope(|s| {
+//!     s.spawn(move || b.run(sched));
+//!     s.spawn(move || {
+//!         let ticket = broker.submit("train", gpus[0], gpus[1], 4 << 20).unwrap();
+//!         let outcome = ticket.wait(&client);
+//!         assert!(matches!(outcome, Outcome::Completed { .. }));
+//!         broker.producer_done();
+//!         drop(client);
+//!     });
+//! });
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod broker;
+pub mod fair;
+pub mod regime;
+
+pub use broker::{
+    Broker, BrokerConfig, BrokerStats, Outcome, Rejected, TenantSpec, TenantStats, Ticket,
+};
+pub use fair::{weighted_shares, DeficitLedger, BEST_EFFORT_FRACTION};
+pub use mpx_ucx::DeadlinePolicy;
+pub use regime::{LoadRegime, RegimeConfig, RegimeMachine};

@@ -1,0 +1,220 @@
+//! Load-regime state machine with hysteresis.
+//!
+//! The broker degrades through three explicit regimes as queue occupancy
+//! rises, rather than letting behaviour drift implicitly with load:
+//!
+//! - **Normal** — every tenant is admitted subject only to queue bounds
+//!   and deadline feasibility; zero-weight tenants ride along with an
+//!   epsilon fair share.
+//! - **Shedding** — the fabric is saturated: zero-weight (best-effort)
+//!   tenants are shed at submit time and excluded from the fairness
+//!   solve, concentrating capacity on weighted tenants.
+//! - **Drain** — the broker is overwhelmed: all new submissions are
+//!   refused so queued work can complete and occupancy can fall.
+//!
+//! Each boundary has separate enter/exit thresholds (exit strictly below
+//! enter), so occupancy noise around a threshold cannot flap the regime —
+//! a transition only reverses after a genuine recovery.
+
+/// The broker's degradation level, ordered by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LoadRegime {
+    /// Uncongested: admit everyone, best-effort tenants included.
+    Normal,
+    /// Saturated: shed best-effort tenants, keep weighted tenants.
+    Shedding,
+    /// Overwhelmed: refuse all new work until queues drain.
+    Drain,
+}
+
+impl LoadRegime {
+    /// Stable lowercase label for telemetry and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            LoadRegime::Normal => "normal",
+            LoadRegime::Shedding => "shedding",
+            LoadRegime::Drain => "drain",
+        }
+    }
+
+    /// Numeric encoding for the `broker.regime` gauge (0, 1, 2).
+    pub fn as_gauge(self) -> f64 {
+        match self {
+            LoadRegime::Normal => 0.0,
+            LoadRegime::Shedding => 1.0,
+            LoadRegime::Drain => 2.0,
+        }
+    }
+}
+
+/// Occupancy thresholds for regime transitions. Occupancy is the worst
+/// (highest) `queued / queue_depth` ratio across shards, in `[0, 1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct RegimeConfig {
+    /// Enter Shedding when occupancy reaches this level.
+    pub shed_enter: f64,
+    /// Return from Shedding to Normal once occupancy falls to this level.
+    pub shed_exit: f64,
+    /// Enter Drain when occupancy reaches this level.
+    pub drain_enter: f64,
+    /// Return from Drain to Shedding once occupancy falls to this level.
+    pub drain_exit: f64,
+}
+
+impl Default for RegimeConfig {
+    fn default() -> RegimeConfig {
+        RegimeConfig {
+            shed_enter: 0.75,
+            shed_exit: 0.50,
+            drain_enter: 0.95,
+            drain_exit: 0.625,
+        }
+    }
+}
+
+impl RegimeConfig {
+    /// Panics unless thresholds are ordered so hysteresis is real:
+    /// `0 < shed_exit < shed_enter <= drain_exit' < drain_enter <= 1`
+    /// with each exit strictly below its enter.
+    pub fn validate(&self) {
+        assert!(
+            self.shed_exit > 0.0 && self.shed_exit < self.shed_enter,
+            "shed_exit must lie in (0, shed_enter)"
+        );
+        assert!(
+            self.drain_exit < self.drain_enter && self.drain_enter <= 1.0,
+            "drain_exit must lie below drain_enter, drain_enter <= 1"
+        );
+        assert!(
+            self.shed_enter <= self.drain_enter,
+            "shed_enter must not exceed drain_enter"
+        );
+        assert!(
+            self.drain_exit >= self.shed_exit,
+            "drain_exit below shed_exit would skip the Shedding regime on recovery"
+        );
+    }
+}
+
+/// Hysteretic regime tracker: feed it occupancy samples, get back
+/// transitions. Transitions are stepwise (Normal ⇄ Shedding ⇄ Drain);
+/// a single observation never jumps two levels in one call, so every
+/// transition edge is observable in telemetry.
+#[derive(Debug, Clone)]
+pub struct RegimeMachine {
+    cfg: RegimeConfig,
+    current: LoadRegime,
+}
+
+impl RegimeMachine {
+    /// A machine starting in [`LoadRegime::Normal`]. Panics on invalid
+    /// thresholds.
+    pub fn new(cfg: RegimeConfig) -> RegimeMachine {
+        cfg.validate();
+        RegimeMachine {
+            cfg,
+            current: LoadRegime::Normal,
+        }
+    }
+
+    /// The regime as of the last observation.
+    pub fn current(&self) -> LoadRegime {
+        self.current
+    }
+
+    /// Feeds one occupancy sample; returns `Some((from, to))` when the
+    /// regime steps up or down, `None` when it holds.
+    pub fn observe(&mut self, occupancy: f64) -> Option<(LoadRegime, LoadRegime)> {
+        let from = self.current;
+        let to = match from {
+            LoadRegime::Normal if occupancy >= self.cfg.shed_enter => LoadRegime::Shedding,
+            LoadRegime::Shedding if occupancy >= self.cfg.drain_enter => LoadRegime::Drain,
+            LoadRegime::Shedding if occupancy <= self.cfg.shed_exit => LoadRegime::Normal,
+            LoadRegime::Drain if occupancy <= self.cfg.drain_exit => LoadRegime::Shedding,
+            other => other,
+        };
+        self.current = to;
+        (from != to).then_some((from, to))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> RegimeMachine {
+        RegimeMachine::new(RegimeConfig::default())
+    }
+
+    #[test]
+    fn starts_normal() {
+        assert_eq!(machine().current(), LoadRegime::Normal);
+    }
+
+    #[test]
+    fn escalates_stepwise() {
+        let mut m = machine();
+        assert_eq!(
+            m.observe(0.80),
+            Some((LoadRegime::Normal, LoadRegime::Shedding))
+        );
+        // A spike past drain_enter from Normal still takes two samples.
+        let mut m2 = machine();
+        assert_eq!(
+            m2.observe(1.0),
+            Some((LoadRegime::Normal, LoadRegime::Shedding))
+        );
+        assert_eq!(
+            m2.observe(1.0),
+            Some((LoadRegime::Shedding, LoadRegime::Drain))
+        );
+    }
+
+    #[test]
+    fn hysteresis_prevents_flapping() {
+        let mut m = machine();
+        m.observe(0.80);
+        // Dipping just below shed_enter but above shed_exit holds.
+        assert_eq!(m.observe(0.70), None);
+        assert_eq!(m.current(), LoadRegime::Shedding);
+        assert_eq!(
+            m.observe(0.50),
+            Some((LoadRegime::Shedding, LoadRegime::Normal))
+        );
+    }
+
+    #[test]
+    fn drain_recovers_through_shedding() {
+        let mut m = machine();
+        m.observe(0.80);
+        m.observe(0.96);
+        assert_eq!(m.current(), LoadRegime::Drain);
+        assert_eq!(m.observe(0.70), None); // above drain_exit: hold Drain
+        assert_eq!(
+            m.observe(0.60),
+            Some((LoadRegime::Drain, LoadRegime::Shedding))
+        );
+        assert_eq!(
+            m.observe(0.10),
+            Some((LoadRegime::Shedding, LoadRegime::Normal))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shed_exit")]
+    fn inverted_thresholds_rejected() {
+        RegimeMachine::new(RegimeConfig {
+            shed_enter: 0.5,
+            shed_exit: 0.6,
+            ..RegimeConfig::default()
+        });
+    }
+
+    #[test]
+    fn labels_and_gauges_are_stable() {
+        assert_eq!(LoadRegime::Normal.label(), "normal");
+        assert_eq!(LoadRegime::Shedding.label(), "shedding");
+        assert_eq!(LoadRegime::Drain.label(), "drain");
+        assert_eq!(LoadRegime::Drain.as_gauge(), 2.0);
+    }
+}

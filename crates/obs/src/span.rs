@@ -42,11 +42,14 @@ pub enum Phase {
     Health,
     /// Hedged-transfer activity: hedge launches, wins, and losses.
     Hedge,
+    /// Transfer-broker activity: admissions, sheds, dispatch batches,
+    /// and load-regime transitions.
+    Broker,
 }
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 12] = [
+    pub const ALL: [Phase; 13] = [
         Phase::Plan,
         Phase::Probe,
         Phase::Transfer,
@@ -59,6 +62,7 @@ impl Phase {
         Phase::GraphReplay,
         Phase::Health,
         Phase::Hedge,
+        Phase::Broker,
     ];
 
     /// Stable lower-case label (the trace `cat` field).
@@ -76,6 +80,7 @@ impl Phase {
             Phase::GraphReplay => "graph.replay",
             Phase::Health => "health",
             Phase::Hedge => "hedge",
+            Phase::Broker => "broker",
         }
     }
 }
@@ -374,7 +379,8 @@ mod tests {
                 "graph.capture",
                 "graph.replay",
                 "health",
-                "hedge"
+                "hedge",
+                "broker"
             ]
         );
     }

@@ -1032,7 +1032,7 @@ impl UcxContext {
         let pair = self.pair_key(src.device(), dst.device(), self.effective_selection());
         let t0 = thread.now();
         let h = self.put_async(src, dst, n)?;
-        let deadline = t0.after((plan.predicted_time * 1024.0).max(1.0));
+        let deadline = crate::deadline::DeadlinePolicy::STUCK.deadline(t0, plan.predicted_time);
         match h.wait_deadline(thread, deadline) {
             Ok(()) => {
                 self.health_mark_success(pair, &h);

@@ -27,6 +27,7 @@
 //! graph-pool purges.
 
 use crate::context::UcxContext;
+use crate::deadline::DeadlinePolicy;
 use crate::pipeline::execute_plan_at_obs;
 use crate::probe::probe_all_with;
 use crate::recover::{coalesce, residuals_of, Range, RecoveryError};
@@ -541,7 +542,8 @@ impl UcxContext {
             &[],
             obs.clone(),
         );
-        let trigger = (plan.predicted_time * hcfg.factor.max(1.0)).max(hcfg.min_trigger);
+        let policy: DeadlinePolicy = hcfg.trigger_policy();
+        let trigger = policy.budget(plan.predicted_time);
         let mut report = HedgeReport::default();
         if primary.wait_deadline(thread, t0.after(trigger)).is_ok() {
             self.health_mark_success(pair, &primary);
@@ -601,8 +603,7 @@ impl UcxContext {
                 // Nothing healthy to race on: give the primary one
                 // backed-off window (a flapped link may come back) and
                 // re-assess.
-                let extra =
-                    (plan.predicted_time * hcfg.factor.max(1.0) * wait_scale).max(hcfg.min_trigger);
+                let extra = policy.scaled(wait_scale).budget(plan.predicted_time);
                 if primary
                     .wait_deadline(thread, thread.now().after(extra))
                     .is_ok()
@@ -672,9 +673,7 @@ impl UcxContext {
                 );
             }
 
-            let deadline = thread
-                .now()
-                .after((worst * hcfg.factor.max(1.0) * wait_scale).max(hcfg.min_trigger));
+            let deadline = policy.scaled(wait_scale).deadline(thread.now(), worst);
             let mut hedge_resid: Vec<Range> = Vec::new();
             let mut all_ok = true;
             for (h, base) in &handles {

@@ -28,6 +28,7 @@
 
 pub mod compile;
 pub mod context;
+pub mod deadline;
 pub mod health;
 pub mod pipeline;
 pub mod probe;
@@ -36,6 +37,7 @@ pub mod tuner;
 
 pub use compile::{graph_key, GraphStats, CLASS_TAG, MAX_GRAPHS_PER_KEY};
 pub use context::{CacheStats, ParamSource, TransferError, TuningMode, UcxConfig, UcxContext};
+pub use deadline::DeadlinePolicy;
 pub use health::{
     BreakerEvent, BreakerState, HealthConfig, HealthStats, HealthSupervisor, HedgeConfig,
     HedgeReport, PathAdmissions,

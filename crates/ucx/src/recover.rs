@@ -18,6 +18,7 @@
 //! to a single surviving path.
 
 use crate::context::UcxContext;
+use crate::deadline::DeadlinePolicy;
 use crate::pipeline::{execute_plan_at_obs, TransferHandle};
 use crate::probe::probe_all_with;
 use mpx_gpu::Buffer;
@@ -256,9 +257,8 @@ impl UcxContext {
             &[],
             obs.clone(),
         );
-        let deadline = thread
-            .now()
-            .after((plan.predicted_time * slack).max(rcfg.min_deadline));
+        let deadline = DeadlinePolicy::new(slack, rcfg.min_deadline)
+            .deadline(thread.now(), plan.predicted_time);
         let mut pending: Vec<Range> = match h.wait_deadline(thread, deadline) {
             Ok(()) => {
                 self.health_mark_success(pair, &h);
@@ -390,7 +390,8 @@ impl UcxContext {
                 h.remap_path_indices(&orig_idx);
                 handles.push((h, r.offset));
             }
-            let deadline = thread.now().after((worst * slack).max(rcfg.min_deadline));
+            let deadline =
+                DeadlinePolicy::new(slack, rcfg.min_deadline).deadline(thread.now(), worst);
             let mut next: Vec<Range> = Vec::new();
             for (h, base) in &handles {
                 if h.wait_deadline(thread, deadline).is_err() {

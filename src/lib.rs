@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub use mpx_broker as broker;
 pub use mpx_gpu as gpu;
 pub use mpx_model as model;
 pub use mpx_mpi as mpi;
@@ -39,6 +40,9 @@ pub use mpx_ucx as ucx;
 
 /// The names most programs need.
 pub mod prelude {
+    pub use mpx_broker::{
+        Broker, BrokerConfig, BrokerStats, LoadRegime, Outcome, Rejected, TenantSpec,
+    };
     pub use mpx_gpu::{Buffer, GpuRuntime, ReduceOp};
     pub use mpx_model::{Planner, PlannerConfig, SizeClassConfig, TransferPlan};
     pub use mpx_mpi::{waitall, Rank, World};
@@ -52,7 +56,7 @@ pub mod prelude {
     };
     pub use mpx_topo::{presets, PathSelection, Topology, TopologyBuilder};
     pub use mpx_ucx::{
-        HealthConfig, HedgeConfig, RecoveryConfig, RecoveryError, TransferError, TuningMode,
-        UcxConfig, UcxContext,
+        DeadlinePolicy, HealthConfig, HedgeConfig, RecoveryConfig, RecoveryError, TransferError,
+        TuningMode, UcxConfig, UcxContext,
     };
 }
