@@ -26,6 +26,19 @@ for scenario in degrade flap kill; do
     *"faults_fired=0"*) echo "fault-matrix: $scenario fault never fired" >&2; exit 1 ;;
   esac
 done
+# The same canned fault plans once more through the partitioned parallel
+# engine: `mpx partition` replays each plan on a multi-component cluster
+# scenario serial AND parallel and exits nonzero unless the two runs are
+# bit-identical (and the faults actually fired).
+for scenario in degrade flap kill; do
+  out="$(./target/release/mpx partition --faults "$tmp/$scenario.json")"
+  echo "$out"
+  case "$out" in
+    *"faults=0"*) echo "fault-matrix: $scenario never fired in the parallel engine" >&2; exit 1 ;;
+    *"bit-identical"*) ;;
+    *) echo "fault-matrix: $scenario parallel run not verified" >&2; exit 1 ;;
+  esac
+done
 echo "fault-matrix smoke: ok"
 
 # Trace-export smoke: `mpx trace` must exit cleanly, its trace.json must
@@ -35,7 +48,7 @@ echo "fault-matrix smoke: ok"
   --trace-out "$tmp/trace.json" --metrics-out "$tmp/metrics.json"
 python3 -c "import json, sys; json.load(open(sys.argv[1])); json.load(open(sys.argv[2]))" \
   "$tmp/trace.json" "$tmp/metrics.json"
-for phase in plan probe transfer chunk-leg recovery collective fault tune graph.capture graph.replay health hedge broker; do
+for phase in plan probe transfer chunk-leg recovery collective fault tune graph.capture graph.replay health hedge broker partition; do
   if ! grep -q "\"cat\": \"$phase\"" "$tmp/trace.json"; then
     echo "trace smoke: no $phase events in trace.json" >&2; exit 1
   fi
@@ -51,6 +64,14 @@ echo "trace-export smoke: ok"
 # versus the interpreted pipeline fails the run.
 ./target/release/bench_transport --quick
 echo "bench_transport smoke: ok"
+
+# Parallel-engine smoke: bench_sim --quick proves a cluster scenario with
+# a fault storm bit-identical between serial and 8-worker parallel
+# execution, then requires the parallel engine to at least match the
+# serial engine's events/sec on the 100k-flow cell. Never rewrites
+# results/BENCH_sim.json (full runs do that).
+./target/release/bench_sim --quick
+echo "bench_sim smoke: ok"
 
 # Chaos-soak smoke: two fixed seeds of randomized degrade/flap/kill over
 # concurrent resilient, plain/replayed, and hedged PUTs. Exits nonzero on

@@ -45,11 +45,14 @@ pub enum Phase {
     /// Transfer-broker activity: admissions, sheds, dispatch batches,
     /// and load-regime transitions.
     Broker,
+    /// Parallel simulation partitioning: per-partition lanes and
+    /// rebalance (partition-merge) instants.
+    Partition,
 }
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 13] = [
+    pub const ALL: [Phase; 14] = [
         Phase::Plan,
         Phase::Probe,
         Phase::Transfer,
@@ -63,6 +66,7 @@ impl Phase {
         Phase::Health,
         Phase::Hedge,
         Phase::Broker,
+        Phase::Partition,
     ];
 
     /// Stable lower-case label (the trace `cat` field).
@@ -81,6 +85,7 @@ impl Phase {
             Phase::Health => "health",
             Phase::Hedge => "hedge",
             Phase::Broker => "broker",
+            Phase::Partition => "partition",
         }
     }
 }
@@ -142,6 +147,14 @@ impl Event {
         match self {
             Event::Span(s) => &s.track,
             Event::Instant(i) => &i.track,
+        }
+    }
+
+    /// The event's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Event::Span(s) => &s.name,
+            Event::Instant(i) => &i.name,
         }
     }
 
@@ -380,7 +393,8 @@ mod tests {
                 "graph.replay",
                 "health",
                 "hedge",
-                "broker"
+                "broker",
+                "partition"
             ]
         );
     }

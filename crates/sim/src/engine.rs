@@ -95,6 +95,12 @@ pub struct FlowSpec {
     /// QoS weight for fair sharing: a weight-2 flow receives twice the
     /// rate of a weight-1 flow wherever they contend. Default 1.
     pub weight: f64,
+    /// Multiplier applied to the flow's *total* startup latency (link
+    /// latencies plus `extra_latency`) at issue time. Default 1. The
+    /// partitioned scenario runner uses this to apply jitter factors it
+    /// pre-drew in global issue order, so the same factors reach a flow
+    /// no matter which partition simulates it (see [`crate::parallel`]).
+    pub latency_factor: f64,
     /// Label recorded in the trace (e.g. `p1.c3.leg2`).
     pub label: String,
 }
@@ -107,8 +113,19 @@ impl FlowSpec {
             bytes,
             extra_latency: 0.0,
             weight: 1.0,
+            latency_factor: 1.0,
             label: String::new(),
         }
+    }
+
+    /// Sets the startup-latency multiplier (must be positive and finite).
+    pub fn with_latency_factor(mut self, factor: f64) -> FlowSpec {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "invalid latency factor {factor}"
+        );
+        self.latency_factor = factor;
+        self
     }
 
     /// Sets the QoS weight (must be positive).
@@ -187,6 +204,20 @@ pub struct StatsSnapshot {
     pub flows_stalled: u64,
     /// Links currently down (capacity forced to zero).
     pub links_down: u64,
+    /// Connected-component partitions the workload decomposed into.
+    /// Always filled by the scenario runner (see [`crate::parallel`]) in
+    /// *both* serial and parallel mode — the decomposition is a property
+    /// of the workload, not of the execution strategy — so the two modes
+    /// report identical values. Zero for raw [`Engine`] runs.
+    pub partitions: u64,
+    /// Partition merges forced by flows whose routes bridged two
+    /// already-occupied partitions (rebalance events).
+    pub rebalances: u64,
+    /// Admitted events (flow issues or faults) whose owning partition at
+    /// execution time differed from their partition at admission time —
+    /// i.e. events re-routed across a component boundary by a later
+    /// rebalance.
+    pub cross_component_events: u64,
 }
 
 impl StatsSnapshot {
@@ -202,6 +233,9 @@ impl StatsSnapshot {
         reg.set_counter("sim.faults_fired", self.faults_fired);
         reg.set_counter("sim.flows_stalled", self.flows_stalled);
         reg.set_counter("sim.links_down", self.links_down);
+        reg.set_counter("sim.partitions", self.partitions);
+        reg.set_counter("sim.rebalances", self.rebalances);
+        reg.set_counter("sim.cross_component_events", self.cross_component_events);
         let total_bytes: f64 = self.links.iter().map(|l| l.bytes).sum();
         reg.set_gauge("sim.link_bytes_total", total_bytes);
     }
@@ -706,6 +740,9 @@ impl Engine {
             faults_fired: st.faults_fired,
             flows_stalled: st.flows_stalled,
             links_down: st.down.iter().filter(|&&d| d).count() as u64,
+            partitions: 0,
+            rebalances: 0,
+            cross_component_events: 0,
         }
     }
 
@@ -953,6 +990,7 @@ fn start_flow_locked(st: &mut State, topo: &Topology, spec: FlowSpec, done: OnCo
             .latency
             * st.latency_scale[lid.index()];
     }
+    latency *= spec.latency_factor;
     if let Some((model, rng)) = st.jitter.as_mut() {
         let factor = 1.0 + rng.gen_range(-model.spread..=model.spread);
         latency *= factor;

@@ -39,6 +39,8 @@
 pub mod engine;
 pub mod fairness;
 pub mod fault;
+pub mod parallel;
+pub mod partition;
 pub mod stats;
 pub mod time;
 pub mod waker;
@@ -49,6 +51,8 @@ pub use engine::{
 };
 pub use fairness::{max_min_rates, max_min_rates_fast, FairShareScratch, FlowDemand};
 pub use fault::{plan_horizon, FaultEvent, FaultInjector, FaultKind, FaultPlan};
+pub use parallel::{equivalence_diff, PartitionRun, Scenario, ScenarioReport};
+pub use partition::{partition_scenario, Partition, PartitionPlan, Partitioner};
 pub use stats::{
     bottleneck_link, link_utilization, summarize_trace, trace_to_chrome_json, LinkUtilization,
     TraceSummary,

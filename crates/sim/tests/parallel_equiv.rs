@@ -1,0 +1,184 @@
+//! Serial-oracle equivalence for the partitioned parallel engine.
+//!
+//! [`mpx_sim::Scenario::run_parallel`] promises **bit-identical** output
+//! to [`mpx_sim::Scenario::run_serial`] — same canonical completion
+//! order, same completion/activation times (integer nanoseconds), same
+//! per-link byte totals (same f64 bits), same stats counters. This suite
+//! pins that promise the way `fairness_equiv.rs` pins the fair-share
+//! oracle: 1000 random scenarios over multi-node cluster topologies —
+//! random routes (including bridging flows that force mid-run partition
+//! rebalances), staggered issue times, seeded latency jitter, and fault
+//! storms mixing degrades, latency spikes, flaps, and kills — each run
+//! serial and parallel at 1, 2, 4, and 8 workers.
+
+use mpx_sim::{equivalence_diff, FaultKind, FaultPlan, FlowSpec, JitterModel, Scenario};
+use mpx_topo::{presets, LinkId};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Links per 4-GPU cluster node: 6 GPU pairs × 2 + 4 PCIe × 2 + 1 DRAM.
+const NODE_LINKS: usize = 21;
+
+/// One generated flow: intra-node link offsets on `node`, optionally a
+/// bridging link on another node (which merges two partitions when they
+/// are both occupied), byte count, and issue time.
+type FlowGen = (usize, Vec<usize>, bool, (usize, usize), usize, f64);
+
+/// One generated fault: time, global link index, kind selector, factor,
+/// duration.
+type FaultGen = (f64, usize, u8, f64, f64);
+
+type Case = (usize, Vec<FlowGen>, Vec<FaultGen>, bool, (u64, f64), u64);
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    (2usize..5).prop_flat_map(|nodes| {
+        let flow = (
+            0usize..nodes,
+            vec(0usize..NODE_LINKS, 1..4),
+            proptest::bool::ANY,
+            (0usize..nodes, 0usize..NODE_LINKS),
+            1usize..(4 << 20),
+            0.0f64..0.01,
+        );
+        let fault = (
+            0.0f64..0.012,
+            0usize..nodes * NODE_LINKS,
+            0u8..4,
+            0.05f64..0.95,
+            1e-4f64..5e-3,
+        );
+        (
+            Just(nodes),
+            vec(flow, 1..30),
+            vec(fault, 0..10),
+            proptest::bool::ANY,
+            (0u64..(1 << 48), 0.01f64..0.4),
+            0u64..(1 << 48),
+        )
+    })
+}
+
+fn build_scenario(case: &Case) -> Scenario {
+    let (nodes, flows, faults, jitter_on, (jseed, jspread), tie) = case;
+    let topo = Arc::new(presets::cluster(*nodes, 4));
+    let mut sc = Scenario::new(topo).with_tie_seed(*tie);
+    if *jitter_on {
+        sc = sc.with_jitter(JitterModel {
+            seed: *jseed,
+            spread: *jspread,
+        });
+    }
+    for (node, offsets, bridge, (bnode, boff), bytes, at) in flows {
+        let mut route: Vec<LinkId> = offsets
+            .iter()
+            .map(|off| LinkId((node * NODE_LINKS + off) as u32))
+            .collect();
+        if *bridge && bnode != node {
+            route.push(LinkId((bnode * NODE_LINKS + boff) as u32));
+        }
+        sc = sc.flow_at(*at, FlowSpec::new(route, *bytes));
+    }
+    let mut plan = FaultPlan::empty();
+    for (at, link, kind, factor, duration) in faults {
+        let kind = match kind {
+            0 => FaultKind::Degrade { factor: *factor },
+            1 => FaultKind::LatencySpike {
+                factor: 1.0 + factor * 4.0,
+                duration: *duration,
+            },
+            2 => FaultKind::Flap {
+                duration: *duration,
+            },
+            _ => FaultKind::Kill,
+        };
+        plan = plan.with(*at, LinkId(*link as u32), kind);
+    }
+    sc.with_faults(plan)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    /// Every random scenario produces bit-identical output in serial and
+    /// parallel mode, at every worker count.
+    #[test]
+    fn parallel_is_bit_identical_to_serial(case in arb_case()) {
+        let sc = build_scenario(&case);
+        let serial = sc.run_serial();
+        for workers in [1usize, 2, 4, 8] {
+            let par = sc.run_parallel(workers);
+            if let Some(diff) = equivalence_diff(&serial, &par) {
+                return Err(TestCaseError::fail(format!(
+                    "serial/parallel divergence at {workers} workers: {diff}"
+                )));
+            }
+            // Per-partition event counts must decompose the serial total.
+            let sum: u64 = par.partitions.iter().map(|p| p.events_processed).sum();
+            prop_assert_eq!(sum, serial.stats.events_processed);
+            prop_assert_eq!(par.partitions.len() as u64, par.stats.partitions);
+        }
+        // The decomposition is reported identically in both modes.
+        prop_assert!(serial.stats.partitions >= 1);
+    }
+}
+
+/// Seeded storm soaks: `FaultPlan::random_soak` campaigns (the chaos-soak
+/// generator) against a 6-node cluster with flows on every node, checked
+/// at 8 workers across 20 seeds.
+#[test]
+fn random_soak_storms_stay_bit_identical() {
+    let topo = Arc::new(presets::cluster(6, 4));
+    for seed in 0..20u64 {
+        let plan = FaultPlan::random_soak(&topo, seed, 0.02, 24, &[]);
+        let mut sc = Scenario::new(topo.clone())
+            .with_tie_seed(seed)
+            .with_jitter(JitterModel { seed, spread: 0.2 })
+            .with_faults(plan);
+        for node in 0..6usize {
+            for k in 0..4usize {
+                let off = (seed as usize + k) % 12;
+                let route = vec![LinkId((node * NODE_LINKS + off) as u32)];
+                let at = k as f64 * 1e-3;
+                sc = sc.flow_at(at, FlowSpec::new(route, (1 << 20) + (node << 12) + k));
+            }
+        }
+        let serial = sc.run_serial();
+        let par = sc.run_parallel(8);
+        assert_eq!(
+            equivalence_diff(&serial, &par),
+            None,
+            "storm seed {seed} diverged"
+        );
+        assert!(serial.stats.faults_fired > 0, "storm seed {seed} was inert");
+    }
+}
+
+/// A kill that lands on a partition *while* a later bridging flow merges
+/// it into another partition must stall the same flows at the same
+/// virtual times in both modes (satellite regression; the unit-level
+/// variant lives in `mpx_sim::parallel::tests`).
+#[test]
+fn kill_during_rebalance_is_bit_identical() {
+    let topo = Arc::new(presets::cluster(2, 4));
+    let l_a = LinkId(0); // node 0, gpu pair
+    let l_b = LinkId(NODE_LINKS as u32); // node 1, gpu pair
+    let big = 50_000_000_000usize; // ~1 s at 50 GB/s
+    let sc = Scenario::new(topo)
+        .flow(FlowSpec::new(vec![l_a], big).labeled("a"))
+        .flow(FlowSpec::new(vec![l_b], big).labeled("b"))
+        .flow_at(
+            0.4,
+            FlowSpec::new(vec![l_a, l_b], big / 4).labeled("bridge"),
+        )
+        .with_faults(FaultPlan::empty().with(0.3, l_b, FaultKind::Kill));
+    let serial = sc.run_serial();
+    for workers in [1usize, 2, 4, 8] {
+        let par = sc.run_parallel(workers);
+        assert_eq!(equivalence_diff(&serial, &par), None, "workers={workers}");
+    }
+    assert_eq!(serial.stats.partitions, 1, "bridge must merge the nodes");
+    assert_eq!(serial.stats.rebalances, 1);
+    assert_eq!(serial.stats.flows_completed, 1);
+    assert_eq!(serial.stats.flows_stalled, 2);
+}

@@ -340,6 +340,48 @@ pub fn synthetic_default() -> Topology {
     synthetic(SyntheticSpec::default())
 }
 
+/// A cluster of `nodes` mutually-disconnected synthetic nodes, each a
+/// fully-connected `gpus_per_node`-GPU node with its own host domain.
+/// There are deliberately **no** inter-node links: each node is an
+/// isolated connected component, which is the workload shape the
+/// partitioned scenario runner (`mpx_sim::parallel`) scales on — see
+/// DESIGN §4h. Device ids and link ids are assigned node by node, so
+/// node `k`'s devices/links form one contiguous block.
+pub fn cluster(nodes: usize, gpus_per_node: usize) -> Topology {
+    assert!(nodes >= 1, "cluster needs at least one node");
+    assert!(gpus_per_node >= 2, "cluster nodes need at least 2 GPUs");
+    let spec = SyntheticSpec::default();
+    let mut b = TopologyBuilder::new("cluster").overheads(spec.overheads);
+    for node in 0..nodes {
+        b.on_node(node as u16);
+        let numa = NumaNode(node as u16);
+        let gpus: Vec<_> = (0..gpus_per_node)
+            .map(|_| b.gpu(GpuModel::Generic, numa))
+            .collect();
+        let hm = b.host_memory(numa);
+        for i in 0..gpus_per_node {
+            for j in (i + 1)..gpus_per_node {
+                b.duplex_link(
+                    gpus[i],
+                    gpus[j],
+                    LinkKind::Custom,
+                    spec.nvlink_bw,
+                    spec.nvlink_lat,
+                    1,
+                )
+                .expect("cluster gpu link");
+            }
+        }
+        for &g in &gpus {
+            b.duplex_link(g, hm, LinkKind::Pcie, spec.pcie_bw, spec.pcie_lat, 1)
+                .expect("cluster pcie");
+        }
+        b.shared_link(hm, hm, LinkKind::HostDram, spec.dram_bw, 0.0, 1)
+            .expect("cluster dram");
+    }
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -494,5 +536,22 @@ mod tests {
             gpus: 1,
             ..SyntheticSpec::default()
         });
+    }
+
+    #[test]
+    fn cluster_nodes_are_disconnected_islands() {
+        let t = cluster(3, 4);
+        assert_eq!(t.gpus().len(), 12);
+        // Per node: 6 GPU pairs * 2 + 4 PCIe * 2 + 1 DRAM = 21 links.
+        assert_eq!(t.link_count(), 63);
+        let g = t.gpus();
+        // Intra-node pairs are linked; inter-node pairs are not.
+        assert!(t.link_between(g[0], g[3]).is_ok());
+        assert!(t.link_between(g[4], g[7]).is_ok());
+        assert!(t.link_between(g[0], g[4]).is_err());
+        assert!(t.link_between(g[3], g[8]).is_err());
+        // Link ids come in per-node blocks of 21.
+        let first = t.link_between(g[4], g[5]).unwrap().id.index();
+        assert!((21..42).contains(&first));
     }
 }

@@ -18,6 +18,8 @@
 //! mpx metrics --topo beluga --size 64M              # metrics snapshot to stdout
 //! mpx serve --topo beluga --size 4M --load 2 --horizon 0.05   # multi-tenant broker under load
 //! mpx submit --topo beluga --size 64M [--deadline S]  # one brokered request; rejection exits 1
+//! mpx partition --faults faults.json [--nodes N] [--workers W] [--count FLOWS]
+//!                                                  # partitioned engine; divergence exits 1
 //! ```
 
 use multipath_gpu::mpi::allreduce;
@@ -66,7 +68,7 @@ fn selection(name: &str) -> PathSelection {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: mpx <topo|export|plan|bw|bibw|collective|fault-plan|put|resilient|trace|metrics|serve|submit> [--topo T | --topo-file F] [--size N] [--window W] [--mode M] [--paths P] [--src I] [--dst J] [--op C] [--scenario S] [--faults F] [--slack X] [--retries R] [--seed N] [--count N] [--horizon T] [--load X] [--deadline S] [--tenant NAME] [--json] [--replay] [--trace-out F] [--metrics-out F]");
+    eprintln!("usage: mpx <topo|export|plan|bw|bibw|collective|fault-plan|put|resilient|trace|metrics|serve|submit|partition> [--topo T | --topo-file F] [--size N] [--window W] [--mode M] [--paths P] [--src I] [--dst J] [--op C] [--scenario S] [--faults F] [--slack X] [--retries R] [--seed N] [--count N] [--horizon T] [--load X] [--deadline S] [--tenant NAME] [--nodes N] [--workers W] [--json] [--replay] [--trace-out F] [--metrics-out F]");
     std::process::exit(2)
 }
 
@@ -797,6 +799,23 @@ fn main() {
                 .expect("broker client panicked");
             }
             sched.join().expect("broker scheduler panicked");
+            // Partition segment: a small component-partitioned scenario
+            // over a two-node cluster sharing the recorder — per-
+            // partition lanes plus a rebalance instant from a bridging
+            // flow — so the partition phase lands in the trace.
+            {
+                let cluster = Arc::new(presets::cluster(2, 4));
+                let sc = Scenario::new(cluster)
+                    .with_recorder(rec.clone())
+                    .flow(FlowSpec::new(vec![LinkId(0)], 1 << 20))
+                    .flow(FlowSpec::new(vec![LinkId(21)], 1 << 20))
+                    .flow_at(1e-4, FlowSpec::new(vec![LinkId(0), LinkId(21)], 1 << 20));
+                let serial = sc.run_serial();
+                let par = sc.run_parallel(2);
+                if let Some(diff) = equivalence_diff(&serial, &par) {
+                    die(&format!("partition trace segment diverged: {diff}"));
+                }
+            }
             let w = World::over(ctx.runtime().clone(), cfg);
             let ranks = topo.gpus().len().min(4);
             let cn = 1usize << 20;
@@ -845,6 +864,100 @@ fn main() {
                 hreport.hedge_won,
             );
             print!("{}", ctx.residual_report().render());
+        }
+        "partition" => {
+            // Component-partitioned scenario runner: build a cluster
+            // workload (optionally under a fault plan), execute serial
+            // and parallel, and verify bit-identical output. Exits 1 on
+            // any divergence, so CI can drive fault plans through the
+            // parallel engine.
+            let nodes = get("nodes", "6")
+                .parse::<usize>()
+                .unwrap_or_else(|_| die("bad --nodes"));
+            let workers = get("workers", "8")
+                .parse::<usize>()
+                .unwrap_or_else(|_| die("bad --workers"));
+            let flows = get("count", "96")
+                .parse::<usize>()
+                .unwrap_or_else(|_| die("bad --count"));
+            let seed = get("seed", "42")
+                .parse::<u64>()
+                .unwrap_or_else(|_| die("bad --seed"));
+            let fplan = match opts.get("faults") {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+                    serde_json::from_str::<FaultPlan>(&text)
+                        .unwrap_or_else(|e| die(&format!("bad fault plan in {path}: {e}")))
+                }
+                None => FaultPlan::empty(),
+            };
+            const NODE_LINKS: usize = 21; // links per 4-GPU cluster node
+            let cluster = Arc::new(presets::cluster(nodes.max(2), 4));
+            if let Some(issue) = fplan.validate(&cluster).into_iter().next() {
+                die(&format!("fault plan does not fit the cluster: {issue}"));
+            }
+            let mut sc = Scenario::new(cluster)
+                .with_tie_seed(seed)
+                .with_jitter(JitterModel { seed, spread: 0.1 })
+                .with_faults(fplan);
+            for k in 0..flows {
+                let node = k % nodes;
+                let off = (k / nodes) % 12; // GPU-pair links per node
+                let route = vec![LinkId((node * NODE_LINKS + off) as u32)];
+                let at = (k / (nodes * 12)) as f64 * 1e-4;
+                sc = sc.flow_at(at, FlowSpec::new(route, n / flows.max(1) + k));
+            }
+            // One bridging flow per adjacent node pair, issued late so
+            // the merges land while faults are in flight.
+            for node in 0..nodes - 1 {
+                let route = vec![
+                    LinkId((node * NODE_LINKS) as u32),
+                    LinkId(((node + 1) * NODE_LINKS) as u32),
+                ];
+                sc = sc.flow_at(5e-4, FlowSpec::new(route, 1 << 20));
+            }
+            let serial = sc.run_serial();
+            let par = sc.run_parallel(workers);
+            if let Some(diff) = equivalence_diff(&serial, &par) {
+                eprintln!("FAIL: parallel output diverged from serial: {diff}");
+                std::process::exit(1);
+            }
+            let s = &serial.stats;
+            if opts.contains_key("json") {
+                let row = serde_json::json!({
+                        "workers": workers,
+                        "flows_issued": s.flows_issued,
+                        "flows_completed": s.flows_completed,
+                        "flows_stalled": s.flows_stalled,
+                        "faults_fired": s.faults_fired,
+                        "events_processed": s.events_processed,
+                        "partitions": s.partitions,
+                        "rebalances": s.rebalances,
+                        "cross_component_events": s.cross_component_events,
+                        "virtual_secs": s.now.as_secs(),
+                        "bit_identical": true,
+                });
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&row).expect("partition row serializes")
+                );
+            } else {
+                println!(
+                    "partition: {} flows over {} partitions ({} rebalances, {} cross-component) \
+                     serial-vs-parallel@{workers} bit-identical | completed={} stalled={} \
+                     faults={} events={} virt={:.3}ms",
+                    s.flows_issued,
+                    s.partitions,
+                    s.rebalances,
+                    s.cross_component_events,
+                    s.flows_completed,
+                    s.flows_stalled,
+                    s.faults_fired,
+                    s.events_processed,
+                    s.now.as_secs() * 1e3,
+                );
+            }
         }
         other => die(&format!("unknown command `{other}`")),
     }

@@ -52,9 +52,10 @@ pub mod prelude {
     };
     pub use mpx_omb::{osu_bibw, osu_bw, osu_latency, P2pConfig};
     pub use mpx_sim::{
-        Engine, FaultInjector, FaultKind, FaultPlan, FlowSpec, OnComplete, SimTime, Waker,
+        equivalence_diff, Engine, FaultInjector, FaultKind, FaultPlan, FlowSpec, JitterModel,
+        OnComplete, Scenario, SimTime, Waker,
     };
-    pub use mpx_topo::{presets, PathSelection, Topology, TopologyBuilder};
+    pub use mpx_topo::{presets, LinkId, PathSelection, Topology, TopologyBuilder};
     pub use mpx_ucx::{
         DeadlinePolicy, HealthConfig, HedgeConfig, RecoveryConfig, RecoveryError, TransferError,
         TuningMode, UcxConfig, UcxContext,
