@@ -79,8 +79,45 @@ echo "bench_sim smoke: ok"
 # unbalanced breaker ledger, a graph replay served while the pair's
 # breaker was open, or a degraded hedged-PUT p99 above 2x the healthy
 # p99. Never rewrites results/BENCH_chaos.json (full runs do that).
-./target/release/chaos_soak --quick
-echo "chaos-soak smoke: ok"
+# With MPX_DUMP_DIR set, the soak's anomaly engine also writes each
+# black-box dump to disk; the storm must leave at least one breaker dump
+# whose cause carries the breaker's reason, and every dump must render
+# through `mpx report`.
+MPX_DUMP_DIR="$tmp/dumps" ./target/release/chaos_soak --quick
+dump_count="$(find "$tmp/dumps" -name 'dump-*.json' | wc -l)"
+if [ "$dump_count" -eq 0 ]; then
+  echo "chaos-soak smoke: storm produced no black-box dump" >&2; exit 1
+fi
+if ! grep -l '"trigger": "breaker.trip"' "$tmp/dumps"/seed-*/dump-*.json \
+    | xargs grep -q '"cause": "why='; then
+  echo "chaos-soak smoke: no breaker dump carries its trigger cause" >&2; exit 1
+fi
+for dump in "$tmp/dumps"/seed-*/dump-*.json; do
+  ./target/release/mpx report --dump "$dump" > /dev/null
+done
+echo "chaos-soak smoke: ok ($dump_count black-box dumps rendered)"
+
+# OpenMetrics smoke: the exposition must carry histogram quantiles and
+# pass a line-format check (TYPE lines, sane sample lines, EOF last).
+./target/release/mpx metrics --topo beluga --size 8M --openmetrics > "$tmp/metrics.om"
+python3 - "$tmp/metrics.om" <<'PY'
+import re, sys
+lines = open(sys.argv[1]).read().splitlines()
+assert lines, "empty exposition"
+assert lines[-1] == "# EOF", "exposition must end with # EOF"
+sample = re.compile(r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+$')
+types = 0
+for ln in lines[:-1]:
+    if ln.startswith("# TYPE "):
+        types += 1
+        continue
+    assert sample.match(ln), f"bad OpenMetrics line: {ln!r}"
+assert types > 0, "no # TYPE lines"
+text = "\n".join(lines)
+assert '_bucket{le="' in text, "no histogram buckets"
+assert '+Inf' in text, "no +Inf bucket"
+PY
+echo "openmetrics smoke: ok"
 
 # Broker-saturation smoke: a short bench_broker run driving the multi-tenant
 # admission broker at 2x fabric capacity. Exits nonzero if overload sheds

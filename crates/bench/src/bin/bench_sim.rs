@@ -19,6 +19,7 @@
 //! BENCH_sim.json under `"before"` with per-cell speedups, so a single
 //! artifact records the before/after comparison.
 
+use mpx_obs::FlightRecorder;
 use mpx_sim::{equivalence_diff, Engine, FaultPlan, FlowSpec, JitterModel, OnComplete, Scenario};
 use mpx_topo::presets;
 use mpx_topo::{LinkId, Topology};
@@ -57,7 +58,7 @@ fn main() {
     let mut runs: Vec<Value> = Vec::new();
     for (name, topo) in &machines {
         for &flows in &FLOW_COUNTS {
-            let (events, secs) = measure(topo, flows);
+            let (events, secs) = measure(topo, flows, false, REPEATS);
             let rate = events as f64 / secs;
             println!(
                 "{name:>8} {flows:>8} {events:>12} {:>12.2} {rate:>14.0}",
@@ -74,6 +75,7 @@ fn main() {
     }
 
     let parallel_runs = measure_parallel_cells();
+    let flight_cell = flight_recorder_overhead_cell(REPEATS);
 
     let baseline = read_baseline();
     let report = match &baseline {
@@ -83,13 +85,15 @@ fn main() {
                 "flow_counts": FLOW_COUNTS.to_vec(),
                 "before": before.clone(),
                 "after": runs,
-                "parallel": parallel_runs
+                "parallel": parallel_runs,
+                "flight_recorder": flight_cell
             })
         }
         None => json!({
             "flow_counts": FLOW_COUNTS.to_vec(),
             "after": runs,
-            "parallel": parallel_runs
+            "parallel": parallel_runs,
+            "flight_recorder": flight_cell
         }),
     };
     mpx_bench::emit_json("BENCH_sim", &report);
@@ -100,9 +104,10 @@ fn main() {
     }
 }
 
-/// Times one batch of `flows` contending flows; returns
-/// (events processed, best-of-`REPEATS` wall seconds).
-fn measure(topo: &Arc<Topology>, flows: usize) -> (u64, f64) {
+/// Times one batch of `flows` contending flows, optionally with an
+/// always-on flight-recorder ring installed on the engine; returns
+/// (events processed, best-of-`reps` wall seconds).
+fn measure(topo: &Arc<Topology>, flows: usize, flight: bool, reps: usize) -> (u64, f64) {
     // Spread flows round-robin over every directly linked GPU pair so
     // the fairness core sees real contention, and stagger sizes so each
     // completion triggers a recompute while many flows are still live.
@@ -119,8 +124,11 @@ fn measure(topo: &Arc<Topology>, flows: usize) -> (u64, f64) {
 
     let mut best = f64::INFINITY;
     let mut events = 0;
-    for rep in 0..=REPEATS {
+    for rep in 0..=reps {
         let eng = Engine::new(topo.clone());
+        if flight {
+            eng.set_recorder(FlightRecorder::default().recorder());
+        }
         for i in 0..flows {
             let link = pairs[i % pairs.len()];
             let bytes = (1 << 20) + 4096 * i;
@@ -232,6 +240,40 @@ fn measure_parallel_cells() -> Vec<Value> {
     out
 }
 
+/// Recorder-on vs recorder-off on the heaviest single-engine cell: the
+/// always-on flight recorder must be cheap enough to leave installed.
+/// Returns the committed overhead cell; the quick gate bounds it at 5%.
+fn flight_recorder_overhead_cell(reps: usize) -> Value {
+    let topo = Arc::new(presets::beluga());
+    let flows = *FLOW_COUNTS.last().expect("flow counts");
+    // Interleave the arms rep by rep so a slow scheduling window hits
+    // both equally, and take each arm's best: the off/on gap then
+    // reflects recording cost, not which arm drew the noisy window.
+    let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+    let mut events = 0;
+    for _ in 0..reps.max(1) {
+        let (_, o) = measure(&topo, flows, false, 1);
+        off = off.min(o);
+        let (e, r) = measure(&topo, flows, true, 1);
+        on = on.min(r);
+        events = e;
+    }
+    let pct = (on - off) / off * 100.0;
+    println!(
+        "\nflight recorder overhead (beluga, {flows} flows): off {:.2} ms, on {:.2} ms ({pct:+.2}%)",
+        off * 1e3,
+        on * 1e3
+    );
+    json!({
+        "preset": "beluga",
+        "flows": flows,
+        "events": events,
+        "recorder_off_secs": off,
+        "recorder_on_secs": on,
+        "overhead_pct": pct
+    })
+}
+
 fn best_of<F: FnMut() -> (u64, f64)>(reps: usize, mut f: F) -> (u64, f64) {
     let mut best = f64::INFINITY;
     let mut events = 0;
@@ -290,6 +332,16 @@ fn quick_gate() {
     );
     if par_rate < serial_rate {
         eprintln!("FAIL: parallel engine slower than serial at 8 workers");
+        std::process::exit(1);
+    }
+
+    // Always-on gate: ring-recording the heaviest single-engine cell
+    // must cost at most 5% wall time vs no recorder. Best-of-5 per arm
+    // absorbs scheduler noise on a ~12 ms workload.
+    let cell = flight_recorder_overhead_cell(5);
+    let pct = cell["overhead_pct"].as_f64().expect("overhead pct");
+    if pct > 5.0 {
+        eprintln!("FAIL: flight recorder costs {pct:.2}% (> 5%) on the beluga/512 cell");
         std::process::exit(1);
     }
     println!("bench_sim --quick: PASS");

@@ -21,6 +21,7 @@
 
 use mpx_gpu::GpuRuntime;
 use mpx_model::{PlannerConfig, SizeClassConfig};
+use mpx_obs::FlightRecorder;
 use mpx_sim::Engine;
 use mpx_topo::presets;
 use mpx_topo::units::MIB;
@@ -145,20 +146,22 @@ fn main() {
     verify_transfer_integrity(&topo);
 
     let replay_report = bench_replay(&topo, quick);
+    let flight_cell = flight_recorder_overhead_cell(&topo, quick);
 
     let baseline = read_baseline();
     let report = match &baseline {
         Some(before) => {
             print_speedups(before, &runs);
-            json!({ "before": before.clone(), "after": runs })
+            json!({ "before": before.clone(), "after": runs, "flight_recorder": flight_cell })
         }
-        None => json!({ "after": runs }),
+        None => json!({ "after": runs, "flight_recorder": flight_cell }),
     };
     if quick {
         // Smoke mode gates against the committed artifact and must not
         // overwrite it with short-run numbers.
         gate(&report);
         gate_replay(&replay_report);
+        gate_flight_recorder(&report["flight_recorder"]);
     } else {
         mpx_bench::emit_json("BENCH_transport", &report);
         mpx_bench::emit_json("BENCH_replay", &replay_report);
@@ -220,6 +223,75 @@ fn bench_replay(topo: &Arc<mpx_topo::Topology>, quick: bool) -> Value {
     let speedup = rates[1] / rates[0];
     println!("{:>16} {speedup:>10.2}x", "replay speedup");
     json!({ "runs": rows, "speedup": speedup })
+}
+
+/// Always-on overhead cell: the same interpreted-put workload (issue +
+/// simulated drain, where every chunk leg, transfer span, and histogram
+/// observation lands) with and without a [`FlightRecorder`] ring
+/// installed. The quick gate bounds the on/off gap at 5%.
+fn flight_recorder_overhead_cell(topo: &Arc<mpx_topo::Topology>, quick: bool) -> Value {
+    let iters: usize = if quick { 60 } else { 400 };
+    let reps: usize = if quick { 5 } else { 3 };
+    let n = 8 * MIB;
+
+    let run_once = |flight: bool| -> f64 {
+        let ctx = UcxContext::new(
+            GpuRuntime::new(Engine::new(topo.clone())),
+            UcxConfig::default(),
+        );
+        if flight {
+            ctx.runtime()
+                .engine()
+                .set_recorder(FlightRecorder::default().recorder());
+        }
+        let gpus = ctx.runtime().engine().topology().gpus();
+        let data: Vec<u8> = (0..n).map(|i| (i * 131 % 251) as u8).collect();
+        let src = ctx.runtime().alloc_bytes(gpus[0], data);
+        let dst = ctx.runtime().alloc_zeroed(gpus[1], n);
+        for _ in 0..2 {
+            let h = ctx.put_async(&src, &dst, n).expect("warmup put");
+            ctx.runtime().engine().run_until_idle();
+            assert!(h.is_complete());
+        }
+        let start = Instant::now();
+        for _ in 0..iters {
+            let h = ctx.put_async(&src, &dst, n).expect("put");
+            ctx.runtime().engine().run_until_idle();
+            std::hint::black_box(&h);
+        }
+        start.elapsed().as_secs_f64()
+    };
+    // Interleave the arms rep by rep so a slow scheduling window hits
+    // both equally; each arm keeps its best.
+    let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        off = off.min(run_once(false));
+        on = on.min(run_once(true));
+    }
+    let pct = (on - off) / off * 100.0;
+    println!(
+        "\nflight recorder overhead ({iters} puts x {} MiB): off {:.2} ms, on {:.2} ms ({pct:+.2}%)",
+        n / MIB,
+        off * 1e3,
+        on * 1e3
+    );
+    json!({
+        "puts": iters,
+        "bytes": n,
+        "recorder_off_secs": off,
+        "recorder_on_secs": on,
+        "overhead_pct": pct
+    })
+}
+
+/// CI gate for the overhead cell (`--quick`): always-on must stay ≤ 5%.
+fn gate_flight_recorder(cell: &Value) {
+    let pct = cell["overhead_pct"].as_f64().expect("overhead pct");
+    if pct > 5.0 {
+        eprintln!("bench_transport gate: flight recorder costs {pct:.2}% (> 5%)");
+        std::process::exit(1);
+    }
+    println!("bench_transport gate: ok (flight recorder overhead {pct:+.2}%)");
 }
 
 struct ReplayResult {

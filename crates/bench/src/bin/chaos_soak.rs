@@ -26,6 +26,18 @@
 //! from the recorded telemetry — that no compiled-graph replay was
 //! served on a pair while one of its breakers was open.
 //!
+//! The soak also exercises the always-on observability layer: the only
+//! recorder is a bounded [`mpx_obs::FlightRecorder`] ring (the harness
+//! asserts nothing was overwritten, so the replay-gate audit over its
+//! snapshot stays exact), and an [`mpx_obs::AnomalyEngine`] is installed
+//! as the context's sink. Every storm must fire at least one black-box
+//! dump, every dump's trigger class must be one the storm can actually
+//! cause, breaker dumps must carry the pair/path/cause of the fault that
+//! tripped them, and a `dead_link=true` cause must only appear when the
+//! storm really scheduled a kill. Set `MPX_DUMP_DIR` to also write each
+//! dump as `$MPX_DUMP_DIR/seed-<seed>/dump-*.json` (the CI smoke greps
+//! these).
+//!
 //! A separate two-regime phase measures hedged-PUT tail latency: p99
 //! over 100 transfers on a healthy fabric vs the same with the direct
 //! link degraded to 5% under a one-strike breaker. The acceptance bound
@@ -39,7 +51,7 @@
 
 use mpx_broker::{Broker, BrokerConfig, Outcome, TenantSpec};
 use mpx_gpu::GpuRuntime;
-use mpx_obs::{Event, Phase, Recorder};
+use mpx_obs::{AnomalyConfig, AnomalyEngine, Event, FlightRecorder, Phase, TelemetryRegistry};
 use mpx_sim::{Engine, FaultInjector, FaultKind, FaultPlan, SimTime};
 use mpx_topo::units::MIB;
 use mpx_topo::{presets, DeviceId, LinkId, PathSelection, Topology};
@@ -62,6 +74,26 @@ const PUTS_PER_DRIVER: usize = 8;
 /// Requests the broker driver submits per seed.
 const BROKER_SUBMITS: usize = 12;
 
+/// Per-thread flight-recorder ring capacity for one soak. Sized so a
+/// full storm fits without overwrites — the replay-gate audit walks the
+/// ring snapshot and is only exact over complete history, which the
+/// harness asserts (`overwritten == 0`).
+const FLIGHT_CAPACITY: usize = 1 << 15;
+
+/// Trigger classes a `random_soak` storm can legitimately fire through
+/// this harness: breaker trips/retrips from kills and stuck puts,
+/// stuck-transfer dumps from the plain driver, deadline-miss bursts from
+/// the resilient retry loop, residual drift from degraded links, and
+/// shed-regime entries when the storm backs the broker's queue up.
+const STORM_CLASSES: [&str; 6] = [
+    "breaker.trip",
+    "breaker.retrip",
+    "transfer.stuck",
+    "deadline.miss-burst",
+    "residual.drift",
+    "shed.regime",
+];
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let seeds: &[u64] = if quick { &QUICK_SEEDS } else { &STANDARD_SEEDS };
@@ -70,7 +102,7 @@ fn main() {
     let mut violations: Vec<String> = Vec::new();
     let mut seed_rows: Vec<Value> = Vec::new();
     println!(
-        "{:>6} {:>7} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9} {:>10}",
+        "{:>6} {:>7} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9} {:>10}",
         "seed",
         "puts",
         "escalate",
@@ -79,6 +111,7 @@ fn main() {
         "open",
         "gated",
         "hedges",
+        "dumps",
         "virt_ms",
         "replay_ok"
     );
@@ -190,8 +223,12 @@ struct DriverOutcome {
 /// failure) only on corrupted bytes.
 fn soak_one(topo: &Arc<Topology>, seed: u64, violations: &mut Vec<String>) -> Value {
     let engine = Engine::new(topo.clone());
-    let rec = Recorder::new();
-    engine.set_recorder(rec.clone());
+    // Always-on telemetry: the bounded ring is the ONLY recorder in the
+    // soak. The anomaly engine snapshots it into every black-box dump,
+    // and the replay-gate audit walks the same snapshot (sound because
+    // the harness asserts zero overwrites below).
+    let flight = FlightRecorder::new(FLIGHT_CAPACITY);
+    engine.set_recorder(flight.recorder());
     let ctx = UcxContext::new(
         GpuRuntime::new(engine),
         UcxConfig {
@@ -200,6 +237,27 @@ fn soak_one(topo: &Arc<Topology>, seed: u64, violations: &mut Vec<String>) -> Va
             ..UcxConfig::default()
         },
     );
+    let anomalies = Arc::new(AnomalyEngine::new(
+        flight.clone(),
+        AnomalyConfig {
+            dump_dir: std::env::var_os("MPX_DUMP_DIR")
+                .map(|d| std::path::PathBuf::from(d).join(format!("seed-{seed}"))),
+            ..AnomalyConfig::default()
+        },
+    ));
+    {
+        // Freeze the live registry and residual report into each dump so
+        // it is readable without the process that produced it.
+        let metrics_ctx = ctx.clone();
+        anomalies.set_metrics_source(move || {
+            let reg = TelemetryRegistry::new();
+            metrics_ctx.fill_registry(&reg);
+            reg.snapshot()
+        });
+        let residual_ctx = ctx.clone();
+        anomalies.set_residual_source(move || residual_ctx.residual_report());
+    }
+    ctx.set_anomaly_sink(anomalies.clone());
     let gpus = topo.gpus();
     // One pair per driver, disjoint endpoints where the 4-GPU node
     // allows, so per-pair health state is single-writer.
@@ -365,14 +423,79 @@ fn soak_one(topo: &Arc<Topology>, seed: u64, violations: &mut Vec<String>) -> Va
     if h.trips != h.resets + h.breakers_open {
         violations.push(format!("seed {seed}: breaker ledger unbalanced: {h:?}"));
     }
-    let gate_violations = replay_gate_violations(&rec.drain());
+    // The gate audit below is only exact over complete history: the
+    // ring must not have wrapped. (If this ever fires, FLIGHT_CAPACITY
+    // is undersized for the storm, not the transport misbehaving.)
+    if flight.overwritten() > 0 {
+        violations.push(format!(
+            "seed {seed}: flight recorder overwrote {} events; raise FLIGHT_CAPACITY",
+            flight.overwritten()
+        ));
+    }
+    let gate_violations = replay_gate_violations(&flight.snapshot());
     if gate_violations > 0 {
         violations.push(format!(
             "seed {seed}: {gate_violations} graph replays served on breaker-open pairs"
         ));
     }
+
+    // Black-box dump audit: the storm must leave a usable incident
+    // trail, and every dump must be attributable to an injected fault.
+    let dumps = anomalies.dumps();
+    let storm_kills = storm
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, FaultKind::Kill))
+        .count();
+    if dumps.is_empty() {
+        violations.push(format!(
+            "seed {seed}: storm fired no black-box dump ({} trips, {} escalations)",
+            h.trips,
+            escalations.load(Ordering::Relaxed)
+        ));
+    }
+    let pair_labels: Vec<String> = pairs
+        .iter()
+        .chain(std::iter::once(&broker_pair))
+        .map(|&(a, b)| format!("{a}->{b}"))
+        .collect();
+    for d in &dumps {
+        if !STORM_CLASSES.contains(&d.trigger.as_str()) {
+            violations.push(format!(
+                "seed {seed}: dump #{} has trigger {:?} no storm fault can cause",
+                d.seq, d.trigger
+            ));
+        }
+        if d.cause.contains("dead_link=true") && storm_kills == 0 {
+            violations.push(format!(
+                "seed {seed}: dump #{} blames a dead link but the storm scheduled no kill",
+                d.seq
+            ));
+        }
+        if d.trigger.starts_with("breaker.") {
+            match (&d.pair, d.path) {
+                (Some(pair), Some(_)) if pair_labels.iter().any(|p| p == pair) => {}
+                _ => violations.push(format!(
+                    "seed {seed}: breaker dump #{} lacks a driver pair/path (pair={:?} path={:?})",
+                    d.seq, d.pair, d.path
+                )),
+            }
+            if !d.cause.contains("why=") {
+                violations.push(format!(
+                    "seed {seed}: breaker dump #{} cause {:?} carries no breaker reason",
+                    d.seq, d.cause
+                ));
+            }
+        }
+    }
+    if h.trips > 0 && !dumps.iter().any(|d| d.trigger.starts_with("breaker.")) {
+        violations.push(format!(
+            "seed {seed}: {} breaker trips but no breaker dump",
+            h.trips
+        ));
+    }
     println!(
-        "{seed:>6} {:>7} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9.2} {:>10}",
+        "{seed:>6} {:>7} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9.2} {:>10}",
         3 * PUTS_PER_DRIVER as u64,
         escalations.load(Ordering::Relaxed),
         h.trips,
@@ -380,6 +503,7 @@ fn soak_one(topo: &Arc<Topology>, seed: u64, violations: &mut Vec<String>) -> Va
         h.breakers_open,
         h.replays_gated,
         h.hedges,
+        dumps.len(),
         virtual_secs * 1e3,
         if gate_violations == 0 {
             "ok"
@@ -402,6 +526,15 @@ fn soak_one(topo: &Arc<Topology>, seed: u64, violations: &mut Vec<String>) -> Va
         "hedge_rounds_observed": hedge_rounds.load(Ordering::Relaxed),
         "virtual_secs": virtual_secs,
         "replay_gate_violations": gate_violations,
+        "dumps": dumps.len(),
+        "dump_classes": {
+            let mut classes: Vec<&str> = dumps.iter().map(|d| d.trigger.as_str()).collect();
+            classes.sort_unstable();
+            classes.dedup();
+            classes
+        },
+        "ring_events_recorded": flight.events_recorded(),
+        "ring_overwritten": flight.overwritten(),
         "broker": json!({
             "submitted": bs.submitted,
             "admitted": bs.admitted,

@@ -24,7 +24,7 @@
 use crate::fair::{weighted_shares, DeficitLedger};
 use crate::regime::{LoadRegime, RegimeConfig, RegimeMachine};
 use mpx_gpu::Buffer;
-use mpx_obs::{Phase, TelemetryRegistry};
+use mpx_obs::{Phase, QuantileHist, TelemetryRegistry, TriggerClass};
 use mpx_sim::{SimThread, SimTime, Waker};
 use mpx_topo::path::PathSelection;
 use mpx_topo::units::Secs;
@@ -449,6 +449,8 @@ pub struct Broker {
     next_id: AtomicU64,
     c: Counters,
     tc: Vec<TenantCounters>,
+    /// Queue-sojourn histogram (submit → terminal outcome), always on.
+    sojourn: Arc<QuantileHist>,
 }
 
 impl Broker {
@@ -483,6 +485,7 @@ impl Broker {
             next_id: AtomicU64::new(0),
             c: Counters::default(),
             tc,
+            sojourn: Arc::new(QuantileHist::new()),
         })
     }
 
@@ -494,6 +497,12 @@ impl Broker {
     /// The current load regime.
     pub fn regime(&self) -> LoadRegime {
         self.regime.lock().current()
+    }
+
+    /// The queue-sojourn histogram: submit-to-terminal-outcome seconds
+    /// of every reaped request, watchdog kills included.
+    pub fn sojourn_hist(&self) -> &Arc<QuantileHist> {
+        &self.sojourn
     }
 
     /// Declares how many producer (generator) threads will submit work.
@@ -716,14 +725,28 @@ impl Broker {
         let transition = self.regime.lock().observe(occ);
         if let Some((from, to)) = transition {
             self.c.regime_changes.fetch_add(1, Ordering::Relaxed);
+            let now = self.ctx.runtime().engine().now().as_secs();
             if let Some(rec) = self.ctx.recorder() {
                 rec.instant(
                     Phase::Broker,
                     "broker",
                     format!("regime {}", to.label()),
-                    self.ctx.runtime().engine().now().as_secs(),
+                    now,
                     format!("{} -> {} occupancy={occ:.3}", from.label(), to.label()),
                 );
+            }
+            // Degrading transitions (Normal → Shedding, Shedding →
+            // Drain) are anomalies worth a black box; recoveries not.
+            if to.as_gauge() > from.as_gauge() {
+                if let Some(sink) = self.ctx.anomaly_sink() {
+                    sink.signal(
+                        TriggerClass::ShedRegime,
+                        now,
+                        None,
+                        None,
+                        &format!("{} -> {} occupancy={occ:.3}", from.label(), to.label()),
+                    );
+                }
             }
         }
     }
@@ -818,6 +841,7 @@ impl Broker {
             }
             for part in inf.parts {
                 shard.tenant_inflight_bytes[part.tenant] -= part.n as u64;
+                self.sojourn.observe(now.secs_since(part.submitted_at));
                 let outcome = if done {
                     Outcome::Completed {
                         latency: now.secs_since(part.submitted_at),
@@ -992,6 +1016,7 @@ impl Broker {
         reg.set_counter("broker.regime_changes", s.regime_changes);
         reg.set_counter("broker.queue_peak", s.queue_peak);
         reg.set_gauge("broker.regime", s.regime.as_gauge());
+        reg.set_hist("broker.sojourn_secs", &self.sojourn);
         for t in &s.tenants {
             reg.set_counter(format!("tenant.{}.submitted", t.name), t.submitted);
             reg.set_counter(

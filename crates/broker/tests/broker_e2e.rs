@@ -211,4 +211,41 @@ fn coalesces_queued_same_pair_requests_and_drains_clean() {
         snap.get("tenant.gold.completed_bytes"),
         Some(4.0 * (256 << 10) as f64)
     );
+
+    // Every reaped request fed the sojourn histogram, and the registry
+    // surfaces its quantiles.
+    assert_eq!(broker.sojourn_hist().count(), 4);
+    assert_eq!(snap.get("broker.sojourn_secs.count"), Some(4.0));
+    assert!(snap.get("broker.sojourn_secs.p99").unwrap() > 0.0);
+}
+
+#[test]
+fn entering_shed_regime_fires_the_anomaly_sink() {
+    let ctx = context();
+    let sink = Arc::new(mpx_obs::AnomalyEngine::new(
+        mpx_obs::FlightRecorder::new(1024),
+        mpx_obs::AnomalyConfig::default(),
+    ));
+    ctx.set_anomaly_sink(sink.clone());
+    let gpus = ctx.runtime().engine().topology().gpus();
+    let cfg = BrokerConfig {
+        queue_depth: 4,
+        ..BrokerConfig::default()
+    };
+    let broker = Broker::new(ctx, cfg, tenants());
+    let loose = Some(1e6);
+    for _ in 0..3 {
+        broker
+            .submit_with_deadline("gold", gpus[0], gpus[1], 1 << 20, loose)
+            .unwrap();
+    }
+    assert_eq!(broker.regime(), LoadRegime::Shedding);
+    let dumps = sink.dumps();
+    assert_eq!(dumps.len(), 1, "one dump for the Normal -> Shedding entry");
+    assert_eq!(dumps[0].trigger, "shed.regime");
+    assert!(
+        dumps[0].cause.contains("normal -> shedding"),
+        "{}",
+        dumps[0].cause
+    );
 }

@@ -69,6 +69,14 @@ pub fn export_chrome_trace(events: &[Event]) -> String {
             }
         }
     }
+    // Process metadata first, then one thread_name record per track, so
+    // Perfetto labels the process row and every track row correctly.
+    if !tracks.is_empty() {
+        out.push_str(
+            "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \
+             \"args\": {\"name\": \"mpx\"}},\n",
+        );
+    }
     for (i, t) in tracks.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {i}, \
@@ -115,13 +123,19 @@ mod tests {
         let json = export_chrome_trace(&events);
         let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
         let arr = parsed.as_array().unwrap();
-        // 3 events + 3 track metadata records.
-        assert_eq!(arr.len(), 6, "{json}");
+        // 3 events + 1 process + 3 track metadata records.
+        assert_eq!(arr.len(), 7, "{json}");
         let names: Vec<&str> = arr
             .iter()
             .filter(|e| e["ph"] == "M")
             .map(|e| e["args"]["name"].as_str().unwrap())
             .collect();
+        assert!(names.contains(&"mpx"), "process_name record present");
+        assert!(
+            arr.iter()
+                .any(|e| e["ph"] == "M" && e["name"] == "process_name"),
+            "process metadata record"
+        );
         assert!(names.contains(&"xfer0"));
         assert!(names.contains(&"link:gpu0->gpu2"));
         assert!(names.contains(&"fabric"));
@@ -141,6 +155,32 @@ mod tests {
         let ev = &parsed.as_array().unwrap()[0];
         assert_eq!(ev["name"].as_str().unwrap(), "odd \"name\"\n");
         assert_eq!(ev["args"]["detail"].as_str().unwrap(), "a\\b");
+    }
+
+    #[test]
+    fn hostile_detail_strings_stay_valid_json() {
+        // Every JSON metacharacter and control byte an adversarial
+        // detail string could carry must survive a parse round-trip.
+        let hostile = "\"},{\"pwn\":1}\n\r\t\\ \u{0001}\u{001f} end\"";
+        let r = Recorder::new();
+        r.span(Phase::Transfer, hostile, hostile, 0.0, 1e-6, hostile);
+        r.instant(Phase::Broker, "t\"r\\ack", hostile, 2e-6, hostile);
+        let json = export_chrome_trace(&r.drain());
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let arr = parsed.as_array().unwrap();
+        // 2 events + process + 2 tracks; the injection attempt did not
+        // add records.
+        assert_eq!(arr.len(), 5, "{json}");
+        let span = arr.iter().find(|e| e["ph"] == "X").unwrap();
+        assert_eq!(span["name"].as_str().unwrap(), hostile);
+        assert_eq!(span["args"]["detail"].as_str().unwrap(), hostile);
+        let meta: Vec<&str> = arr
+            .iter()
+            .filter(|e| e["name"] == "thread_name")
+            .map(|e| e["args"]["name"].as_str().unwrap())
+            .collect();
+        assert!(meta.contains(&hostile));
+        assert!(meta.contains(&"t\"r\\ack"));
     }
 
     #[test]

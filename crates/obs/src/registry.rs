@@ -5,24 +5,16 @@
 //! serializable [`MetricsSnapshot`] (the payload of `mpx metrics` and the
 //! `--json` CLI flags).
 
+use crate::hist::QuantileHist;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-/// Aggregated observations for one histogram metric.
-#[derive(Debug, Clone, Default, PartialEq)]
-struct HistogramData {
-    count: u64,
-    sum: f64,
-    min: f64,
-    max: f64,
-}
-
 #[derive(Debug, Clone, PartialEq)]
-enum Metric {
+pub(crate) enum Metric {
     Counter(u64),
     Gauge(f64),
-    Histogram(HistogramData),
+    Histogram(QuantileHist),
 }
 
 /// Named-metric registry. Cheap to share behind an `Arc`; every method
@@ -62,36 +54,43 @@ impl TelemetryRegistry {
             .insert(name.into(), Metric::Gauge(value));
     }
 
-    /// Adds one observation to a histogram (creates it when absent).
+    /// Adds one observation to a quantile histogram (creates it when
+    /// absent). Histograms are log-bucketed ([`QuantileHist`]): ~5%
+    /// relative-error quantiles at fixed memory, regardless of how many
+    /// observations a long-running process feeds in.
     pub fn observe(&self, name: impl Into<String>, value: f64) {
         let mut m = self.metrics.lock();
         let h = match m
             .entry(name.into())
-            .or_insert(Metric::Histogram(HistogramData::default()))
+            .or_insert_with(|| Metric::Histogram(QuantileHist::new()))
         {
             Metric::Histogram(h) => h,
             other => {
-                *other = Metric::Histogram(HistogramData::default());
+                *other = Metric::Histogram(QuantileHist::new());
                 match other {
                     Metric::Histogram(h) => h,
                     _ => unreachable!(),
                 }
             }
         };
-        if h.count == 0 {
-            h.min = value;
-            h.max = value;
-        } else {
-            h.min = h.min.min(value);
-            h.max = h.max.max(value);
-        }
-        h.count += 1;
-        h.sum += value;
+        h.observe(value);
     }
 
-    /// Flattens the registry into a serializable snapshot. Counters and
-    /// gauges become one entry each; a histogram expands into
-    /// `name.count` / `name.sum` / `name.mean` / `name.min` / `name.max`.
+    /// Publishes a snapshot of an externally maintained histogram under
+    /// `name`, replacing any previous value — the histogram analogue of
+    /// [`TelemetryRegistry::set_counter`], used by `fill_registry`-style
+    /// mirrors whose source histograms live on hot paths.
+    pub fn set_hist(&self, name: impl Into<String>, hist: &QuantileHist) {
+        self.metrics
+            .lock()
+            .insert(name.into(), Metric::Histogram(hist.clone()));
+    }
+
+    /// Flattens the registry into a serializable snapshot with entries
+    /// sorted by name. Counters and gauges become one entry each; a
+    /// histogram expands into `name.count` / `name.sum` / `name.mean` /
+    /// `name.min` / `name.max` plus the quantile rows `name.p50` /
+    /// `name.p90` / `name.p99` / `name.p999`.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let m = self.metrics.lock();
         let mut entries = Vec::with_capacity(m.len());
@@ -108,17 +107,16 @@ impl TelemetryRegistry {
                     value: *v,
                 }),
                 Metric::Histogram(h) => {
-                    let mean = if h.count > 0 {
-                        h.sum / h.count as f64
-                    } else {
-                        0.0
-                    };
                     for (suffix, v) in [
-                        ("count", h.count as f64),
-                        ("sum", h.sum),
-                        ("mean", mean),
-                        ("min", h.min),
-                        ("max", h.max),
+                        ("count", h.count() as f64),
+                        ("sum", h.sum()),
+                        ("mean", h.mean()),
+                        ("min", h.min()),
+                        ("max", h.max()),
+                        ("p50", h.quantile(0.5)),
+                        ("p90", h.quantile(0.9)),
+                        ("p99", h.quantile(0.99)),
+                        ("p999", h.quantile(0.999)),
                     ] {
                         entries.push(MetricEntry {
                             name: format!("{name}.{suffix}"),
@@ -129,7 +127,21 @@ impl TelemetryRegistry {
                 }
             }
         }
+        // Deterministic row order: histogram expansion would otherwise
+        // interleave suffixes out of lexicographic order, making
+        // snapshot diffs (and the OpenMetrics text) unstable.
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
         MetricsSnapshot { entries }
+    }
+
+    /// A point-in-time clone of every metric, for the OpenMetrics
+    /// exporter (which needs raw bucket data, not the flattened rows).
+    pub(crate) fn export(&self) -> Vec<(String, Metric)> {
+        self.metrics
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
     }
 }
 
@@ -192,11 +204,53 @@ mod tests {
         let reg = TelemetryRegistry::new();
         reg.set_counter("z.last", 1);
         reg.set_counter("a.first", 1);
+        // Histogram expansion must not break lexicographic order (its
+        // suffix rows interleave with neighbouring keys).
+        reg.observe("m.latency", 1.0);
+        reg.set_counter("m.latency.aaa", 7);
+        reg.set_counter("m.latency.zzz", 8);
         let snap = reg.snapshot();
         let names: Vec<_> = snap.entries.iter().map(|e| e.name.as_str()).collect();
         let mut sorted = names.clone();
         sorted.sort_unstable();
         assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn histograms_surface_quantiles() {
+        let reg = TelemetryRegistry::new();
+        for i in 1..=1000 {
+            reg.observe("xfer.latency", i as f64 * 1e-6);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("xfer.latency.count"), Some(1000.0));
+        for (q, expect) in [
+            ("p50", 500e-6),
+            ("p90", 900e-6),
+            ("p99", 990e-6),
+            ("p999", 999e-6),
+        ] {
+            let got = snap.get(&format!("xfer.latency.{q}")).expect(q);
+            assert!(
+                (got - expect).abs() <= 0.05 * expect,
+                "{q}: got {got}, want ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn set_hist_publishes_external_histograms() {
+        let reg = TelemetryRegistry::new();
+        let h = crate::hist::QuantileHist::new();
+        h.observe(2.0);
+        h.observe(4.0);
+        reg.set_hist("broker.sojourn", &h);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("broker.sojourn.count"), Some(2.0));
+        assert_eq!(snap.get("broker.sojourn.sum"), Some(6.0));
+        // Replacement, not accumulation.
+        reg.set_hist("broker.sojourn", &h);
+        assert_eq!(reg.snapshot().get("broker.sojourn.count"), Some(2.0));
     }
 
     #[test]

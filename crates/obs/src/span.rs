@@ -9,14 +9,17 @@
 //! engine's flow trace.
 
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Lifecycle phase a telemetry event belongs to. Phases become the `cat`
 /// field of the exported Chrome trace, so a Perfetto query can filter one
-/// stage of the plan → probe → transfer pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// stage of the plan → probe → transfer pipeline. The derived ordering
+/// follows pipeline (declaration) order and is part of the canonical
+/// event sort key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Phase {
     /// Planner invocation (Algorithm 1 / Eq. 24 share solve).
     Plan,
@@ -91,7 +94,7 @@ impl Phase {
 }
 
 /// A duration event: something that started and finished.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SpanRecord {
     /// Human-readable event name (e.g. the flow label).
     pub name: String,
@@ -110,7 +113,7 @@ pub struct SpanRecord {
 
 /// A point-in-time event (fault fired, re-plan decided, cache
 /// invalidated).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InstantRecord {
     /// Event name.
     pub name: String,
@@ -125,7 +128,7 @@ pub struct InstantRecord {
 }
 
 /// One recorded telemetry event.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Event {
     /// Duration event.
     Span(SpanRecord),
@@ -171,8 +174,34 @@ impl Event {
 /// recorder is never mistaken for another's.
 static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
 
+/// One thread's event buffer. In unbounded mode `head` stays 0 and
+/// `events` grows; in ring mode (a recorder built with
+/// [`Recorder::with_capacity`]) `events` is capped and `head` is the
+/// oldest slot — the next one overwritten.
+struct RingBuf {
+    events: Vec<Event>,
+    head: usize,
+}
+
+impl RingBuf {
+    /// The buffered events, oldest first, leaving the buffer empty.
+    fn take(&mut self) -> Vec<Event> {
+        let mut out = std::mem::take(&mut self.events);
+        out.rotate_left(self.head);
+        self.head = 0;
+        out
+    }
+
+    /// Clones the buffered events, oldest first, without consuming.
+    fn peek(&self) -> Vec<Event> {
+        let mut out = self.events.clone();
+        out.rotate_left(self.head);
+        out
+    }
+}
+
 /// One thread's event buffer, shared with the owning recorder.
-type SharedBuffer = Arc<Mutex<Vec<Event>>>;
+type SharedBuffer = Arc<Mutex<RingBuf>>;
 
 thread_local! {
     /// Per-thread buffer cache: `(recorder id, buffer)` pairs. A thread
@@ -183,9 +212,13 @@ thread_local! {
 
 struct RecorderInner {
     id: u64,
+    /// Per-thread ring capacity; `None` = unbounded (drain-style use).
+    capacity: Option<usize>,
     /// All per-thread buffers ever registered; drained in order.
     buffers: Mutex<Vec<SharedBuffer>>,
     recorded: AtomicU64,
+    /// Events lost to ring overwrites (always 0 in unbounded mode).
+    overwritten: AtomicU64,
 }
 
 /// Shared telemetry sink. Clone freely; clones record into the same
@@ -205,13 +238,32 @@ impl Default for Recorder {
 }
 
 impl Recorder {
-    /// A fresh, empty recorder.
+    /// A fresh, empty, unbounded recorder.
     pub fn new() -> Recorder {
+        Recorder::build(None)
+    }
+
+    /// A ring-mode recorder: each recording thread keeps at most
+    /// `capacity_per_thread` events, overwriting the oldest once full
+    /// (counted in [`Recorder::overwritten`]). This is the always-on
+    /// flight-recorder mode — memory is bounded no matter how long the
+    /// process runs.
+    ///
+    /// # Panics
+    /// Panics on a zero capacity.
+    pub fn with_capacity(capacity_per_thread: usize) -> Recorder {
+        assert!(capacity_per_thread > 0, "ring capacity must be positive");
+        Recorder::build(Some(capacity_per_thread))
+    }
+
+    fn build(capacity: Option<usize>) -> Recorder {
         Recorder {
             inner: Arc::new(RecorderInner {
                 id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+                capacity,
                 buffers: Mutex::new(Vec::new()),
                 recorded: AtomicU64::new(0),
+                overwritten: AtomicU64::new(0),
             }),
         }
     }
@@ -254,26 +306,52 @@ impl Recorder {
         }));
     }
 
-    /// Total events recorded so far (all threads).
+    /// Total events recorded so far (all threads), overwritten ones
+    /// included.
     pub fn events_recorded(&self) -> u64 {
         self.inner.recorded.load(Ordering::Relaxed)
     }
 
-    /// Collects every buffered event, sorted by timestamp, leaving the
-    /// buffers empty. Safe to call while other threads keep recording
-    /// (their new events land in the next drain).
+    /// Events lost to ring overwrites (0 for unbounded recorders). A
+    /// nonzero value means [`Recorder::drain`]/[`Recorder::snapshot`]
+    /// see only the newest `capacity_per_thread` events per thread.
+    pub fn overwritten(&self) -> u64 {
+        self.inner.overwritten.load(Ordering::Relaxed)
+    }
+
+    /// The ring capacity per thread (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.inner.capacity
+    }
+
+    /// Collects every buffered event in canonical order — sorted by
+    /// `(timestamp, phase, name)`, so equal-timestamp events order
+    /// deterministically regardless of which thread recorded them —
+    /// leaving the buffers empty. Safe to call while other threads keep
+    /// recording (their new events land in the next drain).
     pub fn drain(&self) -> Vec<Event> {
         let buffers = self.inner.buffers.lock();
         let mut out = Vec::new();
         for buf in buffers.iter() {
-            out.append(&mut buf.lock());
+            out.extend(buf.lock().take());
         }
         drop(buffers);
-        out.sort_by(|a, b| {
-            a.at()
-                .partial_cmp(&b.at())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        sort_events_canonical(&mut out);
+        out
+    }
+
+    /// Clones every buffered event in canonical order *without*
+    /// draining: recording continues uninterrupted and the same events
+    /// remain visible to later snapshots or a final drain. This is how
+    /// an anomaly dump captures the flight-recorder ring mid-run.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let buffers = self.inner.buffers.lock();
+        let mut out = Vec::new();
+        for buf in buffers.iter() {
+            out.extend(buf.lock().peek());
+        }
+        drop(buffers);
+        sort_events_canonical(&mut out);
         out
     }
 
@@ -281,15 +359,43 @@ impl Recorder {
         self.inner.recorded.fetch_add(1, Ordering::Relaxed);
         LOCAL_BUFFERS.with(|cache| {
             let mut cache = cache.borrow_mut();
-            if let Some(i) = cache.iter().position(|(id, _)| *id == self.inner.id) {
-                cache[i].1.lock().push(ev);
-            } else {
-                let buf = Arc::new(Mutex::new(vec![ev]));
-                self.inner.buffers.lock().push(buf.clone());
-                cache.push((self.inner.id, buf));
+            let buf = match cache.iter().position(|(id, _)| *id == self.inner.id) {
+                Some(i) => &cache[i].1,
+                None => {
+                    let buf = Arc::new(Mutex::new(RingBuf {
+                        events: Vec::new(),
+                        head: 0,
+                    }));
+                    self.inner.buffers.lock().push(buf.clone());
+                    cache.push((self.inner.id, buf));
+                    &cache.last().expect("just pushed").1
+                }
+            };
+            let mut b = buf.lock();
+            match self.inner.capacity {
+                Some(cap) if b.events.len() >= cap => {
+                    let head = b.head;
+                    b.events[head] = ev;
+                    b.head = (head + 1) % cap;
+                    self.inner.overwritten.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => b.events.push(ev),
             }
         });
     }
+}
+
+/// The canonical event order: `(timestamp, phase, name)`. Ties on equal
+/// timestamps are broken by phase (pipeline order) then name, so the
+/// order is independent of buffer (thread) registration order.
+pub(crate) fn sort_events_canonical(events: &mut [Event]) {
+    events.sort_by(|a, b| {
+        a.at()
+            .partial_cmp(&b.at())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.phase().cmp(&b.phase()))
+            .then_with(|| a.name().cmp(b.name()))
+    });
 }
 
 #[cfg(test)]
@@ -373,6 +479,83 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn equal_timestamps_drain_in_phase_then_name_order() {
+        // Same-timestamp events recorded from different threads must
+        // drain in one deterministic order: (ts, phase, name).
+        let r = Recorder::new();
+        let mut handles = Vec::new();
+        for (phase, name) in [
+            (Phase::Fault, "z-fault"),
+            (Phase::Plan, "b-plan"),
+            (Phase::Plan, "a-plan"),
+            (Phase::Transfer, "m-xfer"),
+        ] {
+            let r = r.clone();
+            handles.push(std::thread::spawn(move || {
+                r.instant(phase, "t", name, 1.0, "");
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let names: Vec<String> = r.drain().iter().map(|e| e.name().to_string()).collect();
+        assert_eq!(names, ["a-plan", "b-plan", "m-xfer", "z-fault"]);
+    }
+
+    #[test]
+    fn ring_mode_overwrites_oldest_and_counts() {
+        let r = Recorder::with_capacity(4);
+        for i in 0..10 {
+            r.instant(Phase::Plan, "t", format!("ev{i}"), i as f64, "");
+        }
+        assert_eq!(r.events_recorded(), 10);
+        assert_eq!(r.overwritten(), 6);
+        assert_eq!(r.capacity(), Some(4));
+        let names: Vec<String> = r.drain().iter().map(|e| e.name().to_string()).collect();
+        // Only the newest 4 survive, oldest-first.
+        assert_eq!(names, ["ev6", "ev7", "ev8", "ev9"]);
+    }
+
+    #[test]
+    fn snapshot_does_not_consume() {
+        let r = Recorder::with_capacity(8);
+        r.instant(Phase::Health, "t", "trip", 1.0, "");
+        r.instant(Phase::Health, "t", "reset", 2.0, "");
+        let snap1 = r.snapshot();
+        assert_eq!(snap1.len(), 2);
+        // Recording continues and earlier events stay visible.
+        r.instant(Phase::Hedge, "t", "win", 3.0, "");
+        let snap2 = r.snapshot();
+        assert_eq!(snap2.len(), 3);
+        assert_eq!(snap2[0].name(), "trip");
+        // A drain still sees everything once.
+        assert_eq!(r.drain().len(), 3);
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn unbounded_recorder_never_overwrites() {
+        let r = Recorder::new();
+        for i in 0..1000 {
+            r.instant(Phase::Plan, "t", "e", i as f64, "");
+        }
+        assert_eq!(r.overwritten(), 0);
+        assert_eq!(r.capacity(), None);
+        assert_eq!(r.drain().len(), 1000);
+    }
+
+    #[test]
+    fn event_serde_round_trip() {
+        let r = Recorder::new();
+        r.span(Phase::Transfer, "xfer", "put", 0.5, 1.5, "64M");
+        r.instant(Phase::Fault, "fabric", "kill", 2.0, "link 3");
+        let evs = r.drain();
+        let json = serde_json::to_string(&evs).unwrap();
+        let back: Vec<Event> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, evs);
     }
 
     #[test]

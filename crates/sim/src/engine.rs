@@ -340,6 +340,10 @@ struct State {
     /// Telemetry sink; when present, every completed flow becomes a span
     /// on its lane track and on each link it crossed (see `mpx-obs`).
     recorder: Option<Recorder>,
+    /// Pre-rendered `link:src->dst` track names, indexed by link id —
+    /// cloning one is cheaper than re-formatting it per recorded span,
+    /// which keeps the always-on flight recorder off the hot path's back.
+    link_tracks: Vec<String>,
 }
 
 struct Shared {
@@ -461,6 +465,11 @@ impl Engine {
     pub fn with_tracing(topo: Arc<Topology>, trace: bool) -> Engine {
         let nlinks = topo.link_count();
         let capacities: Vec<f64> = topo.links.iter().map(|l| l.bandwidth).collect();
+        let link_tracks: Vec<String> = topo
+            .links
+            .iter()
+            .map(|l| format!("link:{}->{}", l.src, l.dst))
+            .collect();
         Engine {
             shared: Arc::new(Shared {
                 topo,
@@ -495,6 +504,7 @@ impl Engine {
                     faults_fired: 0,
                     flows_stalled: 0,
                     recorder: None,
+                    link_tracks,
                 }),
                 cv: Condvar::new(),
             }),
@@ -893,6 +903,10 @@ impl Drop for SimThread {
 /// dropped (`xfer0.p1.c3.leg2` → `xfer0.p1.leg2`) so a chunked path
 /// renders one row per leg, mirroring `stats::trace_to_chrome_json`.
 fn lane_of(label: &str) -> String {
+    // Chunk-free labels (plain flows, probes) are their own lane.
+    if !label.contains('.') {
+        return label.to_string();
+    }
     let mut parts: Vec<&str> = label.split('.').collect();
     parts.retain(|p| {
         !(p.starts_with('c') && p.len() > 1 && p[1..].bytes().all(|b| b.is_ascii_digit()))
@@ -1209,9 +1223,14 @@ fn complete_flow(st: &mut State, topo: &Topology, id: FlowId) {
         let detail = format!("{} bytes", fs.bytes);
         rec.span(phase, lane_of(&label), label.clone(), start, end, &detail);
         for &(l, _) in &fs.demand.links {
-            let link = &topo.links[l];
-            let track = format!("link:{}->{}", link.src, link.dst);
-            rec.span(phase, track, label.clone(), start, end, &detail);
+            rec.span(
+                phase,
+                st.link_tracks[l].clone(),
+                label.clone(),
+                start,
+                end,
+                &detail,
+            );
         }
     }
     if let Some(trace) = st.trace.as_mut() {

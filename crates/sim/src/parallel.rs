@@ -45,7 +45,7 @@ use crate::engine::{JitterModel, LinkStats};
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::partition::{partition_scenario, PartitionPlan};
 use crate::time::SimTime;
-use mpx_obs::{Phase, Recorder};
+use mpx_obs::{AnomalyEngine, Phase, Recorder, TriggerClass};
 use mpx_topo::units::Secs;
 use mpx_topo::Topology;
 use parking_lot::Mutex;
@@ -66,6 +66,7 @@ pub struct Scenario {
     tie_seed: u64,
     trace: bool,
     recorder: Option<Recorder>,
+    anomalies: Option<Arc<AnomalyEngine>>,
 }
 
 impl Scenario {
@@ -79,6 +80,7 @@ impl Scenario {
             tie_seed: 0,
             trace: true,
             recorder: None,
+            anomalies: None,
         }
     }
 
@@ -139,6 +141,15 @@ impl Scenario {
     /// `partition.rebalance` instants.
     pub fn with_recorder(mut self, rec: Recorder) -> Scenario {
         self.recorder = Some(rec);
+        self
+    }
+
+    /// Installs an anomaly sink: each partition merge a parallel run
+    /// performs signals [`TriggerClass::RebalanceStorm`] at the merge's
+    /// virtual time, so storms of bridging flows (a workload whose
+    /// decomposition keeps collapsing) produce a black-box dump.
+    pub fn with_anomalies(mut self, sink: Arc<AnomalyEngine>) -> Scenario {
+        self.anomalies = Some(sink);
         self
     }
 
@@ -321,6 +332,17 @@ impl Scenario {
                     format!("partition.rebalance {loser}->{winner}"),
                     at.as_secs(),
                     "bridging flow merged partitions",
+                );
+            }
+        }
+        if let Some(sink) = &self.anomalies {
+            for &(at, loser, winner) in &plan.merges {
+                sink.signal(
+                    TriggerClass::RebalanceStorm,
+                    at.as_secs(),
+                    None,
+                    None,
+                    &format!("partition.rebalance {loser}->{winner}"),
                 );
             }
         }
@@ -684,5 +706,33 @@ mod tests {
             spans.iter().any(|e| e.name().contains("rebalance")),
             "no rebalance instant: {spans:?}"
         );
+    }
+
+    #[test]
+    fn anomaly_sink_sees_rebalance_merges() {
+        let topo = Arc::new(presets::synthetic_default());
+        let g = topo.gpus();
+        let l01 = topo.link_between(g[0], g[1]).unwrap().id;
+        let l23 = topo.link_between(g[2], g[3]).unwrap().id;
+        // Threshold 1 so a single merge already counts as a storm —
+        // the burst arithmetic itself is covered in mpx-obs.
+        let sink = Arc::new(AnomalyEngine::new(
+            mpx_obs::FlightRecorder::new(256),
+            mpx_obs::AnomalyConfig {
+                rebalance_storm: 1,
+                ..Default::default()
+            },
+        ));
+        let sc = Scenario::new(topo)
+            .with_anomalies(sink.clone())
+            .flow(FlowSpec::new(vec![l01], 1 << 20))
+            .flow(FlowSpec::new(vec![l23], 1 << 20))
+            .flow_at(1e-4, FlowSpec::new(vec![l01, l23], 1 << 20));
+        let par = sc.run_parallel(2);
+        assert_eq!(par.stats.rebalances, 1);
+        assert_eq!(sink.fired(), 1);
+        let dumps = sink.dumps();
+        assert_eq!(dumps[0].trigger, "partition.rebalance-storm");
+        assert!(dumps[0].cause.contains("partition.rebalance"));
     }
 }

@@ -15,7 +15,10 @@ use crate::recover::{ResilienceCounters, ResilienceStats};
 use crate::tuner::{manual_plan, tune_exhaustive, TuneResult};
 use mpx_gpu::{Buffer, GpuRuntime, GraphLaunchError, TransferGraph};
 use mpx_model::{PairKey, PlanCache, Planner, PlannerConfig, ShardedMap, TransferPlan};
-use mpx_obs::{Phase, Recorder, ResidualReport, ResidualTracker, TelemetryRegistry};
+use mpx_obs::{
+    AnomalyEngine, Phase, QuantileHist, Recorder, ResidualReport, ResidualTracker,
+    TelemetryRegistry, TriggerClass,
+};
 use mpx_sim::SimThread;
 use mpx_topo::path::{enumerate_paths_auto, PathSelection, TransferPath};
 use mpx_topo::units::Secs;
@@ -189,6 +192,17 @@ struct ContextInner {
     /// Online predicted-vs-measured residual tracker, fed by the
     /// pipeline's whole-message completion tail.
     residual: Arc<ResidualTracker>,
+    /// Anomaly sink installed by harnesses after construction; the
+    /// context only *signals* — trigger thresholds, rate limits, and
+    /// dump assembly all live in the engine. `None` costs one read lock
+    /// per failure event (never on the data path).
+    anomaly: RwLock<Option<Arc<AnomalyEngine>>>,
+    /// Always-on quantile histograms (lock-free observes, bounded
+    /// memory): whole-message transfer latency, planning wall cost, and
+    /// the hedged tail each transfer class absorbed.
+    hist_transfer: Arc<QuantileHist>,
+    hist_plan: Arc<QuantileHist>,
+    hist_hedge_win: Arc<QuantileHist>,
 }
 
 impl UcxContext {
@@ -215,6 +229,10 @@ impl UcxContext {
                 health: HealthSupervisor::new(cfg.health),
                 obs,
                 residual: Arc::new(ResidualTracker::new()),
+                anomaly: RwLock::new(None),
+                hist_transfer: Arc::new(QuantileHist::new()),
+                hist_plan: Arc::new(QuantileHist::new()),
+                hist_hedge_win: Arc::new(QuantileHist::new()),
             }),
         }
     }
@@ -280,26 +298,27 @@ impl UcxContext {
         dst: DeviceId,
         n: usize,
     ) -> Result<Arc<TransferPlan>, TopologyError> {
-        match &self.inner.obs {
-            None => self.plan_for_inner(src, dst, n),
-            Some(rec) => {
-                let wall = std::time::Instant::now();
-                let plan = self.plan_for_inner(src, dst, n)?;
-                rec.instant(
-                    Phase::Plan,
-                    format!("pair:{src}->{dst}"),
-                    format!("plan {n}B"),
-                    self.inner.rt.engine().now().as_secs(),
-                    format!(
-                        "wall_us={:.1} paths={} predicted_us={:.3}",
-                        wall.elapsed().as_secs_f64() * 1e6,
-                        plan.active_path_count(),
-                        plan.predicted_time * 1e6
-                    ),
-                );
-                Ok(plan)
-            }
+        // The plan-cost histogram is always on: one clock read and one
+        // lock-free observe per resolution, recorder or not.
+        let wall = std::time::Instant::now();
+        let plan = self.plan_for_inner(src, dst, n)?;
+        let wall_secs = wall.elapsed().as_secs_f64();
+        self.inner.hist_plan.observe(wall_secs);
+        if let Some(rec) = &self.inner.obs {
+            rec.instant(
+                Phase::Plan,
+                format!("pair:{src}->{dst}"),
+                format!("plan {n}B"),
+                self.inner.rt.engine().now().as_secs(),
+                format!(
+                    "wall_us={:.1} paths={} predicted_us={:.3}",
+                    wall_secs * 1e6,
+                    plan.active_path_count(),
+                    plan.predicted_time * 1e6
+                ),
+            );
         }
+        Ok(plan)
     }
 
     fn plan_for_inner(
@@ -877,6 +896,50 @@ impl UcxContext {
         &self.inner.residual
     }
 
+    /// Installs the anomaly engine this context's failure signals feed
+    /// (breaker trips, stuck transfers, deadline misses, residual
+    /// drift). Without a sink, signaling is a read lock and a branch.
+    pub fn set_anomaly_sink(&self, sink: Arc<AnomalyEngine>) {
+        *self.inner.anomaly.write() = Some(sink);
+    }
+
+    /// The installed anomaly sink, if any.
+    pub fn anomaly_sink(&self) -> Option<Arc<AnomalyEngine>> {
+        self.inner.anomaly.read().clone()
+    }
+
+    /// Routes one failure signal to the installed anomaly sink (no-op
+    /// without one), stamped with the engine's current virtual time.
+    pub(crate) fn anomaly_signal(
+        &self,
+        class: TriggerClass,
+        pair: Option<&str>,
+        path: Option<usize>,
+        cause: &str,
+    ) {
+        let sink = self.inner.anomaly.read().clone();
+        if let Some(sink) = sink {
+            let now = self.inner.rt.engine().now().as_secs();
+            sink.signal(class, now, pair, path, cause);
+        }
+    }
+
+    /// The always-on whole-message transfer-latency histogram.
+    pub fn transfer_latency_hist(&self) -> &Arc<QuantileHist> {
+        &self.inner.hist_transfer
+    }
+
+    /// The always-on planning-wall-cost histogram.
+    pub fn plan_cost_hist(&self) -> &Arc<QuantileHist> {
+        &self.inner.hist_plan
+    }
+
+    /// The hedged-tail histogram: seconds past the plan's prediction at
+    /// which winning hedged transfers finally completed.
+    pub fn hedge_win_hist(&self) -> &Arc<QuantileHist> {
+        &self.inner.hist_hedge_win
+    }
+
     /// Renders the residual tracker's per-pair, per-size-class error
     /// table — the online counterpart of the paper's offline error
     /// tables.
@@ -917,6 +980,9 @@ impl UcxContext {
         reg.set_counter("health.replays_gated", h.replays_gated);
         reg.set_counter("health.hedges", h.hedges);
         reg.set_counter("health.hedge_wins", h.hedge_wins);
+        reg.set_hist("ucx.transfer.latency_secs", &self.inner.hist_transfer);
+        reg.set_hist("ucx.plan.cost_secs", &self.inner.hist_plan);
+        reg.set_hist("ucx.hedge.win_margin_secs", &self.inner.hist_hedge_win);
     }
 
     /// Bundles the recorder and residual tracker into the per-transfer
@@ -925,6 +991,7 @@ impl UcxContext {
         self.inner.obs.as_ref().map(|rec| TransferObs {
             rec: rec.clone(),
             residual: self.inner.residual.clone(),
+            hist: self.inner.hist_transfer.clone(),
             pair: format!("{src}->{dst}"),
         })
     }
@@ -1009,6 +1076,16 @@ impl UcxContext {
                 ),
             );
         }
+        self.anomaly_signal(
+            TriggerClass::ResidualDrift,
+            Some(&format!("{src}->{dst}")),
+            None,
+            &format!(
+                "drift_pct={:.1} tolerance_pct={:.1}",
+                drift * 100.0,
+                self.inner.cfg.drift_tolerance * 100.0
+            ),
+        );
         true
     }
 
@@ -1052,10 +1129,14 @@ impl UcxContext {
                         );
                     }
                 }
-                Err(TransferError::Stuck {
-                    bytes,
-                    elapsed: thread.now().secs_since(t0),
-                })
+                let elapsed = thread.now().secs_since(t0);
+                self.anomaly_signal(
+                    TriggerClass::StuckTransfer,
+                    Some(&format!("{}->{}", src.device(), dst.device())),
+                    h.unfinished().first().map(|s| s.path_index),
+                    &format!("bytes={bytes} elapsed_us={:.3}", elapsed * 1e6),
+                );
+                Err(TransferError::Stuck { bytes, elapsed })
             }
         }
     }
@@ -1099,10 +1180,11 @@ impl UcxContext {
         match ev {
             BreakerEvent::Tripped | BreakerEvent::Retripped => {
                 self.inner.graphs.invalidate_pair(&pair);
+                let pair_label = format!("{}->{}", pair.0, pair.1);
                 if let Some(rec) = &self.inner.obs {
                     rec.instant(
                         Phase::Health,
-                        format!("pair:{}->{}", pair.0, pair.1),
+                        format!("pair:{pair_label}"),
                         if ev == BreakerEvent::Tripped {
                             "breaker.trip"
                         } else {
@@ -1112,6 +1194,16 @@ impl UcxContext {
                         format!("path={path_index} why={why} dead_link={dead}"),
                     );
                 }
+                self.anomaly_signal(
+                    if ev == BreakerEvent::Tripped {
+                        TriggerClass::BreakerTrip
+                    } else {
+                        TriggerClass::BreakerRetrip
+                    },
+                    Some(&pair_label),
+                    Some(path_index),
+                    &format!("why={why} dead_link={dead}"),
+                );
             }
             BreakerEvent::Reset | BreakerEvent::None => {}
         }
@@ -1300,6 +1392,63 @@ mod tests {
         assert!(h.is_complete());
         assert!(c.recorder().is_none());
         assert_eq!(c.residuals().count(), 0);
+    }
+
+    #[test]
+    fn anomaly_sink_receives_breaker_trip_with_pair_and_path() {
+        let c = ctx(TuningMode::Dynamic);
+        let fr = mpx_obs::FlightRecorder::new(1024);
+        let sink = Arc::new(AnomalyEngine::new(fr, mpx_obs::AnomalyConfig::default()));
+        c.set_anomaly_sink(sink.clone());
+        let gpus = c.runtime().engine().topology().gpus();
+        let sel = c.effective_selection();
+        let pair = c.pair_key(gpus[0], gpus[1], sel);
+        let paths = c.paths_for(gpus[0], gpus[1], sel).unwrap();
+        // A dead link trips the breaker immediately, which must fire
+        // the sink's breaker.trip trigger with full attribution.
+        let link = paths[0].legs[0].route[0];
+        c.runtime().engine().set_link_down(link);
+        c.health_path_failure(pair, 0, &paths[0], "test-kill");
+        assert_eq!(sink.fired(), 1);
+        let dumps = sink.dumps();
+        assert_eq!(dumps[0].trigger, "breaker.trip");
+        assert_eq!(dumps[0].pair.as_deref(), Some("dev0->dev1"));
+        assert_eq!(dumps[0].path, Some(0));
+        assert!(dumps[0].cause.contains("test-kill"));
+    }
+
+    #[test]
+    fn latency_and_plan_histograms_fill_and_publish() {
+        let topo = Arc::new(presets::beluga());
+        let eng = Engine::new(topo);
+        eng.set_recorder(mpx_obs::Recorder::new());
+        let rt = GpuRuntime::new(eng);
+        let c = UcxContext::new(rt, UcxConfig::default());
+        let gpus = c.runtime().engine().topology().gpus();
+        let n = 8 * MIB;
+        let src = c.runtime().alloc(gpus[0], n);
+        let dst = c.runtime().alloc(gpus[1], n);
+        let h = c.put_async(&src, &dst, n).unwrap();
+        c.runtime().engine().run_until_idle();
+        assert!(h.is_complete());
+        assert_eq!(c.transfer_latency_hist().count(), 1);
+        assert!(c.transfer_latency_hist().max() > 0.0);
+        assert!(c.plan_cost_hist().count() >= 1);
+        let reg = TelemetryRegistry::new();
+        c.fill_registry(&reg);
+        let snap = reg.snapshot();
+        assert!(snap
+            .entries
+            .iter()
+            .any(|e| e.name == "ucx.transfer.latency_secs.p99" && e.value > 0.0));
+    }
+
+    #[test]
+    fn plan_cost_histogram_fills_without_a_recorder() {
+        let c = ctx(TuningMode::Dynamic);
+        let gpus = c.runtime().engine().topology().gpus();
+        c.plan_for(gpus[0], gpus[1], 4 * MIB).unwrap();
+        assert!(c.plan_cost_hist().count() >= 1, "always-on histogram");
     }
 
     #[test]

@@ -711,6 +711,10 @@ impl UcxContext {
         if report.hedges > 0 {
             if report.hedge_won {
                 self.health().note_hedge_win();
+                // The tail the hedge clipped: how far past the plan's
+                // prediction the message finally landed.
+                self.hedge_win_hist()
+                    .observe(report.elapsed - plan.predicted_time);
             }
             if let Some(rec) = self.recorder() {
                 rec.instant(

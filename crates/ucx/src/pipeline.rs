@@ -19,7 +19,7 @@
 
 use mpx_gpu::{Buffer, GpuRuntime};
 use mpx_model::TransferPlan;
-use mpx_obs::{Phase, Recorder, ResidualTracker};
+use mpx_obs::{Phase, QuantileHist, Recorder, ResidualTracker};
 use mpx_sim::{SimTime, Waker};
 use mpx_topo::path::TransferPath;
 use std::fmt;
@@ -34,6 +34,8 @@ use std::sync::Arc;
 pub(crate) struct TransferObs {
     pub(crate) rec: Recorder,
     pub(crate) residual: Arc<ResidualTracker>,
+    /// Whole-message latency histogram, shared context-wide.
+    pub(crate) hist: Arc<QuantileHist>,
     /// Pair label, e.g. `dev0->dev1`.
     pub(crate) pair: String,
 }
@@ -338,6 +340,7 @@ pub(crate) fn execute_plan_at_obs(
                         ),
                     );
                     o.residual.record(&o.pair, n_total, predicted, measured);
+                    o.hist.observe(measured);
                 }
             }
         }

@@ -275,8 +275,8 @@ impl UcxContext {
                     );
                 }
                 let residuals = coalesce(residuals_of(&h, 0));
+                let unfinished: u64 = residuals.iter().map(|r| r.bytes as u64).sum();
                 if let Some(rec) = self.recorder() {
-                    let unfinished: u64 = residuals.iter().map(|r| r.bytes as u64).sum();
                     rec.instant(
                         Phase::Recovery,
                         pair_track.clone(),
@@ -285,6 +285,12 @@ impl UcxContext {
                         format!("unfinished_bytes={unfinished} slack={slack:.1}"),
                     );
                 }
+                self.anomaly_signal(
+                    mpx_obs::TriggerClass::DeadlineMissBurst,
+                    Some(&format!("{}->{}", src.device(), dst.device())),
+                    h.unfinished().first().map(|s| s.path_index),
+                    &format!("xfer{seq} unfinished_bytes={unfinished} slack={slack:.1}"),
+                );
                 residuals
             }
         };
@@ -404,6 +410,12 @@ impl UcxContext {
                             "deadline-miss",
                         );
                     }
+                    self.anomaly_signal(
+                        mpx_obs::TriggerClass::DeadlineMissBurst,
+                        Some(&format!("{}->{}", src.device(), dst.device())),
+                        h.unfinished().first().map(|s| s.path_index),
+                        &format!("retry round{round} slack={slack:.1}"),
+                    );
                     next.extend(residuals_of(h, *base));
                 } else {
                     self.health_mark_success(pair, h);

@@ -16,6 +16,8 @@
 //! mpx plan --topo beluga --size 64M --json          # machine-readable snapshot
 //! mpx trace --topo beluga --size 64M [--trace-out trace.json] [--metrics-out metrics.json]
 //! mpx metrics --topo beluga --size 64M              # metrics snapshot to stdout
+//! mpx metrics --topo beluga --size 64M --openmetrics  # Prometheus/OpenMetrics text exposition
+//! mpx report --dump dump-0000-breaker_trip.json     # render a black-box dump as a timeline
 //! mpx serve --topo beluga --size 4M --load 2 --horizon 0.05   # multi-tenant broker under load
 //! mpx submit --topo beluga --size 64M [--deadline S]  # one brokered request; rejection exits 1
 //! mpx partition --faults faults.json [--nodes N] [--workers W] [--count FLOWS]
@@ -68,7 +70,7 @@ fn selection(name: &str) -> PathSelection {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: mpx <topo|export|plan|bw|bibw|collective|fault-plan|put|resilient|trace|metrics|serve|submit|partition> [--topo T | --topo-file F] [--size N] [--window W] [--mode M] [--paths P] [--src I] [--dst J] [--op C] [--scenario S] [--faults F] [--slack X] [--retries R] [--seed N] [--count N] [--horizon T] [--load X] [--deadline S] [--tenant NAME] [--nodes N] [--workers W] [--json] [--replay] [--trace-out F] [--metrics-out F]");
+    eprintln!("usage: mpx <topo|export|plan|bw|bibw|collective|fault-plan|put|resilient|trace|metrics|report|serve|submit|partition> [--topo T | --topo-file F] [--size N] [--window W] [--mode M] [--paths P] [--src I] [--dst J] [--op C] [--scenario S] [--faults F] [--slack X] [--retries R] [--seed N] [--count N] [--horizon T] [--load X] [--deadline S] [--tenant NAME] [--nodes N] [--workers W] [--dump F] [--json] [--replay] [--openmetrics] [--trace-out F] [--metrics-out F]");
     std::process::exit(2)
 }
 
@@ -78,7 +80,7 @@ fn main() {
         die("missing command");
     };
     // Boolean flags take no value; everything else is `--key value`.
-    const BOOL_FLAGS: [&str; 4] = ["stats", "quantize", "json", "replay"];
+    const BOOL_FLAGS: [&str; 5] = ["stats", "quantize", "json", "replay", "openmetrics"];
     let mut opts: HashMap<String, String> = HashMap::new();
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -833,7 +835,11 @@ fn main() {
             let metrics_json =
                 serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
             if cmd == "metrics" {
-                println!("{metrics_json}");
+                if opts.contains_key("openmetrics") {
+                    print!("{}", render_openmetrics(&reg));
+                } else {
+                    println!("{metrics_json}");
+                }
                 return;
             }
 
@@ -864,6 +870,19 @@ fn main() {
                 hreport.hedge_won,
             );
             print!("{}", ctx.residual_report().render());
+        }
+        "report" => {
+            // Render a black-box dump written by the anomaly engine as
+            // a human-readable incident timeline.
+            let path = opts
+                .get("dump")
+                .cloned()
+                .unwrap_or_else(|| die("mpx report needs --dump <file.json>"));
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+            let dump: BlackBoxDump = serde_json::from_str(&text)
+                .unwrap_or_else(|e| die(&format!("bad black-box dump in {path}: {e}")));
+            print!("{}", dump.render_timeline());
         }
         "partition" => {
             // Component-partitioned scenario runner: build a cluster

@@ -47,8 +47,9 @@ pub mod prelude {
     pub use mpx_model::{Planner, PlannerConfig, SizeClassConfig, TransferPlan};
     pub use mpx_mpi::{waitall, Rank, World};
     pub use mpx_obs::{
-        export_chrome_trace, phases_present, MetricsSnapshot, Phase, Recorder, ResidualTracker,
-        TelemetryRegistry,
+        export_chrome_trace, phases_present, render_openmetrics, AnomalyConfig, AnomalyEngine,
+        BlackBoxDump, FlightRecorder, MetricsSnapshot, Phase, QuantileHist, Recorder,
+        ResidualTracker, TelemetryRegistry, TriggerClass,
     };
     pub use mpx_omb::{osu_bibw, osu_bw, osu_latency, P2pConfig};
     pub use mpx_sim::{
